@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Alpha sweep (backs the Section V-C observation that raising alpha
+ * past a few percent buys little extra power for growing performance
+ * loss, and the Section VII-A operating point at alpha = 30%).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Alpha sweep — power/performance frontier",
+        "Big networks, VWL+ROO, averaged over 14 workloads x 4 "
+        "topologies.\nPaper: doubling alpha 2.5%->5% adds only ~3% "
+        "power reduction while\nnearly doubling the average slowdown.");
+
+    Runner runner;
+
+    TextTable t({"alpha", "unaware: power", "unaware: perf",
+                 "aware: power", "aware: perf"});
+    for (double alpha : {1.0, 2.5, 5.0, 10.0, 30.0}) {
+        double pr[2] = {0, 0}, deg[2] = {0, 0};
+        int n = 0;
+        for (TopologyKind topo : allTopologies()) {
+            for (const std::string &wl : workloadNames()) {
+                int i = 0;
+                for (Policy p : {Policy::Unaware, Policy::Aware}) {
+                    const SystemConfig cfg =
+                        makeConfig(wl, topo, SizeClass::Big,
+                                   BwMechanism::Vwl, true, p, alpha);
+                    pr[i] += runner.powerReduction(cfg);
+                    deg[i] += runner.degradation(cfg);
+                    ++i;
+                }
+                ++n;
+            }
+        }
+        t.addRow({TextTable::pct(alpha / 100, 1),
+                  TextTable::pct(pr[0] / n), TextTable::pct(deg[0] / n),
+                  TextTable::pct(pr[1] / n),
+                  TextTable::pct(deg[1] / n)});
+    }
+    t.print();
+    return 0;
+}

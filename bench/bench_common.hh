@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ */
+
+#ifndef MEMNET_BENCH_BENCH_COMMON_HH
+#define MEMNET_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "memnet/experiment.hh"
+
+namespace memnet
+{
+namespace bench
+{
+
+/** Construct the standard evaluation config for one cell of a sweep. */
+inline SystemConfig
+makeConfig(const std::string &workload, TopologyKind topo,
+           SizeClass size, BwMechanism mech, bool roo, Policy policy,
+           double alpha_pct = 5.0)
+{
+    SystemConfig cfg;
+    cfg.workload = workload;
+    cfg.topology = topo;
+    cfg.sizeClass = size;
+    cfg.mechanism = mech;
+    cfg.roo = roo;
+    cfg.policy = policy;
+    cfg.alphaPct = alpha_pct;
+    cfg.warmup = us(100);
+    // Three epochs of measurement keep the full sweep tractable on one
+    // core; MEMNET_SIM_US raises fidelity when desired.
+    cfg.measure = us(300);
+    return cfg;
+}
+
+/** Mechanism+ROO combinations of the main evaluation (Figures 11-17). */
+struct Scheme
+{
+    const char *name;
+    BwMechanism mech;
+    bool roo;
+};
+
+inline const std::vector<Scheme> &
+mainSchemes()
+{
+    static const std::vector<Scheme> v = {
+        {"VWL", BwMechanism::Vwl, false},
+        {"ROO", BwMechanism::None, true},
+        {"VWL+ROO", BwMechanism::Vwl, true},
+    };
+    return v;
+}
+
+/** Average a per-workload metric over all fourteen workloads. */
+inline double
+averageOverWorkloads(
+    Runner &runner,
+    const std::function<double(Runner &, const std::string &)> &metric)
+{
+    double sum = 0.0;
+    for (const std::string &wl : workloadNames())
+        sum += metric(runner, wl);
+    return sum / static_cast<double>(workloadNames().size());
+}
+
+/** Maximum of a per-workload metric over all fourteen workloads. */
+inline double
+maxOverWorkloads(
+    Runner &runner,
+    const std::function<double(Runner &, const std::string &)> &metric)
+{
+    double best = -1e300;
+    for (const std::string &wl : workloadNames()) {
+        const double v = metric(runner, wl);
+        if (v > best)
+            best = v;
+    }
+    return best;
+}
+
+/** Per-HMC power averaged over workloads for one configured scheme. */
+inline double
+avgPerHmcPower(Runner &runner, TopologyKind topo, SizeClass size,
+               BwMechanism mech, bool roo, Policy policy, double alpha)
+{
+    return averageOverWorkloads(
+        runner, [&](Runner &r, const std::string &wl) {
+            return r
+                .get(makeConfig(wl, topo, size, mech, roo, policy,
+                                alpha))
+                .perHmc.totalW();
+        });
+}
+
+} // namespace bench
+} // namespace memnet
+
+#endif // MEMNET_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 12: average and maximum performance (throughput) degradation
+ * of network-unaware management versus full-power networks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Figure 12 — performance overhead of network-unaware management",
+        "Throughput degradation vs. full-power networks. Paper: "
+        "maximum 3.2%\nat alpha=2.5% and 5.1% at alpha=5%; averages "
+        "0.9% and 1.7%.");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf("\n--- %s network study ---\n",
+                    sizeClassName(size));
+        TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
+                     "star", "DDRx-like", "avg", "max"});
+        for (const Scheme &s : mainSchemes()) {
+            for (double alpha : {2.5, 5.0}) {
+                std::vector<std::string> row = {
+                    s.name, TextTable::pct(alpha / 100, 1)};
+                double sum = 0.0, mx = -1.0;
+                for (TopologyKind topo : allTopologies()) {
+                    double topo_sum = 0.0;
+                    for (const std::string &wl : workloadNames()) {
+                        const double d = runner.degradation(
+                            makeConfig(wl, topo, size, s.mech, s.roo,
+                                       Policy::Unaware, alpha));
+                        topo_sum += d;
+                        mx = std::max(mx, d);
+                    }
+                    const double avg = topo_sum / 14.0;
+                    row.push_back(TextTable::pct(avg));
+                    sum += avg;
+                }
+                row.push_back(TextTable::pct(sum / 4.0));
+                row.push_back(TextTable::pct(mx));
+                t.addRow(row);
+            }
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 15: network-wide power reduction of network-aware management
+ * relative to network-unaware management, per mechanism, alpha,
+ * topology and network size.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Figure 15 — power savings of network-aware vs. unaware",
+        "Network-wide power reduction. Paper: 11% (small) and 19% "
+        "(big) average\noverall; corresponding I/O power reductions "
+        "17% and 29%.");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf("\n--- %s network study ---\n",
+                    sizeClassName(size));
+        TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
+                     "star", "DDRx-like", "avg"});
+        double overall = 0.0;
+        int cells = 0;
+        for (const Scheme &s : mainSchemes()) {
+            for (double alpha : {2.5, 5.0}) {
+                std::vector<std::string> row = {
+                    s.name, TextTable::pct(alpha / 100, 1)};
+                double sum = 0.0;
+                for (TopologyKind topo : allTopologies()) {
+                    double topo_sum = 0.0;
+                    for (const std::string &wl : workloadNames()) {
+                        const double p_unaware =
+                            runner
+                                .get(makeConfig(wl, topo, size, s.mech,
+                                                s.roo, Policy::Unaware,
+                                                alpha))
+                                .totalNetworkPowerW;
+                        const double p_aware =
+                            runner
+                                .get(makeConfig(wl, topo, size, s.mech,
+                                                s.roo, Policy::Aware,
+                                                alpha))
+                                .totalNetworkPowerW;
+                        topo_sum += 1.0 - p_aware / p_unaware;
+                    }
+                    const double avg = topo_sum / 14.0;
+                    row.push_back(TextTable::pct(avg));
+                    sum += avg;
+                    overall += avg;
+                    ++cells;
+                }
+                row.push_back(TextTable::pct(sum / 4.0));
+                t.addRow(row);
+            }
+        }
+        t.print();
+        std::printf("overall average reduction vs. unaware: %.1f%%\n",
+                    overall / cells * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 17: (left) average performance overhead of network-aware
+ * versus network-unaware management; (right) maximum performance
+ * overhead of network-aware management versus full-power networks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Figure 17 — performance overheads of network-aware management",
+        "Paper: aware costs only 0.2%/0.3% average throughput vs. "
+        "unaware at\nalpha=2.5%/5%; maximum overhead vs. full power is "
+        "5.9% across 672 runs.");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf(
+            "\n--- %s network study: avg overhead aware vs. unaware "
+            "---\n",
+            sizeClassName(size));
+        TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
+                     "star", "DDRx-like", "avg"});
+        for (const Scheme &s : mainSchemes()) {
+            for (double alpha : {2.5, 5.0}) {
+                std::vector<std::string> row = {
+                    s.name, TextTable::pct(alpha / 100, 1)};
+                double sum = 0.0;
+                for (TopologyKind topo : allTopologies()) {
+                    double topo_sum = 0.0;
+                    for (const std::string &wl : workloadNames()) {
+                        const double p_un =
+                            runner
+                                .get(makeConfig(wl, topo, size, s.mech,
+                                                s.roo, Policy::Unaware,
+                                                alpha))
+                                .readsPerSec;
+                        const double p_aw =
+                            runner
+                                .get(makeConfig(wl, topo, size, s.mech,
+                                                s.roo, Policy::Aware,
+                                                alpha))
+                                .readsPerSec;
+                        topo_sum += 1.0 - p_aw / p_un;
+                    }
+                    const double avg = topo_sum / 14.0;
+                    row.push_back(TextTable::pct(avg));
+                    sum += avg;
+                }
+                row.push_back(TextTable::pct(sum / 4.0));
+                t.addRow(row);
+            }
+        }
+        t.print();
+
+        std::printf(
+            "\n--- %s network study: max overhead aware vs. full power "
+            "---\n",
+            sizeClassName(size));
+        TextTable m({"scheme", "alpha", "daisychain", "ternary tree",
+                     "star", "DDRx-like"});
+        double global_max = -1.0;
+        for (const Scheme &s : mainSchemes()) {
+            for (double alpha : {2.5, 5.0}) {
+                std::vector<std::string> row = {
+                    s.name, TextTable::pct(alpha / 100, 1)};
+                for (TopologyKind topo : allTopologies()) {
+                    double mx = -1.0;
+                    for (const std::string &wl : workloadNames()) {
+                        mx = std::max(
+                            mx, runner.degradation(makeConfig(
+                                    wl, topo, size, s.mech, s.roo,
+                                    Policy::Aware, alpha)));
+                    }
+                    row.push_back(TextTable::pct(mx));
+                    global_max = std::max(global_max, mx);
+                }
+                m.addRow(row);
+            }
+        }
+        m.print();
+        std::printf("maximum overhead vs. full power: %.1f%% "
+                    "(paper: 5.9%%)\n",
+                    global_max * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 5: average power breakdown of an HMC in a full-power network,
+ * per topology, for the small and big network studies. Each cell is
+ * the workload-average of the six components.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner("Figure 5 — average power breakdown per HMC (W)",
+                "Full-power networks, averaged over the 14 workloads.\n"
+                "Paper: ~1.8-2.0 W/HMC small study, ~2.4-2.6 W/HMC big "
+                "study;\nidle I/O is the dominant component "
+                "everywhere.");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf("\n--- %s network study ---\n",
+                    sizeClassName(size));
+        TextTable t({"topology", "Idle I/O", "Active I/O", "Logic leak",
+                     "Logic dyn", "DRAM leak", "DRAM dyn", "total",
+                     "idleIO/total"});
+        PowerBreakdown avg_all{};
+        double idle_frac_weighted = 0.0;
+        for (TopologyKind topo : allTopologies()) {
+            PowerBreakdown acc{};
+            double idle_over_total = 0.0;
+            for (const std::string &wl : workloadNames()) {
+                const RunResult &r = runner.get(
+                    makeConfig(wl, topo, size, BwMechanism::None, false,
+                               Policy::FullPower));
+                acc.idleIoW += r.perHmc.idleIoW;
+                acc.activeIoW += r.perHmc.activeIoW;
+                acc.logicLeakW += r.perHmc.logicLeakW;
+                acc.logicDynW += r.perHmc.logicDynW;
+                acc.dramLeakW += r.perHmc.dramLeakW;
+                acc.dramDynW += r.perHmc.dramDynW;
+                idle_over_total += r.idleIoFrac;
+            }
+            const double n = workloadNames().size();
+            acc = acc.scaled(1.0 / n);
+            idle_over_total /= n;
+            t.addRow({topologyName(topo), TextTable::fmt(acc.idleIoW),
+                      TextTable::fmt(acc.activeIoW),
+                      TextTable::fmt(acc.logicLeakW),
+                      TextTable::fmt(acc.logicDynW),
+                      TextTable::fmt(acc.dramLeakW),
+                      TextTable::fmt(acc.dramDynW),
+                      TextTable::fmt(acc.totalW()),
+                      TextTable::pct(idle_over_total)});
+            avg_all.idleIoW += acc.idleIoW / 4;
+            avg_all.activeIoW += acc.activeIoW / 4;
+            avg_all.logicLeakW += acc.logicLeakW / 4;
+            avg_all.logicDynW += acc.logicDynW / 4;
+            avg_all.dramLeakW += acc.dramLeakW / 4;
+            avg_all.dramDynW += acc.dramDynW / 4;
+            idle_frac_weighted += idle_over_total / 4;
+        }
+        t.addRow({"avg", TextTable::fmt(avg_all.idleIoW),
+                  TextTable::fmt(avg_all.activeIoW),
+                  TextTable::fmt(avg_all.logicLeakW),
+                  TextTable::fmt(avg_all.logicDynW),
+                  TextTable::fmt(avg_all.dramLeakW),
+                  TextTable::fmt(avg_all.dramDynW),
+                  TextTable::fmt(avg_all.totalW()),
+                  TextTable::pct(idle_frac_weighted)});
+        t.print();
+
+        const double io_share =
+            (avg_all.idleIoW + avg_all.activeIoW) / avg_all.totalW();
+        std::printf("I/O share of total network power: %.0f%% "
+                    "(paper: ~73%% average)\n",
+                    io_share * 100);
+    }
+    return 0;
+}

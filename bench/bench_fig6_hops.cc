@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 6: average number of modules traversed per memory access, per
+ * workload, for each topology and network size.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Figure 6 — modules traversed per memory access",
+        "Per workload and topology; small (4 GB/HMC) and big (1 GB/HMC) "
+        "studies.\nPaper: daisy chains traverse the most modules; trees "
+        "the fewest;\nbig networks multiply every hop count.");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf("\n--- %s network study ---\n",
+                    sizeClassName(size));
+        TextTable t({"workload", "daisychain", "ternary tree", "star",
+                     "DDRx-like"});
+        double avg[4] = {0, 0, 0, 0};
+        for (const std::string &wl : workloadNames()) {
+            std::vector<std::string> row = {wl};
+            int i = 0;
+            for (TopologyKind topo : allTopologies()) {
+                const RunResult &r = runner.get(
+                    makeConfig(wl, topo, size, BwMechanism::None,
+                               false, Policy::FullPower));
+                row.push_back(
+                    TextTable::fmt(r.avgModulesTraversed, 2));
+                avg[i++] += r.avgModulesTraversed;
+            }
+            t.addRow(row);
+        }
+        std::vector<std::string> row = {"avg"};
+        for (int i = 0; i < 4; ++i)
+            row.push_back(TextTable::fmt(avg[i] / 14.0, 2));
+        t.addRow(row);
+        t.print();
+    }
+    return 0;
+}

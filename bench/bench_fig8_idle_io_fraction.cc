@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 8: idle I/O power as a fraction of total network power, per
+ * workload, topology and network size (full-power networks).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Figure 8 — idle I/O power / total network power",
+        "Full-power networks. Paper: 53% average for the small study,\n"
+        "67% for the big study; above 50% even for the busiest "
+        "workload (mixB).");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf("\n--- %s network study ---\n",
+                    sizeClassName(size));
+        TextTable t({"workload", "daisychain", "ternary tree", "star",
+                     "DDRx-like"});
+        double avg_all = 0.0;
+        for (const std::string &wl : workloadNames()) {
+            std::vector<std::string> row = {wl};
+            for (TopologyKind topo : allTopologies()) {
+                const RunResult &r = runner.get(
+                    makeConfig(wl, topo, size, BwMechanism::None,
+                               false, Policy::FullPower));
+                row.push_back(TextTable::pct(r.idleIoFrac));
+                avg_all += r.idleIoFrac;
+            }
+            t.addRow(row);
+        }
+        t.print();
+        std::printf("average over all cells: %.0f%%\n",
+                    avg_all / (14 * 4) * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 9: average channel utilization (the processor-facing full
+ * link) and average link utilization (over every link in the network),
+ * per workload, topology and size. The gap between the two — traffic
+ * attenuation — is why idle I/O power stays high even when the channel
+ * is busy.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace memnet;
+    using namespace memnet::bench;
+
+    printBanner(
+        "Figure 9 — channel vs. average link utilization",
+        "Full-power networks. Paper: 43% average channel utilization; "
+        "link\nutilization far below channel utilization in every "
+        "topology.");
+
+    Runner runner;
+
+    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+        std::printf("\n--- %s network study ---\n",
+                    sizeClassName(size));
+        TextTable t({"workload", "chan:daisy", "link:daisy",
+                     "chan:ternary", "link:ternary", "chan:star",
+                     "link:star", "chan:ddrx", "link:ddrx"});
+        double chan_avg = 0.0, link_avg = 0.0;
+        for (const std::string &wl : workloadNames()) {
+            std::vector<std::string> row = {wl};
+            for (TopologyKind topo : allTopologies()) {
+                const RunResult &r = runner.get(
+                    makeConfig(wl, topo, size, BwMechanism::None,
+                               false, Policy::FullPower));
+                row.push_back(TextTable::pct(r.channelUtil, 0));
+                row.push_back(TextTable::pct(r.avgLinkUtil, 0));
+                chan_avg += r.channelUtil;
+                link_avg += r.avgLinkUtil;
+            }
+            t.addRow(row);
+        }
+        t.print();
+        std::printf("averages: channel %.0f%%, link %.0f%%\n",
+                    chan_avg / (14 * 4) * 100,
+                    link_avg / (14 * 4) * 100);
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate: event
+ * kernel throughput, link serialization, vault service, delay-monitor
+ * and end-to-end simulation cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dram/vault.hh"
+#include "memnet/simulator.hh"
+#include "mgmt/delay_monitor.hh"
+#include "net/link.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace memnet;
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(ns(i), [] {});
+        benchmark::DoNotOptimize(eq.run());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+struct SwallowSink : public PacketSink
+{
+    void accept(Packet *pkt, Tick) override { delete pkt; }
+};
+
+void
+BM_LinkPacketTransfer(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        RooConfig roo;
+        SwallowSink sink;
+        Link link(eq, 0, LinkType::Request, 0,
+                  &ModeTable::forMechanism(BwMechanism::None), &roo,
+                  1.17, &sink);
+        for (int i = 0; i < 500; ++i) {
+            Packet *p = new Packet;
+            p->type = PacketType::ReadResp;
+            p->flits = 5;
+            link.enqueue(p);
+        }
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_LinkPacketTransfer);
+
+void
+BM_VaultReads(benchmark::State &state)
+{
+    DramParams params;
+    for (auto _ : state) {
+        EventQueue eq;
+        Vault vault(eq, params, [](std::uint64_t, bool, Tick) {});
+        for (int i = 0; i < 200; ++i)
+            vault.push({static_cast<std::uint64_t>(i) * 64 * 32, true,
+                        static_cast<std::uint64_t>(i)});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_VaultReads);
+
+void
+BM_DelayMonitorArrival(benchmark::State &state)
+{
+    DelayMonitor m;
+    Tick t = 0;
+    for (auto _ : state) {
+        m.arrival(t, 5);
+        t += ns(10);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DelayMonitorArrival);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Small;
+    cfg.warmup = us(20);
+    cfg.measure = us(100);
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    for (auto _ : state) {
+        const RunResult r = runSimulation(cfg);
+        benchmark::DoNotOptimize(r.totalNetworkPowerW);
+        state.counters["events"] =
+            static_cast<double>(r.eventsFired);
+    }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * memnet_run — command-line front end for single simulation runs.
+ *
+ *   ./memnet_run --workload mixB --topology star --size big \
+ *                --mech vwl --roo --policy aware --alpha 5 \
+ *                --report summary,power,modules
+ *
+ * Flags (all optional):
+ *   --workload <name>      one of the 14 profiles        [mixA]
+ *   --topology <t>         daisychain|ternary|star|ddrx  [star]
+ *   --size <s>             small|big                     [small]
+ *   --mech <m>             none|vwl|dvfs                 [none]
+ *   --roo                  enable rapid on/off           [off]
+ *   --wakeup-ns <n>        ROO wakeup latency            [14]
+ *   --policy <p>           fp|unaware|aware|static       [fp]
+ *   --alpha <pct>          allowable memory slowdown     [5]
+ *   --measure-us <n>       measurement window            [400]
+ *   --seed <n>             run seed                      [1]
+ *   --fer <p>              flit error rate (CRC retry)   [0]
+ *   --report <list>        summary,power,modules,links   [summary]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "memnet/report.hh"
+#include "memnet/simulator.hh"
+
+namespace
+{
+
+using namespace memnet;
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "memnet_run: %s (see the header comment for "
+                         "flags)\n",
+                 msg);
+    std::exit(2);
+}
+
+TopologyKind
+parseTopology(const std::string &v)
+{
+    if (v == "daisychain")
+        return TopologyKind::DaisyChain;
+    if (v == "ternary")
+        return TopologyKind::TernaryTree;
+    if (v == "star")
+        return TopologyKind::Star;
+    if (v == "ddrx")
+        return TopologyKind::DdrxLike;
+    usage("unknown topology");
+}
+
+BwMechanism
+parseMech(const std::string &v)
+{
+    if (v == "none")
+        return BwMechanism::None;
+    if (v == "vwl")
+        return BwMechanism::Vwl;
+    if (v == "dvfs")
+        return BwMechanism::Dvfs;
+    usage("unknown mechanism");
+}
+
+Policy
+parsePolicy(const std::string &v)
+{
+    if (v == "fp")
+        return Policy::FullPower;
+    if (v == "unaware")
+        return Policy::Unaware;
+    if (v == "aware")
+        return Policy::Aware;
+    if (v == "static")
+        return Policy::StaticTaper;
+    usage("unknown policy");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixA";
+    cfg.topology = TopologyKind::Star;
+    std::string report = "summary";
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage("missing flag value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--workload") {
+            cfg.workload = need(i);
+        } else if (a == "--topology") {
+            cfg.topology = parseTopology(need(i));
+        } else if (a == "--size") {
+            cfg.sizeClass = need(i) == std::string("big")
+                                ? SizeClass::Big
+                                : SizeClass::Small;
+        } else if (a == "--mech") {
+            cfg.mechanism = parseMech(need(i));
+        } else if (a == "--roo") {
+            cfg.roo = true;
+        } else if (a == "--wakeup-ns") {
+            cfg.rooWakeupPs = ns(std::atol(need(i).c_str()));
+        } else if (a == "--policy") {
+            cfg.policy = parsePolicy(need(i));
+        } else if (a == "--alpha") {
+            cfg.alphaPct = std::atof(need(i).c_str());
+        } else if (a == "--measure-us") {
+            cfg.measure = us(std::atol(need(i).c_str()));
+        } else if (a == "--seed") {
+            cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (a == "--fer") {
+            cfg.linkFlitErrorRate = std::atof(need(i).c_str());
+        } else if (a == "--interleave") {
+            cfg.interleavePages = true;
+        } else if (a == "--report") {
+            report = need(i);
+        } else if (a == "--help" || a == "-h") {
+            usage("help requested");
+        } else {
+            usage(("unknown flag: " + a).c_str());
+        }
+    }
+    if (cfg.policy == Policy::StaticTaper)
+        cfg.interleavePages = true;
+
+    const RunResult r = runSimulation(cfg);
+
+    const bool all = report.find("all") != std::string::npos;
+    if (all || report.find("summary") != std::string::npos)
+        printRunSummary(r);
+    if (all || report.find("power") != std::string::npos) {
+        std::printf("\n");
+        printPowerBreakdown(r);
+    }
+    if (all || report.find("modules") != std::string::npos) {
+        std::printf("\n");
+        printModuleReport(r);
+    }
+    if (all || report.find("links") != std::string::npos) {
+        std::printf("\n");
+        printLinkHours(r);
+    }
+    return 0;
+}

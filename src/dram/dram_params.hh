@@ -1,0 +1,63 @@
+/**
+ * @file
+ * HMC DRAM array parameters (Table I of the paper).
+ */
+
+#ifndef MEMNET_DRAM_DRAM_PARAMS_HH
+#define MEMNET_DRAM_DRAM_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+/** Timing and organization of one HMC's DRAM stack. */
+struct DramParams
+{
+    /** Capacity per HMC in bytes (4 GB). */
+    std::uint64_t capacityBytes = 4ULL << 30;
+    /** Vaults per HMC. */
+    int vaults = 32;
+    /** Banks per vault (not specified by Table I; HMC gen2-like). */
+    int banksPerVault = 8;
+    /** Vault data rate: x32 at 2 Gbps -> 8 GB/s per vault. */
+    double vaultBytesPerSec = 32.0 / 8.0 * 2.0e9;
+    /** Request buffer entries per vault. */
+    int bufferEntries = 16;
+    /** Cache line / access granularity. */
+    int lineBytes = 64;
+
+    // Close-page timing (Table I), all in ns.
+    Tick tCL = ns(11);
+    Tick tRCD = ns(11);
+    Tick tRAS = ns(22);
+    Tick tRP = ns(11);
+    Tick tRRD = ns(5);
+    Tick tWR = ns(12);
+
+    /** Data burst time for one line: 64 B at 8 GB/s = 8 ns. */
+    Tick
+    burstTime() const
+    {
+        return static_cast<Tick>(lineBytes / vaultBytesPerSec * 1e12 +
+                                 0.5);
+    }
+
+    /**
+     * Close-page read latency through the array: ACT->RD (tRCD) +
+     * RD->data (tCL) + burst. 30 ns with Table I values; this is the
+     * constant the management hardware uses when accounting DRAM
+     * latency (Section V-A).
+     */
+    Tick
+    readAccessLatency() const
+    {
+        return tRCD + tCL + burstTime();
+    }
+};
+
+} // namespace memnet
+
+#endif // MEMNET_DRAM_DRAM_PARAMS_HH

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Passive power/performance state of one unidirectional link.
+ *
+ * Owns the bandwidth mode (VWL/DVFS operating point), the in-flight mode
+ * transition if any, and the ROO on/off/waking state. It is passive:
+ * the owning Link passes in the current tick and drives wake/sleep
+ * timing with its own events; this keeps the state machine unit-testable
+ * without an event queue.
+ *
+ * Modeling choices (documented in DESIGN.md): during a mode transition
+ * the link keeps operating at the *lower* of the two bandwidths while
+ * drawing the *higher* of the two powers, for the mechanism's published
+ * transition latency (1 us VWL, 3 us DVFS).
+ */
+
+#ifndef MEMNET_LINKPM_LINK_POWER_STATE_HH
+#define MEMNET_LINKPM_LINK_POWER_STATE_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "linkpm/modes.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+/** ROO on/off/waking state of a link. */
+enum class RooState : std::uint8_t
+{
+    On,
+    Off,
+    Waking,
+};
+
+class LinkPowerState
+{
+  public:
+    LinkPowerState(const ModeTable *table, const RooConfig *roo)
+        : table_(table), roo_(roo)
+    {
+        memnet_assert(table && roo, "null link power config");
+        rooModeIdx_ = roo->enabled ? roo->fullModeIndex() : 0;
+    }
+
+    // -- Bandwidth mode -------------------------------------------------
+
+    /** Currently selected (target) mode index. */
+    std::size_t modeIndex() const { return modeIdx_; }
+
+    const LinkMode &mode() const { return table_->mode(modeIdx_); }
+
+    /**
+     * Select a new bandwidth mode. If it differs from the current one, a
+     * transition starts at @p now and completes after the mechanism's
+     * transition latency.
+     * @return the tick at which the transition completes (now if none).
+     */
+    Tick
+    setMode(Tick now, std::size_t idx)
+    {
+        memnet_assert(idx < table_->size(), "mode index out of range");
+        if (idx == modeIdx_)
+            return std::max(now, transEnd_);
+        prevModeIdx_ = effectiveModeIdx(now);
+        modeIdx_ = idx;
+        transEnd_ = now + table_->transitionPs();
+        return transEnd_;
+    }
+
+    /** True while a mode transition is in flight. */
+    bool inTransition(Tick now) const { return now < transEnd_; }
+
+    Tick transitionEnd() const { return transEnd_; }
+
+    /** Effective flit serialization time at @p now. */
+    Tick
+    flitTime(Tick now) const
+    {
+        const double bw = effectiveBwFrac(now);
+        return static_cast<Tick>(
+            static_cast<double>(LinkTiming::kFullFlitPs) / bw + 0.5);
+    }
+
+    /** Effective SERDES latency at @p now. */
+    Tick
+    serdes(Tick now) const
+    {
+        const LinkMode &a = table_->mode(modeIdx_);
+        if (!inTransition(now))
+            return a.serdesPs;
+        const LinkMode &b = table_->mode(prevModeIdx_);
+        return std::max(a.serdesPs, b.serdesPs);
+    }
+
+    /** Power fraction drawn while the link is on, at @p now. */
+    double
+    onPowerFrac(Tick now) const
+    {
+        const LinkMode &a = table_->mode(modeIdx_);
+        if (!inTransition(now))
+            return a.powerFrac;
+        const LinkMode &b = table_->mode(prevModeIdx_);
+        return std::max(a.powerFrac, b.powerFrac);
+    }
+
+    // -- ROO --------------------------------------------------------------
+
+    bool rooEnabled() const { return roo_->enabled; }
+
+    RooState rooState() const { return rooState_; }
+
+    /** Selected ROO mode (index into thresholds). */
+    std::size_t rooModeIndex() const { return rooModeIdx_; }
+
+    void
+    setRooMode(std::size_t idx)
+    {
+        memnet_assert(idx < roo_->thresholdsPs.size(), "bad ROO mode");
+        rooModeIdx_ = idx;
+    }
+
+    /** Idleness threshold of the current ROO mode. */
+    Tick idleThreshold() const { return roo_->thresholdsPs[rooModeIdx_]; }
+
+    /** Index of the "full power" ROO mode (largest threshold). */
+    std::size_t rooFullModeIndex() const { return roo_->fullModeIndex(); }
+
+    Tick wakeupLatency() const { return roo_->wakeupPs; }
+
+    /** Enter the off state (only valid when on). */
+    void
+    turnOff()
+    {
+        memnet_assert(rooState_ == RooState::On, "turnOff while not on");
+        rooState_ = RooState::Off;
+    }
+
+    /**
+     * Begin waking an off link.
+     * @return the tick at which the link is usable.
+     */
+    Tick
+    beginWake(Tick now)
+    {
+        memnet_assert(rooState_ == RooState::Off, "wake while not off");
+        rooState_ = RooState::Waking;
+        wakeEnd_ = now + roo_->wakeupPs;
+        return wakeEnd_;
+    }
+
+    /** Complete a wake (owner calls at the tick beginWake returned). */
+    void
+    finishWake()
+    {
+        memnet_assert(rooState_ == RooState::Waking, "not waking");
+        rooState_ = RooState::On;
+    }
+
+    Tick wakeEnd() const { return wakeEnd_; }
+
+    /** Instantaneous power fraction including ROO state, at @p now. */
+    double
+    powerFrac(Tick now) const
+    {
+        if (rooState_ == RooState::Off)
+            return roo_->offPowerFrac;
+        // A waking link already draws full on-state power.
+        return onPowerFrac(now);
+    }
+
+  private:
+    std::size_t
+    effectiveModeIdx(Tick now) const
+    {
+        if (!inTransition(now))
+            return modeIdx_;
+        // During a transition the slower of the two modes applies.
+        return table_->mode(modeIdx_).bwFrac <
+                       table_->mode(prevModeIdx_).bwFrac
+                   ? modeIdx_
+                   : prevModeIdx_;
+    }
+
+    double
+    effectiveBwFrac(Tick now) const
+    {
+        return table_->mode(effectiveModeIdx(now)).bwFrac;
+    }
+
+    const ModeTable *table_;
+    const RooConfig *roo_;
+    std::size_t modeIdx_ = 0;
+    std::size_t prevModeIdx_ = 0;
+    Tick transEnd_ = 0;
+    RooState rooState_ = RooState::On;
+    std::size_t rooModeIdx_ = 0;
+    Tick wakeEnd_ = 0;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_LINKPM_LINK_POWER_STATE_HH

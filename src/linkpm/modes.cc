@@ -1,0 +1,51 @@
+#include "linkpm/modes.hh"
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+// The tables are function-local statics so construction order is safe.
+
+const ModeTable &
+ModeTable::forMechanism(BwMechanism m)
+{
+    static const ModeTable none(
+        BwMechanism::None,
+        {{"full", 1.0, 1.0, LinkTiming::kSerdesPs, 16}}, 0);
+
+    // VWL: power is (lanes + 1)/17 of full; SERDES latency unchanged;
+    // 1 us to change the number of active lanes [17].
+    static const ModeTable vwl(
+        BwMechanism::Vwl,
+        {{"16-lane", 16.0 / 16, 17.0 / 17, LinkTiming::kSerdesPs, 16},
+         {"8-lane", 8.0 / 16, 9.0 / 17, LinkTiming::kSerdesPs, 8},
+         {"4-lane", 4.0 / 16, 5.0 / 17, LinkTiming::kSerdesPs, 4},
+         {"1-lane", 1.0 / 16, 2.0 / 17, LinkTiming::kSerdesPs, 1}},
+        us(1));
+
+    // DVFS: 100/80/50/14% bandwidth at 0/30/65/92% power reduction [16].
+    // SERDES is clocked by the I/O clock, so its latency scales with the
+    // inverse frequency ratio; the 14% mode is one 8-lane bundle at Vmin
+    // (frequency ratio 0.14 * 16/8 = 0.28). Bundle-staged voltage
+    // scaling takes up to 3 us total.
+    static const ModeTable dvfs(
+        BwMechanism::Dvfs,
+        {{"dvfs-100", 1.00, 1.00, LinkTiming::kSerdesPs, 16},
+         {"dvfs-80", 0.80, 0.70, nsf(3.2 / 0.80), 16},
+         {"dvfs-50", 0.50, 0.35, nsf(3.2 / 0.50), 16},
+         {"dvfs-14", 0.14, 0.08, nsf(3.2 / 0.28), 8}},
+        us(3));
+
+    switch (m) {
+      case BwMechanism::None:
+        return none;
+      case BwMechanism::Vwl:
+        return vwl;
+      case BwMechanism::Dvfs:
+        return dvfs;
+    }
+    memnet_panic("unknown mechanism");
+}
+
+} // namespace memnet

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Top-level run configuration and result types — the library's public
+ * entry surface together with Simulator.
+ */
+
+#ifndef MEMNET_MEMNET_CONFIG_HH
+#define MEMNET_MEMNET_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linkpm/modes.hh"
+#include "net/topology.hh"
+#include "power/power_breakdown.hh"
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+/** Network scale study: how much address space each module serves. */
+enum class SizeClass
+{
+    Small, ///< 4 GB per HMC (the paper's small network study)
+    Big,   ///< 1 GB per HMC (the paper's big network study)
+};
+
+const char *sizeClassName(SizeClass s);
+
+/** Which management policy runs on top of the link mechanisms. */
+enum class Policy
+{
+    FullPower,   ///< no management: links always on at full bandwidth
+    Unaware,     ///< Section V
+    Aware,       ///< Section VI
+    StaticTaper, ///< Section VII-A (static fat/tapered tree)
+};
+
+const char *policyName(Policy p);
+
+/**
+ * Ablation switches for the network-aware manager (Section VI). All on
+ * by default; the ablation benches turn them off one at a time.
+ */
+struct AwareFeatures
+{
+    /** ISP scatter/gather iterations (the paper caps at three). */
+    int ispIterations = 3;
+    /** Apply the QD/QF congestion discount (Section VI-C). */
+    bool congestionDiscount = true;
+    /** Coordinate response-link wakeups along the path (Section VI-B). */
+    bool wakeCoordination = true;
+    /** Back mid-epoch violations with the leftover-AMS grant pool. */
+    bool grantPool = true;
+
+    bool
+    operator==(const AwareFeatures &o) const
+    {
+        return ispIterations == o.ispIterations &&
+               congestionDiscount == o.congestionDiscount &&
+               wakeCoordination == o.wakeCoordination &&
+               grantPool == o.grantPool;
+    }
+};
+
+/** Everything needed to reproduce one simulation run. */
+struct SystemConfig
+{
+    TopologyKind topology = TopologyKind::DaisyChain;
+    SizeClass sizeClass = SizeClass::Small;
+    std::string workload = "ua.D";
+
+    BwMechanism mechanism = BwMechanism::None;
+    bool roo = false;
+    Tick rooWakeupPs = ns(14);
+    /** I/O power attribution variant (see power/hmc_power_model.hh). */
+    IoAttribution ioAttribution = IoAttribution::PerEnd;
+    /** Flit corruption probability (CRC retry model; 0 = clean links). */
+    double linkFlitErrorRate = 0.0;
+
+    Policy policy = Policy::FullPower;
+    double alphaPct = 5.0;
+    Tick epochLen = us(100);
+    AwareFeatures aware;
+
+    /** Page-interleaved address mapping (static-taper comparison). */
+    bool interleavePages = false;
+
+    Tick warmup = us(100);
+    Tick measure = us(400);
+    std::uint64_t seed = 1;
+
+    int cores = 16;
+    int maxReadsPerCore = 12;
+    int maxWritesPerCore = 32;
+
+    /** Bytes of address space served by one module. */
+    std::uint64_t
+    chunkBytes() const
+    {
+        return sizeClass == SizeClass::Small ? (4ULL << 30)
+                                             : (1ULL << 30);
+    }
+
+    /** Short human-readable description. */
+    std::string describe() const;
+};
+
+/** Utilization-bucket edges for the Figure 13 link-hours breakdown. */
+constexpr int kUtilBuckets = 5;
+extern const char *const kUtilBucketNames[kUtilBuckets];
+
+/** Lane-mode groups reported in Figure 13 (16/8/4/1 lanes). */
+constexpr int kLaneModes = 4;
+
+/** Per-module measurement detail (for reports and examples). */
+struct ModuleDetail
+{
+    int id = 0;
+    bool highRadix = false;
+    int hopDistance = 1;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t flitsRouted = 0;
+    double requestLinkUtil = 0.0;
+    double responseLinkUtil = 0.0;
+    /** Time-weighted average power fraction of the two links. */
+    double requestLinkPowerFrac = 1.0;
+    double responseLinkPowerFrac = 1.0;
+};
+
+/** Measured outputs of one run. */
+struct RunResult
+{
+    SystemConfig config;
+    int numModules = 0;
+
+    /** Average power of one HMC, split like Figure 5. */
+    PowerBreakdown perHmc;
+    double totalNetworkPowerW = 0.0;
+    double idleIoFrac = 0.0; ///< idle I/O / total network power
+
+    /** Performance: completed reads per second of simulated time. */
+    double readsPerSec = 0.0;
+    double avgReadLatencyNs = 0.0;
+
+    double channelUtil = 0.0;
+    double avgLinkUtil = 0.0;
+    double avgModulesTraversed = 0.0;
+
+    std::uint64_t completedReads = 0;
+    std::uint64_t violations = 0;
+
+    /** link-seconds[util bucket][lane mode] (Figure 13). */
+    std::array<std::array<double, kLaneModes>, kUtilBuckets> linkHours{};
+
+    /** Events fired / wall time, for the harness log. */
+    std::uint64_t eventsFired = 0;
+
+    /** Per-module measurement detail. */
+    std::vector<ModuleDetail> modules;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_MEMNET_CONFIG_HH

@@ -1,0 +1,170 @@
+#include "memnet/experiment.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/log.hh"
+#include "workload/profile.hh"
+
+namespace memnet
+{
+
+const std::vector<TopologyKind> &
+allTopologies()
+{
+    static const std::vector<TopologyKind> v = {
+        TopologyKind::DaisyChain, TopologyKind::TernaryTree,
+        TopologyKind::Star, TopologyKind::DdrxLike};
+    return v;
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> v = [] {
+        std::vector<std::string> names;
+        for (const WorkloadProfile &w : allWorkloads())
+            names.push_back(w.name);
+        return names;
+    }();
+    return v;
+}
+
+std::string
+Runner::key(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    os << cfg.workload << '|' << static_cast<int>(cfg.topology) << '|'
+       << static_cast<int>(cfg.sizeClass) << '|'
+       << static_cast<int>(cfg.mechanism) << '|' << cfg.roo << '|'
+       << cfg.rooWakeupPs << '|' << static_cast<int>(cfg.policy) << '|'
+       << cfg.alphaPct << '|' << cfg.epochLen << '|'
+       << cfg.interleavePages << '|' << cfg.warmup << '|' << cfg.measure
+       << '|' << cfg.seed << '|' << cfg.cores << '|'
+       << cfg.maxReadsPerCore << '|' << cfg.maxWritesPerCore << '|'
+       << static_cast<int>(cfg.ioAttribution) << '|'
+       << cfg.linkFlitErrorRate << '|'
+       << cfg.aware.ispIterations << cfg.aware.congestionDiscount
+       << cfg.aware.wakeCoordination << cfg.aware.grantPool;
+    return os.str();
+}
+
+SystemConfig
+Runner::fullPowerBaseline(SystemConfig cfg)
+{
+    cfg.policy = Policy::FullPower;
+    cfg.mechanism = BwMechanism::None;
+    cfg.roo = false;
+    cfg.interleavePages = false;
+    return cfg;
+}
+
+const RunResult &
+Runner::get(const SystemConfig &cfg)
+{
+    const std::string k = key(cfg);
+    auto it = cache.find(k);
+    if (it != cache.end())
+        return it->second;
+    RunResult r = runSimulation(cfg);
+    ++executed;
+    if (verbose) {
+        std::fprintf(stderr, "  [run %3d] %-40s P=%6.2fW perf=%8.3g\n",
+                     executed, cfg.describe().c_str(),
+                     r.totalNetworkPowerW, r.readsPerSec);
+    }
+    return cache.emplace(k, std::move(r)).first->second;
+}
+
+double
+Runner::degradation(const SystemConfig &cfg)
+{
+    const RunResult &base = get(fullPowerBaseline(cfg));
+    const RunResult &r = get(cfg);
+    if (base.readsPerSec <= 0.0)
+        return 0.0;
+    return 1.0 - r.readsPerSec / base.readsPerSec;
+}
+
+double
+Runner::powerReduction(const SystemConfig &cfg)
+{
+    const RunResult &base = get(fullPowerBaseline(cfg));
+    const RunResult &r = get(cfg);
+    if (base.totalNetworkPowerW <= 0.0)
+        return 0.0;
+    return 1.0 - r.totalNetworkPowerW / base.totalNetworkPowerW;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    memnet_assert(cells.size() == headers_.size(),
+                  "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+void
+TextTable::print() const
+{
+    std::vector<std::size_t> w(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        w[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            w[c] = std::max(w[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string out;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out += "  ";
+            // Left-align the first column, right-align the rest.
+            const std::size_t pad = w[c] - cells[c].size();
+            if (c == 0) {
+                out += cells[c] + std::string(pad, ' ');
+            } else {
+                out += std::string(pad, ' ') + cells[c];
+            }
+        }
+        std::printf("%s\n", out.c_str());
+    };
+
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < w.size(); ++c)
+        total += w[c] + (c ? 2 : 0);
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+printBanner(const std::string &title, const std::string &subtitle)
+{
+    std::printf("\n=== %s ===\n%s\n\n", title.c_str(), subtitle.c_str());
+}
+
+} // namespace memnet

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment sweep utilities shared by the bench binaries: a memoizing
+ * runner (full-power baselines are reused across figures), standard
+ * sweep lists, and an aligned-column table printer.
+ */
+
+#ifndef MEMNET_MEMNET_EXPERIMENT_HH
+#define MEMNET_MEMNET_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memnet/config.hh"
+#include "memnet/simulator.hh"
+
+namespace memnet
+{
+
+/** The four evaluated topologies, in the paper's order. */
+const std::vector<TopologyKind> &allTopologies();
+
+/** The fourteen workload names, in the paper's order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Memoizing simulation runner. Results are cached per canonical config
+ * key for the lifetime of the process, so a bench can freely re-request
+ * baselines.
+ */
+class Runner
+{
+  public:
+    /** Run (or fetch) the simulation for @p cfg. */
+    const RunResult &get(const SystemConfig &cfg);
+
+    /** Canonical cache key. */
+    static std::string key(const SystemConfig &cfg);
+
+    /** Same config with management and mechanisms stripped. */
+    static SystemConfig fullPowerBaseline(SystemConfig cfg);
+
+    /**
+     * Throughput degradation of @p cfg versus its full-power baseline
+     * (positive = slower).
+     */
+    double degradation(const SystemConfig &cfg);
+
+    /** Network power reduction of @p cfg versus its baseline. */
+    double powerReduction(const SystemConfig &cfg);
+
+    /** Runs executed so far (not counting cache hits). */
+    int runsExecuted() const { return executed; }
+
+    /** Emit one progress line per fresh run to stderr. */
+    bool verbose = false;
+
+  private:
+    std::map<std::string, RunResult> cache;
+    int executed = 0;
+};
+
+/** Simple aligned-column text table, matching the paper's figures. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format helpers. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for a bench. */
+void printBanner(const std::string &title, const std::string &subtitle);
+
+} // namespace memnet
+
+#endif // MEMNET_MEMNET_EXPERIMENT_HH

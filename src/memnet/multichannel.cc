@@ -1,0 +1,184 @@
+#include "memnet/multichannel.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "dram/dram_params.hh"
+#include "mgmt/aware.hh"
+#include "mgmt/manager.hh"
+#include "mgmt/static_taper.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "workload/processor.hh"
+
+namespace memnet
+{
+
+const char *
+channelSpreadName(ChannelSpread s)
+{
+    return s == ChannelSpread::InterleaveLines ? "interleave"
+                                               : "partition";
+}
+
+namespace
+{
+
+/** Fans injected packets out over the channels, remapping addresses
+ *  into each channel's local space. */
+class ChannelSwitch : public TrafficTarget
+{
+  public:
+    ChannelSwitch(std::vector<Network *> nets, ChannelSpread spread,
+                  std::uint64_t total_bytes)
+        : nets(std::move(nets)), spread(spread)
+    {
+        partBytes =
+            (total_bytes + this->nets.size() - 1) / this->nets.size();
+        // Keep partitions line-aligned.
+        partBytes = (partBytes + 63) & ~std::uint64_t{63};
+    }
+
+    void
+    inject(Packet *pkt) override
+    {
+        const std::uint64_t c_count = nets.size();
+        std::uint64_t c, local;
+        if (spread == ChannelSpread::InterleaveLines) {
+            const std::uint64_t line = pkt->addr / 64;
+            c = line % c_count;
+            local = (line / c_count) * 64;
+        } else {
+            c = std::min(pkt->addr / partBytes, c_count - 1);
+            local = pkt->addr - c * partBytes;
+        }
+        pkt->addr = local;
+        nets[c]->inject(pkt);
+    }
+
+  private:
+    std::vector<Network *> nets;
+    ChannelSpread spread;
+    std::uint64_t partBytes;
+};
+
+} // namespace
+
+MultiChannelResult
+runMultiChannel(const MultiChannelConfig &mcfg)
+{
+    const SystemConfig &cfg = mcfg.base;
+    if (mcfg.channels < 1)
+        memnet_fatal("need at least one channel");
+
+    const WorkloadProfile &profile = workloadByName(cfg.workload);
+    const std::uint64_t total = profile.footprintBytes();
+    const std::uint64_t per_channel =
+        (total + mcfg.channels - 1) / mcfg.channels;
+    const int modules_per_channel = static_cast<int>(std::max<
+        std::uint64_t>(
+        1, (per_channel + cfg.chunkBytes() - 1) / cfg.chunkBytes()));
+
+    DramParams dram;
+    RooConfig roo;
+    roo.enabled = cfg.roo;
+    roo.wakeupPs = cfg.rooWakeupPs;
+    HmcPowerModel pm;
+    EventQueue eq;
+
+    std::vector<std::unique_ptr<Network>> nets;
+    std::vector<std::unique_ptr<PowerManager>> mgrs;
+    std::vector<std::unique_ptr<StaticTaperManager>> tapers;
+    std::vector<Network *> net_ptrs;
+
+    Topology topo =
+        Topology::build(cfg.topology, modules_per_channel);
+    topo.validate();
+
+    for (int c = 0; c < mcfg.channels; ++c) {
+        AddressMap amap;
+        amap.chunkBytes = cfg.chunkBytes();
+        amap.interleavePages = cfg.interleavePages;
+        amap.modules = modules_per_channel;
+        nets.push_back(std::make_unique<Network>(
+            eq, topo, dram, cfg.mechanism, roo, pm, amap));
+        net_ptrs.push_back(nets.back().get());
+    }
+
+    ChannelSwitch sw(net_ptrs, mcfg.spread, total);
+
+    ProcessorParams pp;
+    pp.cores = cfg.cores;
+    pp.maxReadsPerCore = cfg.maxReadsPerCore;
+    pp.maxWritesPerCore = cfg.maxWritesPerCore;
+    pp.seed = cfg.seed;
+    pp.rateScale = mcfg.channels;
+    Processor proc(eq, sw, profile, pp);
+    for (auto &n : nets)
+        n->setHost(&proc);
+
+    ManagerParams mp;
+    mp.alphaPct = cfg.alphaPct;
+    mp.epochLen = cfg.epochLen;
+    for (auto &n : nets) {
+        switch (cfg.policy) {
+          case Policy::FullPower:
+            break;
+          case Policy::Unaware:
+            mgrs.push_back(std::make_unique<UnawareManager>(
+                *n, cfg.mechanism, roo, mp));
+            break;
+          case Policy::Aware: {
+            AwareOptions opts;
+            opts.ispIterations = cfg.aware.ispIterations;
+            opts.congestionDiscount = cfg.aware.congestionDiscount;
+            opts.wakeCoordination = cfg.aware.wakeCoordination;
+            opts.grantPool = cfg.aware.grantPool;
+            mgrs.push_back(std::make_unique<AwareManager>(
+                *n, cfg.mechanism, roo, mp, opts));
+            break;
+          }
+          case Policy::StaticTaper:
+            tapers.push_back(std::make_unique<StaticTaperManager>(
+                *n, cfg.mechanism));
+            tapers.back()->apply();
+            break;
+        }
+    }
+    for (auto &m : mgrs)
+        m->start(0);
+
+    proc.start(0);
+    eq.runUntil(cfg.warmup);
+    for (auto &n : nets)
+        n->resetStats();
+    proc.resetStats();
+    const Tick end = cfg.warmup + cfg.measure;
+    eq.runUntil(end);
+
+    MultiChannelResult r;
+    r.config = mcfg;
+    const double secs = toSeconds(cfg.measure);
+    for (auto &n : nets) {
+        const EnergyBreakdown e = n->collectEnergy(end);
+        const PowerBreakdown p = PowerBreakdown::fromEnergy(e, secs);
+        r.channelPower.push_back(p);
+        r.totalPowerW += p.totalW();
+        r.channelModules.push_back(n->numModules());
+        r.totalModules += n->numModules();
+        const double util =
+            0.5 * (n->requestLink(0).utilization(secs) +
+                   n->responseLink(0).utilization(secs));
+        r.channelUtil.push_back(util);
+    }
+    double idle = 0.0;
+    for (const PowerBreakdown &p : r.channelPower)
+        idle += p.idleIoW;
+    r.idleIoFrac = r.totalPowerW > 0 ? idle / r.totalPowerW : 0.0;
+    r.readsPerSec =
+        static_cast<double>(proc.completedReads()) / secs;
+    return r;
+}
+
+} // namespace memnet

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-channel memory networks — the inter-channel study the paper
+ * explicitly leaves to future work (Section III-C).
+ *
+ * A processor drives several physically independent memory networks
+ * ("channels"). Addresses are distributed across channels either by
+ * line interleaving (the conventional balanced scheme the paper cites
+ * [13]) or by contiguous partitioning (which concentrates a workload's
+ * hot head in few channels and lets entire cold channels idle — the
+ * channel-scale analogue of the paper's consolidation argument in
+ * Section VII-A).
+ */
+
+#ifndef MEMNET_MEMNET_MULTICHANNEL_HH
+#define MEMNET_MEMNET_MULTICHANNEL_HH
+
+#include <vector>
+
+#include "memnet/config.hh"
+
+namespace memnet
+{
+
+/** How the physical address space spreads over channels. */
+enum class ChannelSpread
+{
+    InterleaveLines, ///< line i -> channel i % C
+    Partition,       ///< contiguous 1/C of the space per channel
+};
+
+const char *channelSpreadName(ChannelSpread s);
+
+/** Configuration: a per-channel SystemConfig plus the channel count. */
+struct MultiChannelConfig
+{
+    /** Per-channel network/policy settings (workload, topology, ...). */
+    SystemConfig base;
+    int channels = 4;
+    ChannelSpread spread = ChannelSpread::InterleaveLines;
+};
+
+/** Aggregate and per-channel results. */
+struct MultiChannelResult
+{
+    MultiChannelConfig config;
+    /** Whole-system totals. */
+    double totalPowerW = 0.0;
+    double readsPerSec = 0.0;
+    double idleIoFrac = 0.0;
+    int totalModules = 0;
+    /** Per-channel summaries. */
+    std::vector<PowerBreakdown> channelPower;
+    std::vector<double> channelUtil;
+    std::vector<int> channelModules;
+};
+
+/** Build, run and measure a multi-channel system. */
+MultiChannelResult runMultiChannel(const MultiChannelConfig &cfg);
+
+} // namespace memnet
+
+#endif // MEMNET_MEMNET_MULTICHANNEL_HH

@@ -1,0 +1,90 @@
+#include "memnet/report.hh"
+
+#include <cstdio>
+
+#include "memnet/experiment.hh"
+
+namespace memnet
+{
+
+void
+printRunSummary(const RunResult &r)
+{
+    std::printf("run: %s\n", r.config.describe().c_str());
+    std::printf("  modules: %d   network power: %.2f W "
+                "(%.2f W per HMC, %.0f%% idle I/O)\n",
+                r.numModules, r.totalNetworkPowerW, r.perHmc.totalW(),
+                r.idleIoFrac * 100);
+    std::printf("  throughput: %.1f M reads/s   avg read latency: "
+                "%.0f ns\n",
+                r.readsPerSec / 1e6, r.avgReadLatencyNs);
+    std::printf("  channel util: %.0f%%   avg link util: %.0f%%   "
+                "modules/access: %.2f\n",
+                r.channelUtil * 100, r.avgLinkUtil * 100,
+                r.avgModulesTraversed);
+    if (r.violations)
+        std::printf("  AMS violations: %llu\n",
+                    static_cast<unsigned long long>(r.violations));
+}
+
+void
+printModuleReport(const RunResult &r)
+{
+    TextTable t({"module", "radix", "hops", "DRAM accesses",
+                 "flits routed", "req util", "resp util", "req power",
+                 "resp power"});
+    for (const ModuleDetail &m : r.modules) {
+        t.addRow({std::to_string(m.id), m.highRadix ? "high" : "low",
+                  std::to_string(m.hopDistance),
+                  std::to_string(m.dramAccesses),
+                  std::to_string(m.flitsRouted),
+                  TextTable::pct(m.requestLinkUtil),
+                  TextTable::pct(m.responseLinkUtil),
+                  TextTable::pct(m.requestLinkPowerFrac, 0),
+                  TextTable::pct(m.responseLinkPowerFrac, 0)});
+    }
+    t.print();
+}
+
+void
+printPowerBreakdown(const RunResult &r)
+{
+    TextTable t({"component", "W per HMC", "share"});
+    const double total = r.perHmc.totalW();
+    auto row = [&](const char *name, double w) {
+        t.addRow({name, TextTable::fmt(w),
+                  TextTable::pct(total > 0 ? w / total : 0)});
+    };
+    row("Idle I/O", r.perHmc.idleIoW);
+    row("Active I/O", r.perHmc.activeIoW);
+    row("Logic leakage", r.perHmc.logicLeakW);
+    row("Logic dynamic", r.perHmc.logicDynW);
+    row("DRAM leakage", r.perHmc.dramLeakW);
+    row("DRAM dynamic", r.perHmc.dramDynW);
+    row("total", total);
+    t.print();
+}
+
+void
+printLinkHours(const RunResult &r)
+{
+    double total = 0;
+    for (const auto &bucket : r.linkHours)
+        for (double v : bucket)
+            total += v;
+    if (total <= 0) {
+        std::printf("(no link-hour data)\n");
+        return;
+    }
+    TextTable t({"utilization", "16 lanes", "8 lanes", "4 lanes",
+                 "1 lane"});
+    for (int b = 0; b < kUtilBuckets; ++b) {
+        std::vector<std::string> row = {kUtilBucketNames[b]};
+        for (int l = 0; l < kLaneModes; ++l)
+            row.push_back(TextTable::pct(r.linkHours[b][l] / total));
+        t.addRow(row);
+    }
+    t.print();
+}
+
+} // namespace memnet

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Human-readable run reports built from RunResult, used by the example
+ * applications and handy for downstream users exploring a design.
+ */
+
+#ifndef MEMNET_MEMNET_REPORT_HH
+#define MEMNET_MEMNET_REPORT_HH
+
+#include <string>
+
+#include "memnet/config.hh"
+
+namespace memnet
+{
+
+/** One-paragraph summary: power, performance, utilization. */
+void printRunSummary(const RunResult &r);
+
+/** Per-module table: radix, hops, traffic, link state. */
+void printModuleReport(const RunResult &r);
+
+/** Figure-5-style component breakdown of one run. */
+void printPowerBreakdown(const RunResult &r);
+
+/** The Figure-13-style link-hours matrix of one run. */
+void printLinkHours(const RunResult &r);
+
+} // namespace memnet
+
+#endif // MEMNET_MEMNET_REPORT_HH

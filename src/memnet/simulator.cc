@@ -1,0 +1,271 @@
+#include "memnet/simulator.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "dram/dram_params.hh"
+#include "mgmt/aware.hh"
+#include "mgmt/manager.hh"
+#include "mgmt/static_taper.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "workload/processor.hh"
+
+namespace memnet
+{
+
+const char *
+sizeClassName(SizeClass s)
+{
+    return s == SizeClass::Small ? "small" : "big";
+}
+
+const char *
+policyName(Policy p)
+{
+    switch (p) {
+      case Policy::FullPower:
+        return "FP";
+      case Policy::Unaware:
+        return "unaware";
+      case Policy::Aware:
+        return "aware";
+      case Policy::StaticTaper:
+        return "static";
+    }
+    return "?";
+}
+
+const char *const kUtilBucketNames[kUtilBuckets] = {
+    "0-1%", "1-5%", "5-10%", "10-20%", "20-100%"};
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << workload << "/" << topologyName(topology) << "/"
+       << sizeClassName(sizeClass) << "/" << policyName(policy);
+    return os.str();
+}
+
+namespace
+{
+
+/** Utilization bucket index for Figure 13. */
+int
+utilBucket(double u)
+{
+    if (u < 0.01)
+        return 0;
+    if (u < 0.05)
+        return 1;
+    if (u < 0.10)
+        return 2;
+    if (u < 0.20)
+        return 3;
+    return 4;
+}
+
+/** Map a bandwidth-mode index to the 16/8/4/1-lane reporting group. */
+int
+laneGroup(BwMechanism mech, std::size_t mode_idx)
+{
+    // VWL modes map directly; DVFS modes are grouped by their closest
+    // bandwidth equivalent; mechanism None is always "16 lanes".
+    if (mech == BwMechanism::None)
+        return 0;
+    return static_cast<int>(std::min<std::size_t>(mode_idx, 3));
+}
+
+/** Scale the default simulated window via MEMNET_SIM_US if set. */
+Tick
+scaledMeasure(Tick configured)
+{
+    if (const char *env = std::getenv("MEMNET_SIM_US")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return us(v);
+    }
+    return configured;
+}
+
+} // namespace
+
+class SimulatorImpl
+{
+  public:
+    explicit SimulatorImpl(const SystemConfig &cfg) : cfg(cfg) {}
+
+    RunResult
+    run()
+    {
+        const WorkloadProfile &profile = workloadByName(cfg.workload);
+        const int n = profile.modulesFor(cfg.chunkBytes());
+
+        Topology topo = Topology::build(cfg.topology, n);
+        topo.validate();
+
+        DramParams dram;
+        RooConfig roo;
+        roo.enabled = cfg.roo;
+        roo.wakeupPs = cfg.rooWakeupPs;
+
+        AddressMap amap;
+        amap.chunkBytes = cfg.chunkBytes();
+        amap.interleavePages = cfg.interleavePages;
+        amap.modules = n;
+
+        HmcPowerModel pm(cfg.ioAttribution);
+        LinkErrorModel errors;
+        errors.flitErrorRate = cfg.linkFlitErrorRate;
+        EventQueue eq;
+        Network net(eq, topo, dram, cfg.mechanism, roo, pm, amap,
+                    errors);
+
+        ProcessorParams pp;
+        pp.cores = cfg.cores;
+        pp.maxReadsPerCore = cfg.maxReadsPerCore;
+        pp.maxWritesPerCore = cfg.maxWritesPerCore;
+        pp.seed = cfg.seed;
+        Processor proc(eq, net, profile, pp);
+
+        std::unique_ptr<PowerManager> mgr;
+        std::unique_ptr<StaticTaperManager> taper;
+        ManagerParams mp;
+        mp.alphaPct = cfg.alphaPct;
+        mp.epochLen = cfg.epochLen;
+        switch (cfg.policy) {
+          case Policy::FullPower:
+            break;
+          case Policy::Unaware:
+            mgr = std::make_unique<UnawareManager>(net, cfg.mechanism,
+                                                   roo, mp);
+            break;
+          case Policy::Aware: {
+            AwareOptions opts;
+            opts.ispIterations = cfg.aware.ispIterations;
+            opts.congestionDiscount = cfg.aware.congestionDiscount;
+            opts.wakeCoordination = cfg.aware.wakeCoordination;
+            opts.grantPool = cfg.aware.grantPool;
+            mgr = std::make_unique<AwareManager>(net, cfg.mechanism,
+                                                 roo, mp, opts);
+            break;
+          }
+          case Policy::StaticTaper:
+            taper = std::make_unique<StaticTaperManager>(
+                net, cfg.mechanism);
+            taper->apply();
+            break;
+        }
+        if (mgr)
+            mgr->start(0);
+
+        proc.start(0);
+
+        const Tick measure = scaledMeasure(cfg.measure);
+        eq.runUntil(cfg.warmup);
+        net.resetStats();
+        proc.resetStats();
+        const Tick end = cfg.warmup + measure;
+        eq.runUntil(end);
+
+        return collect(eq, net, proc, mgr.get(), measure);
+    }
+
+  private:
+    RunResult
+    collect(EventQueue &eq, Network &net, Processor &proc,
+            PowerManager *mgr, Tick measure)
+    {
+        RunResult r;
+        r.config = cfg;
+        r.numModules = net.numModules();
+        const double secs = toSeconds(measure);
+
+        const EnergyBreakdown e = net.collectEnergy(eq.now());
+        const PowerBreakdown total = PowerBreakdown::fromEnergy(e, secs);
+        r.totalNetworkPowerW = total.totalW();
+        r.perHmc = total.scaled(1.0 / r.numModules);
+        r.idleIoFrac = r.totalNetworkPowerW > 0
+                           ? total.idleIoW / r.totalNetworkPowerW
+                           : 0.0;
+
+        r.completedReads = proc.completedReads();
+        r.readsPerSec = static_cast<double>(r.completedReads) / secs;
+        r.avgReadLatencyNs = proc.avgReadLatencyNs();
+        r.avgModulesTraversed = net.avgModulesTraversed();
+        r.violations = mgr ? mgr->violations() : 0;
+        r.eventsFired = eq.fired();
+
+        const double chan_req =
+            net.requestLink(0).utilization(secs);
+        const double chan_resp =
+            net.responseLink(0).utilization(secs);
+        r.channelUtil = 0.5 * (chan_req + chan_resp);
+
+        double util_sum = 0.0;
+        int links = 0;
+        for (Link *l : net.allLinks()) {
+            const double u = l->utilization(secs);
+            util_sum += u;
+            ++links;
+            const int b = utilBucket(u);
+            const LinkStats &ls = l->stats();
+            for (std::size_t k = 0; k < ls.modeSeconds.size(); ++k) {
+                if (ls.modeSeconds[k] <= 0.0)
+                    continue;
+                r.linkHours[b][laneGroup(cfg.mechanism, k)] +=
+                    ls.modeSeconds[k];
+            }
+        }
+        r.avgLinkUtil = links ? util_sum / links : 0.0;
+
+        const double link_full_w = net.powerModel().linkFullPowerW();
+        for (int m = 0; m < net.numModules(); ++m) {
+            const Module &mod = net.module(m);
+            ModuleDetail d;
+            d.id = m;
+            d.highRadix = mod.radix() == Radix::High;
+            d.hopDistance = net.topology().hopDistance(m);
+            d.dramAccesses = mod.dramAccesses();
+            d.flitsRouted = mod.flitsRouted();
+            d.requestLinkUtil = net.requestLink(m).utilization(secs);
+            d.responseLinkUtil = net.responseLink(m).utilization(secs);
+            auto power_frac = [&](const Link &l) {
+                const LinkStats &ls = l.stats();
+                return secs > 0 ? (ls.idleIoJ + ls.activeIoJ) /
+                                      (link_full_w * secs)
+                                : 1.0;
+            };
+            d.requestLinkPowerFrac = power_frac(net.requestLink(m));
+            d.responseLinkPowerFrac = power_frac(net.responseLink(m));
+            r.modules.push_back(d);
+        }
+        return r;
+    }
+
+    SystemConfig cfg;
+};
+
+Simulator::Simulator(const SystemConfig &cfg)
+    : impl(std::make_unique<SimulatorImpl>(cfg))
+{
+}
+
+Simulator::~Simulator() = default;
+
+RunResult
+Simulator::run()
+{
+    return impl->run();
+}
+
+RunResult
+runSimulation(const SystemConfig &cfg)
+{
+    return Simulator(cfg).run();
+}
+
+} // namespace memnet

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simulator: builds a full system from a SystemConfig, runs it, and
+ * returns a RunResult. This is the primary public API of the library.
+ *
+ * Typical use:
+ * @code
+ *   memnet::SystemConfig cfg;
+ *   cfg.topology = memnet::TopologyKind::Star;
+ *   cfg.workload = "mixB";
+ *   cfg.mechanism = memnet::BwMechanism::Vwl;
+ *   cfg.policy = memnet::Policy::Aware;
+ *   memnet::RunResult r = memnet::Simulator(cfg).run();
+ * @endcode
+ */
+
+#ifndef MEMNET_MEMNET_SIMULATOR_HH
+#define MEMNET_MEMNET_SIMULATOR_HH
+
+#include <memory>
+
+#include "memnet/config.hh"
+
+namespace memnet
+{
+
+class SimulatorImpl;
+
+class Simulator
+{
+  public:
+    explicit Simulator(const SystemConfig &cfg);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Run warmup + measurement and collect results. */
+    RunResult run();
+
+  private:
+    std::unique_ptr<SimulatorImpl> impl;
+};
+
+/** Convenience: construct, run, destroy. */
+RunResult runSimulation(const SystemConfig &cfg);
+
+} // namespace memnet
+
+#endif // MEMNET_MEMNET_SIMULATOR_HH

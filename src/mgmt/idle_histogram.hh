@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Idle-interval histogram for ROO latency prediction (RAMZzz-style,
+ * adapted from Wu et al. [21]; Section V-B of the paper).
+ *
+ * One bucket per ROO idleness threshold. At the end of each link idle
+ * interval the bucket of the largest threshold not exceeding the
+ * interval is incremented (and the interval length accumulated, so the
+ * expected off-time of each mode can also be predicted). The predicted
+ * wakeup count of ROO mode r is the number of intervals at least as
+ * long as threshold r.
+ */
+
+#ifndef MEMNET_MGMT_IDLE_HISTOGRAM_HH
+#define MEMNET_MGMT_IDLE_HISTOGRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+class IdleHistogram
+{
+  public:
+    explicit IdleHistogram(std::vector<Tick> thresholds)
+        : thresholds_(std::move(thresholds)),
+          counts(thresholds_.size(), 0),
+          lengthSums(thresholds_.size(), 0)
+    {
+    }
+
+    /** Record a completed idle interval of the given length. */
+    void
+    interval(Tick len)
+    {
+        // Find the largest threshold <= len; shorter intervals would not
+        // have triggered any ROO mode and are not recorded.
+        int best = -1;
+        for (std::size_t i = 0; i < thresholds_.size(); ++i)
+            if (len >= thresholds_[i])
+                best = static_cast<int>(i);
+        if (best < 0)
+            return;
+        ++counts[best];
+        lengthSums[best] += len;
+    }
+
+    /** Predicted wakeups for ROO mode r: intervals >= threshold r. */
+    std::uint64_t
+    wakeups(std::size_t r) const
+    {
+        std::uint64_t w = 0;
+        for (std::size_t i = r; i < counts.size(); ++i)
+            w += counts[i];
+        return w;
+    }
+
+    /**
+     * Predicted time spent off under ROO mode r: for every interval at
+     * least threshold r long, the link would sleep after the threshold
+     * elapsed.
+     */
+    Tick
+    offTime(std::size_t r) const
+    {
+        Tick t = 0;
+        for (std::size_t i = r; i < counts.size(); ++i) {
+            t += lengthSums[i] -
+                 static_cast<Tick>(counts[i]) * thresholds_[r];
+        }
+        return t < 0 ? 0 : t;
+    }
+
+    void
+    resetEpoch()
+    {
+        std::fill(counts.begin(), counts.end(), 0);
+        std::fill(lengthSums.begin(), lengthSums.end(), 0);
+    }
+
+    std::size_t modes() const { return thresholds_.size(); }
+
+  private:
+    std::vector<Tick> thresholds_;
+    std::vector<std::uint64_t> counts;
+    std::vector<Tick> lengthSums;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_MGMT_IDLE_HISTOGRAM_HH

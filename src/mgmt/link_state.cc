@@ -1,0 +1,200 @@
+#include "mgmt/link_state.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+LinkMgmtState::LinkMgmtState(Link &link, const ModeTable &table,
+                             const RooConfig &roo)
+    : link_(link),
+      table_(table),
+      roo_(roo),
+      histogram(roo.enabled ? roo.thresholdsPs : std::vector<Tick>{})
+{
+    monitors.resize(table_.size());
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+        const LinkMode &m = table_.mode(k);
+        const Tick flit = static_cast<Tick>(
+            static_cast<double>(LinkTiming::kFullFlitPs) / m.bwFrac +
+            0.5);
+        monitors[k].configure(flit, m.serdesPs + LinkTiming::kRouterPs);
+    }
+    floBw.assign(table_.size(), 0.0);
+    floRoo.assign(rooModes(), 0.0);
+    offFrac.assign(rooModes(), 0.0);
+    rebuildOrder();
+}
+
+void
+LinkMgmtState::onReadArrival(Tick now, int flits)
+{
+    // Congestion bookkeeping against the full-power virtual queue.
+    while (!fpBacklog.empty() && fpBacklog.front() <= now)
+        fpBacklog.pop_front();
+    const Tick fp_wait = monitors[0].virtualFree() > now
+                             ? monitors[0].virtualFree() - now
+                             : 0;
+    if (fpBacklog.size() >= 3) {
+        ++queuedReads;
+        queueDelayPs += static_cast<double>(fp_wait);
+    }
+
+    for (DelayMonitor &m : monitors)
+        m.arrival(now, flits);
+    fpBacklog.push_back(monitors[0].virtualFree());
+
+    // Wakeup arrival sampler (Section V-B): every 16th read opens a
+    // window one wakeup latency long; later arrivals inside it count.
+    if (sampleWindowEnd >= now) {
+        ++sampleArrivals;
+    } else if (nReads % kSamplePeriod == 0) {
+        sampleWindowEnd = now + roo_.wakeupPs;
+        ++sampleWindows;
+    }
+    ++nReads;
+}
+
+void
+LinkMgmtState::onReadDeparture(Tick arrival, Tick now)
+{
+    actualPs += static_cast<double>(now - arrival);
+}
+
+void
+LinkMgmtState::onIdleInterval(Tick len)
+{
+    if (roo_.enabled)
+        histogram.interval(len);
+}
+
+void
+LinkMgmtState::epochEnd(Tick epoch_len)
+{
+    lastEpochLen = epoch_len;
+
+    const double full = monitors[0].aggregateLatencyPs();
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+        floBw[k] =
+            std::max(0.0, monitors[k].aggregateLatencyPs() - full);
+    }
+
+    if (roo_.enabled) {
+        const double avg_arrivals =
+            sampleWindows
+                ? static_cast<double>(sampleArrivals) /
+                      static_cast<double>(sampleWindows)
+                : 0.0;
+        // Average latency overhead per wakeup: the wake latency itself
+        // plus the wake latency inflicted on each read that arrives
+        // while waking; request links additionally account for the
+        // amplified response-link queue they can create (Section V-B).
+        double per_wake =
+            static_cast<double>(roo_.wakeupPs) * (1.0 + avg_arrivals);
+        if (link_.type() == LinkType::Request) {
+            per_wake +=
+                static_cast<double>(roo_.wakeupPs) * avg_arrivals;
+        }
+        const std::uint64_t base_wakeups =
+            histogram.wakeups(roo_.fullModeIndex());
+        for (std::size_t r = 0; r < rooModes(); ++r) {
+            const std::uint64_t extra =
+                histogram.wakeups(r) - base_wakeups;
+            floRoo[r] = static_cast<double>(extra) * per_wake;
+            offFrac[r] =
+                std::min(1.0, static_cast<double>(histogram.offTime(r)) /
+                                  static_cast<double>(epoch_len));
+        }
+    }
+
+    rebuildOrder();
+
+    lastQdPs = queueDelayPs;
+    lastQf = queuedFraction();
+
+    // Reset the in-epoch counters (running sums live in the manager).
+    for (DelayMonitor &m : monitors)
+        m.resetEpoch();
+    histogram.resetEpoch();
+    actualPs = 0.0;
+    nReads = 0;
+    sampleWindowEnd = -1;
+    sampleWindows = 0;
+    sampleArrivals = 0;
+    queueDelayPs = 0.0;
+    queuedReads = 0;
+    forcedFullPower = false;
+    grantsUsed = 0;
+}
+
+double
+LinkMgmtState::flo(const Combo &c) const
+{
+    double f = floBw[c.bw];
+    if (roo_.enabled)
+        f += floRoo[c.roo];
+    return f;
+}
+
+double
+LinkMgmtState::predictedPowerFrac(const Combo &c) const
+{
+    const double on = table_.mode(c.bw).powerFrac;
+    if (!roo_.enabled)
+        return on;
+    const double off = offFrac[c.roo];
+    return on * (1.0 - off) + roo_.offPowerFrac * off;
+}
+
+void
+LinkMgmtState::rebuildOrder()
+{
+    ordered.clear();
+    for (std::size_t b = 0; b < bwModes(); ++b)
+        for (std::size_t r = 0; r < rooModes(); ++r)
+            ordered.push_back(Combo{b, r});
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [this](const Combo &a, const Combo &b) {
+                         return predictedPowerFrac(a) <
+                                predictedPowerFrac(b);
+                     });
+}
+
+Combo
+LinkMgmtState::bestCombo(double ams_ps, bool bw_only) const
+{
+    const std::size_t full_roo = fullCombo().roo;
+    for (const Combo &c : ordered) {
+        if (bw_only && c.roo != full_roo)
+            continue;
+        if (flo(c) <= ams_ps)
+            return c;
+    }
+    return fullCombo();
+}
+
+bool
+LinkMgmtState::nextLowerPower(const Combo &c, Combo *out,
+                              bool bw_only) const
+{
+    // "Next lower power" = the next-cheaper combo in predicted power.
+    const std::size_t full_roo = fullCombo().roo;
+    const Combo *prev = nullptr;
+    for (const Combo &o : ordered) {
+        if (bw_only && o.roo != full_roo)
+            continue;
+        if (o == c) {
+            if (!prev)
+                return false;
+            *out = *prev;
+            return true;
+        }
+        prev = &o;
+    }
+    return false;
+}
+
+} // namespace memnet

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Epoch-based memory-network power management (Sections V and VI).
+ *
+ * PowerManager is the shared epoch machinery: it observes every link
+ * and module through hardware-counter-equivalent state, computes the
+ * per-epoch full-power (FEL) and actual (AEL) aggregate read latencies,
+ * enforces the allowable-memory-slowdown (AMS) budget via violation
+ * feedback, and applies the selected link power modes at epoch
+ * boundaries. Concrete policies supply redistribute():
+ *
+ *  - UnawareManager (Section V): every module independently turns its
+ *    own Equation-1 balance into AMS and splits it equally over its two
+ *    connectivity links.
+ *  - AwareManager (Section VI): Iterative Slowdown Propagation
+ *    redistributes the network-level AMS so busier links never sit at
+ *    lower power modes than less-busy ones, hides response-link wakeup
+ *    latency behind DRAM accesses, and discounts latency hidden behind
+ *    congested upstream response links.
+ */
+
+#ifndef MEMNET_MGMT_MANAGER_HH
+#define MEMNET_MGMT_MANAGER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mgmt/link_state.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+
+/** Shared manager tunables. */
+struct ManagerParams
+{
+    /** AMS factor in percent (the paper evaluates 2.5 and 5). */
+    double alphaPct = 5.0;
+    Tick epochLen = us(100);
+};
+
+class PowerManager : public LinkObserver, public ModuleObserver
+{
+  public:
+    PowerManager(Network &net, BwMechanism mech, const RooConfig &roo,
+                 const ManagerParams &params);
+    ~PowerManager() override;
+
+    /** Attach observers and schedule epoch processing from @p at. */
+    void start(Tick at);
+
+    // -- LinkObserver ------------------------------------------------------
+
+    void onEnqueue(Link &l, Packet &pkt, Tick now) override;
+    void onDepart(Link &l, Packet &pkt, Tick now) override;
+    void onIdleEnd(Link &l, Tick idle_start, Tick now) override;
+
+    // -- ModuleObserver ---------------------------------------------------
+
+    void onDramRead(Module &m, Tick now) override;
+
+    /** Total AMS violations seen (for tests/diagnostics). */
+    std::uint64_t violations() const { return nViolations; }
+
+    /** Epochs processed. */
+    std::uint64_t epochs() const { return nEpochs; }
+
+    LinkMgmtState &requestState(int m) { return *states[m]; }
+    LinkMgmtState &responseState(int m)
+    {
+        return *states[numModules + m];
+    }
+
+  protected:
+    /** Per-module Equation-1 bookkeeping. */
+    struct ModuleState
+    {
+        std::uint64_t lastDramReads = 0;
+        /** This epoch's values (filled at each boundary). */
+        double felPs = 0.0;
+        double aelPs = 0.0;
+        /** Running sums over epochs. */
+        double cumFelPs = 0.0;
+        double cumOverPs = 0.0;
+    };
+
+    /**
+     * Policy hook: assign states[i].amsPs and states[i].selected for
+     * every link. Runs after FEL/AEL accounting and FLO snapshots.
+     */
+    virtual void redistribute(Tick now) = 0;
+
+    /** Policy hook: a link exceeded its AMS mid-epoch. */
+    virtual void handleViolation(LinkMgmtState &s, Tick now);
+
+    /** Policy hook: push the selected combos into the links. */
+    virtual void applySelections(Tick now);
+
+    void epochTick();
+
+    LinkMgmtState &stateOf(const Link &l) { return *states[l.id()]; }
+
+    Network &net;
+    EventQueue &eq;
+    const BwMechanism mech;
+    const RooConfig &roo;
+    const ManagerParams params;
+    const int numModules;
+
+    std::vector<ModuleState> mods;
+    /** Indexed by link id: request links 0..n-1, response n..2n-1. */
+    std::vector<std::unique_ptr<LinkMgmtState>> states;
+
+    Tick dramReadLatencyPs; ///< fixed 30 ns DRAM latency estimate
+
+    std::uint64_t nViolations = 0;
+    std::uint64_t nEpochs = 0;
+
+    MemberEvent<PowerManager, &PowerManager::epochTick> epochEvent{this};
+};
+
+/** Section V: adaptation of prior single-module management. */
+class UnawareManager : public PowerManager
+{
+  public:
+    using PowerManager::PowerManager;
+
+  protected:
+    void redistribute(Tick now) override;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_MGMT_MANAGER_HH

@@ -1,0 +1,58 @@
+#include "mgmt/static_taper.hh"
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+StaticTaperManager::StaticTaperManager(Network &net, BwMechanism mech)
+    : net(net), table(ModeTable::forMechanism(mech))
+{
+}
+
+std::vector<double>
+StaticTaperManager::taperFractions(const Topology &topo)
+{
+    // S(x): links whose downstream module sits at hop distance x; every
+    // module has exactly one upstream full link, so S(x) is the number
+    // of modules at depth x.
+    const std::vector<int> s = topo.modulesPerHop();
+    const double total = topo.numModules();
+
+    std::vector<double> frac(s.size(), 1.0);
+    double upstream = 0.0; // sum_{i<d} S(i)/T
+    for (std::size_t d = 1; d < s.size(); ++d) {
+        if (s[d] == 0)
+            continue;
+        frac[d] = (1.0 - upstream) / static_cast<double>(s[d]);
+        upstream += static_cast<double>(s[d]) / total;
+    }
+    return frac;
+}
+
+void
+StaticTaperManager::apply()
+{
+    const Topology &topo = net.topology();
+    const std::vector<double> frac = taperFractions(topo);
+
+    modes_.assign(frac.size(), 0);
+    for (std::size_t d = 1; d < frac.size(); ++d) {
+        // Round up to the nearest available bandwidth option: the
+        // lowest-power mode whose bandwidth is still >= the fraction.
+        std::size_t pick = 0;
+        for (std::size_t k = 0; k < table.size(); ++k) {
+            if (table.mode(k).bwFrac >= frac[d])
+                pick = k;
+        }
+        modes_[d] = pick;
+    }
+
+    for (int m = 0; m < topo.numModules(); ++m) {
+        const std::size_t k = modes_[topo.hopDistance(m)];
+        net.requestLink(m).applyModes(k, 0);
+        net.responseLink(m).applyModes(k, 0);
+    }
+}
+
+} // namespace memnet

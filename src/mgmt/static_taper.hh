@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static fat/tapered-tree bandwidth selection (Section VII-A).
+ *
+ * With traffic spread evenly over the modules (page interleaving), link
+ * bandwidth at hop distance d is statically set to
+ *
+ *     (1 - sum_{i<d} S(i)/T) / S(d)
+ *
+ * of maximum bandwidth, where S(x) is the number of links at hop
+ * distance x and T the total number of links, rounded *up* to the
+ * nearest available mode. No dynamics, no latency-overhead control —
+ * this is the baseline the paper contrasts with network-aware
+ * management at alpha = 30%.
+ */
+
+#ifndef MEMNET_MGMT_STATIC_TAPER_HH
+#define MEMNET_MGMT_STATIC_TAPER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hh"
+
+namespace memnet
+{
+
+class StaticTaperManager
+{
+  public:
+    StaticTaperManager(Network &net, BwMechanism mech);
+
+    /** Apply the static selection (call once before traffic starts). */
+    void apply();
+
+    /** Chosen bandwidth mode index per hop distance (for tests). */
+    const std::vector<std::size_t> &modePerHop() const { return modes_; }
+
+    /** The raw tapering fraction per hop distance (before rounding). */
+    static std::vector<double> taperFractions(const Topology &topo);
+
+  private:
+    Network &net;
+    const ModeTable &table;
+    std::vector<std::size_t> modes_;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_MGMT_STATIC_TAPER_HH

@@ -1,0 +1,272 @@
+#include "net/link.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+namespace
+{
+
+/** Observer used when none is attached. */
+LinkObserver nullObserver;
+
+} // namespace
+
+Link::Link(EventQueue &eq, int id, LinkType type, int module,
+           const ModeTable *table, const RooConfig *roo,
+           double full_power_w, PacketSink *sink,
+           const LinkErrorModel *errors)
+    : eq(eq),
+      id_(id),
+      type_(type),
+      module_(module),
+      pstate(table, roo),
+      fullPowerW(full_power_w),
+      sink(sink),
+      observer(&nullObserver),
+      errors_(errors ? *errors : LinkErrorModel{}),
+      errorRng(0x5eed5ULL + static_cast<std::uint64_t>(id),
+               0x1234567ULL)
+{
+    idleStart = eq.now();
+    lastAccrue = eq.now();
+}
+
+void
+Link::setObserver(LinkObserver *obs)
+{
+    observer = obs ? obs : &nullObserver;
+}
+
+void
+Link::accrue(Tick now)
+{
+    memnet_assert(now >= lastAccrue, "link accounting went backwards");
+    if (now == lastAccrue)
+        return;
+    const double dt = toSeconds(now - lastAccrue);
+    // State is constant over [lastAccrue, now): every state change calls
+    // accrue() first, and a checkpoint event fires at transition ends.
+    const double w = fullPowerW * pstate.powerFrac(lastAccrue);
+    if (busy)
+        stats_.activeIoJ += w * dt;
+    else
+        stats_.idleIoJ += w * dt;
+    stats_.modeSeconds[pstate.modeIndex()] += dt;
+    if (pstate.rooState() == RooState::Off)
+        stats_.offSeconds += dt;
+    lastAccrue = now;
+}
+
+void
+Link::resetStats()
+{
+    accrue(eq.now());
+    stats_ = LinkStats{};
+}
+
+void
+Link::enqueue(Packet *pkt)
+{
+    const Tick now = eq.now();
+    pkt->linkArrival = now;
+    if (idle) {
+        observer->onIdleEnd(*this, idleStart, now);
+        idle = false;
+        if (sleepEvent.scheduled())
+            eq.deschedule(&sleepEvent);
+    }
+    if (isReadPacket(pkt->type))
+        readQ.push_back(pkt);
+    else
+        writeQ.push_back(pkt);
+    observer->onEnqueue(*this, *pkt, now);
+    if (pstate.rooState() == RooState::Off)
+        beginWakeInternal(now);
+    tryStart();
+}
+
+void
+Link::tryStart()
+{
+    if (busy)
+        return;
+    const Tick now = eq.now();
+    if (readQ.empty() && writeQ.empty()) {
+        if (!idle) {
+            idle = true;
+            idleStart = now;
+            armSleepTimer();
+        }
+        return;
+    }
+    if (pstate.rooState() != RooState::On)
+        return; // wake in progress; onWakeDone() restarts us
+    if (!readQ.empty()) {
+        current = readQ.front();
+        readQ.pop_front();
+    } else {
+        current = writeQ.front();
+        writeQ.pop_front();
+    }
+    accrue(now);
+    busy = true;
+    const Tick tx_end = now + current->flits * pstate.flitTime(now);
+    eq.schedule(&txDoneEvent, tx_end);
+}
+
+void
+Link::onTxDone()
+{
+    const Tick now = eq.now();
+    memnet_assert(busy && current, "txDone while idle");
+    accrue(now);
+    busy = false;
+
+    stats_.flits += static_cast<std::uint64_t>(current->flits);
+
+    // CRC check at the receiver: a corrupted packet is NAKed and
+    // retransmitted from the retry buffer after the turnaround delay.
+    if (errors_.enabled()) {
+        double p_ok = 1.0;
+        for (int f = 0; f < current->flits; ++f)
+            p_ok *= 1.0 - errors_.flitErrorRate;
+        if (!errorRng.chance(p_ok)) {
+            ++stats_.retries;
+            Packet *retry = current;
+            current = nullptr;
+            eq.schedule(now + errors_.retryDelayPs, [this, retry] {
+                if (isReadPacket(retry->type))
+                    readQ.push_front(retry);
+                else
+                    writeQ.push_front(retry);
+                tryStart();
+            });
+            return;
+        }
+    }
+
+    ++stats_.packets;
+    if (isReadPacket(current->type))
+        ++stats_.readPackets;
+
+    // Last flit still crosses SERDES and the downstream router pipeline.
+    Tick deliver_at = now + pstate.serdes(now) + LinkTiming::kRouterPs;
+    if (!pipe.empty())
+        deliver_at = std::max(deliver_at, pipe.back().second);
+    const bool was_empty = pipe.empty();
+    pipe.emplace_back(current, deliver_at);
+    current = nullptr;
+    if (was_empty)
+        eq.schedule(&deliverEvent, deliver_at);
+
+    tryStart();
+}
+
+void
+Link::onDeliver()
+{
+    memnet_assert(!pipe.empty(), "delivery with empty pipe");
+    auto [pkt, at] = pipe.front();
+    pipe.pop_front();
+    const Tick now = eq.now();
+    observer->onDepart(*this, *pkt, now);
+    if (!pipe.empty())
+        eq.schedule(&deliverEvent, pipe.front().second);
+    sink->accept(pkt, now);
+}
+
+void
+Link::armSleepTimer()
+{
+    if (!pstate.rooEnabled() || pstate.rooState() != RooState::On)
+        return;
+    eq.reschedule(&sleepEvent,
+                  std::max(eq.now(), idleStart + pstate.idleThreshold()));
+}
+
+void
+Link::onSleepTimer()
+{
+    const Tick now = eq.now();
+    if (!idle || pstate.rooState() != RooState::On)
+        return;
+    if (now - idleStart < pstate.idleThreshold()) {
+        // Threshold grew since arming; re-check at the right time.
+        eq.reschedule(&sleepEvent, idleStart + pstate.idleThreshold());
+        return;
+    }
+    if (!observer->maySleep(*this, now))
+        return; // manager will call noteSleepOpportunity() later
+    accrue(now);
+    pstate.turnOff();
+    observer->onSleep(*this, now);
+}
+
+void
+Link::noteSleepOpportunity()
+{
+    if (!idle || !pstate.rooEnabled() ||
+        pstate.rooState() != RooState::On) {
+        return;
+    }
+    const Tick due = idleStart + pstate.idleThreshold();
+    eq.reschedule(&sleepEvent, std::max(eq.now(), due));
+}
+
+void
+Link::beginWakeInternal(Tick now)
+{
+    memnet_assert(pstate.rooState() == RooState::Off, "wake while on");
+    accrue(now);
+    const Tick end = pstate.beginWake(now);
+    observer->onWakeBegin(*this, now);
+    eq.schedule(&wakeEvent, end);
+}
+
+void
+Link::wakeNow()
+{
+    if (pstate.rooState() == RooState::Off)
+        beginWakeInternal(eq.now());
+}
+
+void
+Link::onWakeDone()
+{
+    pstate.finishWake();
+    tryStart();
+    if (readQ.empty() && writeQ.empty() && idle) {
+        // Externally woken with nothing to send: restart the idle clock.
+        idleStart = eq.now();
+        armSleepTimer();
+    }
+}
+
+void
+Link::applyModes(std::size_t bw_idx, std::size_t roo_idx)
+{
+    const Tick now = eq.now();
+    accrue(now);
+    const Tick trans_end = pstate.setMode(now, bw_idx);
+    if (trans_end > now)
+        eq.reschedule(&checkpointEvent, trans_end);
+    if (pstate.rooEnabled()) {
+        pstate.setRooMode(roo_idx);
+        if (idle && pstate.rooState() == RooState::On)
+            armSleepTimer();
+    }
+}
+
+void
+Link::forceFullPower()
+{
+    // Full power is bandwidth mode 0; for ROO links it is the largest
+    // idleness threshold (Section V-B).
+    applyModes(0, pstate.rooEnabled() ? pstate.rooFullModeIndex() : 0);
+}
+
+} // namespace memnet

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * One unidirectional memory-network link and its controller.
+ *
+ * The controller holds separate read/write queues (reads are prioritized,
+ * Section III-B), serializes packets onto the lanes at the current
+ * operating point, applies SERDES and downstream-router latency, and
+ * delivers to a PacketSink. It owns the link's LinkPowerState and the
+ * idle/active energy integration, and publishes every observable event
+ * to a LinkObserver so the management hardware (src/mgmt) can maintain
+ * its counters without any oracle access.
+ */
+
+#ifndef MEMNET_NET_LINK_HH
+#define MEMNET_NET_LINK_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "linkpm/link_power_state.hh"
+#include "linkpm/modes.hh"
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+class Link;
+
+/** Anything that can receive delivered packets. */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+    virtual void accept(Packet *pkt, Tick now) = 0;
+};
+
+/** Request links flow away from the processor; response links toward. */
+enum class LinkType : std::uint8_t
+{
+    Request,
+    Response,
+};
+
+/**
+ * Observation interface for the management hardware. Default
+ * implementation observes nothing and always allows sleep.
+ */
+class LinkObserver
+{
+  public:
+    virtual ~LinkObserver() = default;
+
+    /** A packet entered the link controller queue. */
+    virtual void onEnqueue(Link &, Packet &, Tick) {}
+
+    /** A packet's last flit left the link (pkt.linkArrival is valid). */
+    virtual void onDepart(Link &, Packet &, Tick) {}
+
+    /** An idle interval of the link just ended. */
+    virtual void onIdleEnd(Link &, Tick idle_start, Tick now) {}
+
+    /** May the link turn off now? (network-aware response gating) */
+    virtual bool maySleep(Link &, Tick) { return true; }
+
+    /** The link started its wakeup sequence. */
+    virtual void onWakeBegin(Link &, Tick) {}
+
+    /** The link turned off. */
+    virtual void onSleep(Link &, Tick) {}
+};
+
+/** Per-link accumulated statistics (reset at measurement start). */
+struct LinkStats
+{
+    double idleIoJ = 0.0;
+    double activeIoJ = 0.0;
+    std::uint64_t flits = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t readPackets = 0;
+    /** CRC retransmissions (LinkErrorModel). */
+    std::uint64_t retries = 0;
+    /** Residency seconds per bandwidth-mode index. */
+    std::array<double, 8> modeSeconds{};
+    double offSeconds = 0.0;
+};
+
+class Link
+{
+  public:
+    /**
+     * @param eq event queue.
+     * @param id dense link id (for managers).
+     * @param type request or response.
+     * @param module the module this link is the connectivity link of
+     *        (the downstream module of the pair it connects).
+     * @param table bandwidth mechanism mode table.
+     * @param roo ROO configuration.
+     * @param full_power_w electrical power of this link at full power
+     *        (both ends).
+     * @param sink receiver of delivered packets.
+     */
+    Link(EventQueue &eq, int id, LinkType type, int module,
+         const ModeTable *table, const RooConfig *roo,
+         double full_power_w, PacketSink *sink,
+         const LinkErrorModel *errors = nullptr);
+
+    // -- Traffic ---------------------------------------------------------
+
+    /** Enqueue a packet for transmission. */
+    void enqueue(Packet *pkt);
+
+    /** Queued packets (excluding the one being serialized). */
+    std::size_t queued() const { return readQ.size() + writeQ.size(); }
+
+    bool transmitting() const { return busy; }
+
+    // -- Power control (called by managers) --------------------------------
+
+    /**
+     * Apply a bandwidth mode and a ROO mode. Transitions begin
+     * immediately; energy accounting is exact across the boundary.
+     */
+    void applyModes(std::size_t bw_idx, std::size_t roo_idx);
+
+    /** Force full power until further notice (violation feedback). */
+    void forceFullPower();
+
+    /** Externally initiated wake (network-aware response coordination). */
+    void wakeNow();
+
+    /**
+     * Re-evaluate the sleep opportunity (the manager calls this when its
+     * maySleep() answer may have flipped to true).
+     */
+    void noteSleepOpportunity();
+
+    const LinkPowerState &power() const { return pstate; }
+    LinkPowerState &power() { return pstate; }
+
+    // -- Introspection -----------------------------------------------------
+
+    int id() const { return id_; }
+    LinkType type() const { return type_; }
+    /** The module whose connectivity link this is. */
+    int module() const { return module_; }
+
+    const LinkStats &stats() const { return stats_; }
+
+    /** Reset measurement statistics (start of measurement window). */
+    void resetStats();
+
+    /** Flush energy integration up to @p now (end of run). */
+    void finishAccounting(Tick now) { accrue(now); }
+
+    /** Bytes at full bandwidth the link could move per second. */
+    static double
+    fullBytesPerSec()
+    {
+        return kFlitBytes / toSeconds(LinkTiming::kFullFlitPs);
+    }
+
+    /** Utilization over @p seconds of measured time. */
+    double
+    utilization(double seconds) const
+    {
+        if (seconds <= 0)
+            return 0.0;
+        return static_cast<double>(stats_.flits) * kFlitBytes /
+               (fullBytesPerSec() * seconds);
+    }
+
+    /** Attach a management observer (nullptr restores the no-op one). */
+    void setObserver(LinkObserver *obs);
+
+  private:
+    void tryStart();
+    void onTxDone();
+    void onDeliver();
+    void onSleepTimer();
+    void onWakeDone();
+    void onCheckpoint() { accrue(eq.now()); }
+
+    void accrue(Tick now);
+    void armSleepTimer();
+    void beginWakeInternal(Tick now);
+
+    EventQueue &eq;
+    const int id_;
+    const LinkType type_;
+    const int module_;
+    LinkPowerState pstate;
+    const double fullPowerW;
+    PacketSink *const sink;
+    LinkObserver *observer;
+    LinkErrorModel errors_;
+    Random errorRng;
+
+    std::deque<Packet *> readQ;
+    std::deque<Packet *> writeQ;
+
+    bool busy = false;
+    Packet *current = nullptr;
+
+    /** In-flight deliveries (SERDES + router pipeline). */
+    std::deque<std::pair<Packet *, Tick>> pipe;
+
+    /** When the current idle interval started (valid when idle). */
+    Tick idleStart = 0;
+    bool idle = true;
+
+    /** Energy integration state. */
+    Tick lastAccrue = 0;
+
+    LinkStats stats_;
+
+    MemberEvent<Link, &Link::onTxDone> txDoneEvent{this};
+    MemberEvent<Link, &Link::onDeliver> deliverEvent{this};
+    MemberEvent<Link, &Link::onSleepTimer> sleepEvent{this};
+    MemberEvent<Link, &Link::onWakeDone> wakeEvent{this};
+    MemberEvent<Link, &Link::onCheckpoint> checkpointEvent{this};
+};
+
+} // namespace memnet
+
+#endif // MEMNET_NET_LINK_HH

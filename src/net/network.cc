@@ -1,0 +1,122 @@
+#include "net/network.hh"
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+Network::Network(EventQueue &eq, const Topology &topo,
+                 const DramParams &dram_params, BwMechanism mech,
+                 const RooConfig &roo, const HmcPowerModel &pm,
+                 const AddressMap &amap, const LinkErrorModel &errors)
+    : eq(eq),
+      topo_(topo),
+      dramParams(dram_params),
+      pm_(pm),
+      amap_(amap),
+      roo_(roo),
+      errors_(errors),
+      port(*this)
+{
+    const int n = topo_.numModules();
+    amap_.modules = n;
+
+    modules_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        modules_.push_back(std::make_unique<Module>(
+            *this, eq, i, topo_.radix(i), dramParams));
+    }
+
+    // Every unidirectional link draws the same full power: the per-end
+    // power works out equal for both radix classes (peak power scales
+    // with link count in the [12]-derived model).
+    const double link_w = pm_.linkFullPowerW();
+    const ModeTable &table = ModeTable::forMechanism(mech);
+
+    reqLinks.reserve(n);
+    respLinks.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        // Request link of module i delivers INTO module i.
+        reqLinks.push_back(std::make_unique<Link>(
+            eq, i, LinkType::Request, i, &table, &roo_, link_w,
+            modules_[i].get(), &errors_));
+        // Response link of module i delivers to its parent (or the
+        // processor port for module 0).
+        PacketSink *up = (i == 0)
+                             ? static_cast<PacketSink *>(&port)
+                             : modules_[topo_.parent(i)].get();
+        respLinks.push_back(std::make_unique<Link>(
+            eq, n + i, LinkType::Response, i, &table, &roo_, link_w,
+            up, &errors_));
+    }
+}
+
+Network::~Network() = default;
+
+void
+Network::inject(Packet *pkt)
+{
+    pkt->homeModule = amap_.moduleOf(pkt->addr);
+    pkt->hop = 0;
+    const auto &path = topo_.path(pkt->homeModule);
+    hops.sample(static_cast<double>(path.size()));
+    requestLink(path[0]).enqueue(pkt);
+}
+
+std::vector<Link *>
+Network::allLinks()
+{
+    std::vector<Link *> out;
+    out.reserve(reqLinks.size() + respLinks.size());
+    for (auto &l : reqLinks)
+        out.push_back(l.get());
+    for (auto &l : respLinks)
+        out.push_back(l.get());
+    return out;
+}
+
+void
+Network::resetStats()
+{
+    measureStart = eq.now();
+    hops.reset();
+    for (auto &l : reqLinks)
+        l->resetStats();
+    for (auto &l : respLinks)
+        l->resetStats();
+    for (auto &m : modules_)
+        m->resetStats();
+}
+
+EnergyBreakdown
+Network::collectEnergy(Tick now)
+{
+    EnergyBreakdown e;
+    const double secs = toSeconds(now - measureStart);
+    for (auto *l : allLinks()) {
+        l->finishAccounting(now);
+        e.idleIoJ += l->stats().idleIoJ;
+        e.activeIoJ += l->stats().activeIoJ;
+    }
+    for (auto &m : modules_) {
+        const HmcPowerParams &p = pm_.params(m->radix());
+        e.logicLeakJ += p.idleLogicW * secs;
+        e.dramLeakJ += p.idleDramW * secs;
+        e.logicDynJ +=
+            static_cast<double>(m->flitsRouted()) * p.flitHopJ;
+        e.dramDynJ +=
+            static_cast<double>(m->dramAccesses()) * p.dramAccessJ;
+    }
+    return e;
+}
+
+void
+Network::setObservers(LinkObserver *lo, ModuleObserver *mo)
+{
+    for (auto *l : allLinks())
+        l->setObserver(lo);
+    for (auto &m : modules_)
+        m->setObserver(mo);
+}
+
+} // namespace memnet

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The assembled memory network: topology, modules, links, processor port.
+ */
+
+#ifndef MEMNET_NET_NETWORK_HH
+#define MEMNET_NET_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "linkpm/modes.hh"
+#include "net/link.hh"
+#include "net/module.hh"
+#include "net/topology.hh"
+#include "power/hmc_power_model.hh"
+#include "power/power_breakdown.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace memnet
+{
+
+/**
+ * The processor side of the network: receives read responses and write
+ * retirement notices. Implemented by the workload library's Processor.
+ */
+class EndpointHost
+{
+  public:
+    virtual ~EndpointHost() = default;
+    virtual void readCompleted(Packet *pkt, Tick now) = 0;
+    virtual void writeRetired(Packet *pkt, Tick now) = 0;
+};
+
+/** Anything request packets can be injected into (a Network, or a
+ *  multi-channel switch fanning out over several networks). */
+class TrafficTarget
+{
+  public:
+    virtual ~TrafficTarget() = default;
+    virtual void inject(Packet *pkt) = 0;
+};
+
+/** How addresses map onto modules. */
+struct AddressMap
+{
+    /** Contiguous bytes per module (4 GB small study, 1 GB big study). */
+    std::uint64_t chunkBytes = 4ULL << 30;
+    /** Interleave 4 KB pages round-robin instead (Section VII-A). */
+    bool interleavePages = false;
+    std::uint64_t pageBytes = 4096;
+    int modules = 1;
+
+    int
+    moduleOf(std::uint64_t addr) const
+    {
+        if (interleavePages) {
+            return static_cast<int>((addr / pageBytes) %
+                                    static_cast<unsigned>(modules));
+        }
+        const std::uint64_t m = addr / chunkBytes;
+        return static_cast<int>(
+            m >= static_cast<std::uint64_t>(modules)
+                ? static_cast<std::uint64_t>(modules - 1)
+                : m);
+    }
+};
+
+/**
+ * Owns every module and link of one memory network and injects traffic
+ * from the processor channel.
+ */
+class Network : public TrafficTarget
+{
+  public:
+    Network(EventQueue &eq, const Topology &topo,
+            const DramParams &dram_params, BwMechanism mech,
+            const RooConfig &roo, const HmcPowerModel &pm,
+            const AddressMap &amap,
+            const LinkErrorModel &errors = LinkErrorModel{});
+    ~Network() override;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Attach the processor-side host (must outlive the network). */
+    void setHost(EndpointHost *h) { host_ = h; }
+    EndpointHost *host() const { return host_; }
+
+    /**
+     * Inject a request packet from the processor. The packet's
+     * homeModule is derived from its address here.
+     */
+    void inject(Packet *pkt) override;
+
+    int numModules() const { return topo_.numModules(); }
+    const Topology &topology() const { return topo_; }
+
+    Module &module(int i) { return *modules_[i]; }
+    const Module &module(int i) const { return *modules_[i]; }
+
+    /** Request connectivity link of module m (parent -> m). */
+    Link &requestLink(int m) { return *reqLinks[m]; }
+    /** Response connectivity link of module m (m -> parent). */
+    Link &responseLink(int m) { return *respLinks[m]; }
+    const Link &requestLink(int m) const { return *reqLinks[m]; }
+    const Link &responseLink(int m) const { return *respLinks[m]; }
+
+    /** All links, request links first (ids match indices). */
+    std::vector<Link *> allLinks();
+
+    const AddressMap &addressMap() const { return amap_; }
+    const HmcPowerModel &powerModel() const { return pm_; }
+    const std::vector<int> &pathOf(int m) const { return topo_.path(m); }
+
+    /** Average modules traversed per access since reset. */
+    double avgModulesTraversed() const { return hops.mean(); }
+    std::uint64_t injectedPackets() const { return hops.count(); }
+
+    /** Reset all measurement statistics (start of measure window). */
+    void resetStats();
+
+    /**
+     * Total network energy over the window [reset, now], combining link
+     * I/O energy and module leakage/dynamic energy.
+     */
+    EnergyBreakdown collectEnergy(Tick now);
+
+    /** Attach observers to every link and module. */
+    void setObservers(LinkObserver *lo, ModuleObserver *mo);
+
+    EventQueue &eventQueue() { return eq; }
+
+  private:
+    friend class Module;
+
+    /** Sink adapter delivering module 0's responses to the host. */
+    class ProcessorPort : public PacketSink
+    {
+      public:
+        explicit ProcessorPort(Network &n) : net(n) {}
+        void
+        accept(Packet *pkt, Tick now) override
+        {
+            net.host_->readCompleted(pkt, now);
+        }
+
+      private:
+        Network &net;
+    };
+
+    EventQueue &eq;
+    Topology topo_;
+    DramParams dramParams;
+    const HmcPowerModel &pm_;
+    AddressMap amap_;
+    RooConfig roo_;
+    LinkErrorModel errors_;
+
+    std::vector<std::unique_ptr<Module>> modules_;
+    std::vector<std::unique_ptr<Link>> reqLinks;
+    std::vector<std::unique_ptr<Link>> respLinks;
+    ProcessorPort port;
+    EndpointHost *host_ = nullptr;
+
+    Average hops;
+    Tick measureStart = 0;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_NET_NETWORK_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Packets and flits of the memory network protocol.
+ *
+ * As in the paper (Section II-B): a read request is a single 16 B flit;
+ * write requests and read responses carry five flits (64 B lines).
+ * Writes are posted — no write response packet travels the network.
+ */
+
+#ifndef MEMNET_NET_PACKET_HH
+#define MEMNET_NET_PACKET_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+/** Bytes per flit (minimum traffic flow unit). */
+constexpr int kFlitBytes = 16;
+
+enum class PacketType : std::uint8_t
+{
+    ReadReq,
+    WriteReq,
+    ReadResp,
+};
+
+/** Number of flits for a packet type, assuming 64 B lines. */
+constexpr int
+flitsFor(PacketType t)
+{
+    return t == PacketType::ReadReq ? 1 : 5;
+}
+
+/** True for packets whose latency counts toward read latency budgets. */
+constexpr bool
+isReadPacket(PacketType t)
+{
+    return t != PacketType::WriteReq;
+}
+
+/**
+ * One in-flight packet. Packets are heap-allocated at issue and freed at
+ * retirement; routes are walked with an index into the precomputed
+ * root-to-home module path.
+ */
+struct Packet
+{
+    std::uint64_t id = 0;
+    PacketType type = PacketType::ReadReq;
+    std::uint64_t addr = 0;
+    int homeModule = 0;
+    int core = 0;
+    int flits = 1;
+
+    /** Tick the originating core issued the request. */
+    Tick issued = 0;
+    /** Arrival tick at the current link controller (for counters). */
+    Tick linkArrival = 0;
+
+    /**
+     * Index of the next module along the path. For requests this walks
+     * the root-to-home path forward; for responses, backward.
+     */
+    int hop = 0;
+
+    int bytes() const { return flits * kFlitBytes; }
+};
+
+} // namespace memnet
+
+#endif // MEMNET_NET_PACKET_HH

@@ -1,0 +1,156 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+const char *
+topologyName(TopologyKind k)
+{
+    switch (k) {
+      case TopologyKind::DaisyChain:
+        return "daisychain";
+      case TopologyKind::TernaryTree:
+        return "ternary tree";
+      case TopologyKind::Star:
+        return "star";
+      case TopologyKind::DdrxLike:
+        return "DDRx-like";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Downstream link budget for a radix class (one link goes upstream). */
+int
+downstreamCapacity(Radix r)
+{
+    return r == Radix::High ? 3 : 1;
+}
+
+} // namespace
+
+Topology
+Topology::build(TopologyKind kind, int n)
+{
+    if (n < 1)
+        memnet_fatal("topology needs at least one module");
+
+    Topology t;
+    t.kind_ = kind;
+    t.parent_.assign(n, -1);
+
+    switch (kind) {
+      case TopologyKind::DaisyChain:
+        for (int i = 1; i < n; ++i)
+            t.parent_[i] = i - 1;
+        t.radix_.assign(n, Radix::Low);
+        break;
+
+      case TopologyKind::TernaryTree:
+        // Breadth-first, branching factor 3, all high radix.
+        for (int i = 1; i < n; ++i)
+            t.parent_[i] = (i - 1) / 3;
+        t.radix_.assign(n, Radix::High);
+        break;
+
+      case TopologyKind::Star:
+        // Same minimal-depth shape as the ternary tree, but modules are
+        // promoted to high radix only when they need >= 2 downstream
+        // links; rings of equidistant modules are mostly low radix.
+        for (int i = 1; i < n; ++i)
+            t.parent_[i] = (i - 1) / 3;
+        t.radix_.assign(n, Radix::Low);
+        break;
+
+      case TopologyKind::DdrxLike:
+        // Rows of three: center (high radix) + two sides; centers chain.
+        for (int i = 1; i < n; ++i) {
+            const int row = i / 3;
+            if (i % 3 == 0) {
+                t.parent_[i] = 3 * (row - 1); // previous row's center
+            } else {
+                t.parent_[i] = 3 * row; // own row's center
+            }
+        }
+        t.radix_.assign(n, Radix::Low);
+        break;
+    }
+
+    t.finalize();
+    return t;
+}
+
+void
+Topology::finalize()
+{
+    const int n = numModules();
+    children_.assign(n, {});
+    for (int i = 1; i < n; ++i) {
+        memnet_assert(parent_[i] >= 0 && parent_[i] < i,
+                      "parent must precede child");
+        children_[parent_[i]].push_back(i);
+    }
+
+    // Radix promotion for mixed topologies: any module that needs two or
+    // more downstream links must be high radix.
+    if (kind_ == TopologyKind::Star || kind_ == TopologyKind::DdrxLike) {
+        for (int i = 0; i < n; ++i) {
+            if (static_cast<int>(children_[i].size()) >= 2)
+                radix_[i] = Radix::High;
+        }
+    }
+
+    depth_.assign(n, 0);
+    paths_.assign(n, {});
+    for (int i = 0; i < n; ++i) {
+        depth_[i] = (i == 0) ? 1 : depth_[parent_[i]] + 1;
+        if (i == 0) {
+            paths_[i] = {0};
+        } else {
+            paths_[i] = paths_[parent_[i]];
+            paths_[i].push_back(i);
+        }
+    }
+}
+
+std::vector<int>
+Topology::modulesPerHop() const
+{
+    int max_d = 0;
+    for (int d : depth_)
+        max_d = std::max(max_d, d);
+    std::vector<int> s(max_d + 1, 0);
+    for (int d : depth_)
+        ++s[d];
+    return s;
+}
+
+void
+Topology::validate() const
+{
+    const int n = numModules();
+    memnet_assert(n >= 1, "empty topology");
+    memnet_assert(parent_[0] == -1, "module 0 must attach the processor");
+    for (int i = 1; i < n; ++i) {
+        memnet_assert(parent_[i] >= 0 && parent_[i] < n, "bad parent");
+        memnet_assert(depth_[i] == depth_[parent_[i]] + 1,
+                      "depth inconsistent at module ", i);
+    }
+    for (int i = 0; i < n; ++i) {
+        const int cap = downstreamCapacity(radix_[i]);
+        memnet_assert(static_cast<int>(children_[i].size()) <= cap,
+                      "module ", i, " exceeds its link budget");
+        memnet_assert(paths_[i].front() == 0 && paths_[i].back() == i,
+                      "bad path for module ", i);
+        memnet_assert(static_cast<int>(paths_[i].size()) == depth_[i],
+                      "path length != depth for module ", i);
+    }
+}
+
+} // namespace memnet

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimally connected memory network topologies (Section III-A).
+ *
+ * A topology is a tree rooted at the processor: module 0 attaches to the
+ * processor's channel, every other module attaches to exactly one parent
+ * module. Four shapes are provided:
+ *
+ *  - DaisyChain: a chain of low-radix modules.
+ *  - TernaryTree: breadth-first tree with branching factor 3; every
+ *    module is high-radix (four full links).
+ *  - Star: the same breadth-first shape, but a module is high-radix only
+ *    if it needs two or more downstream links ("rings" of equidistant,
+ *    mostly low-radix modules; see DESIGN.md for the interpretation).
+ *  - DdrxLike: rows of three modules — a high-radix row center with two
+ *    low-radix side modules; centers chain to the next row.
+ *
+ * Module numbering matters: the evaluation maps the i-th contiguous
+ * address chunk to module i, so numbering determines which modules are
+ * hot. Numbering follows each builder's natural growth order (chain
+ * order, BFS order, row order), mirroring Figure 3.
+ */
+
+#ifndef MEMNET_NET_TOPOLOGY_HH
+#define MEMNET_NET_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "power/hmc_power_model.hh"
+
+namespace memnet
+{
+
+enum class TopologyKind
+{
+    DaisyChain,
+    TernaryTree,
+    Star,
+    DdrxLike,
+};
+
+const char *topologyName(TopologyKind k);
+
+/** Static description of a built network shape. */
+class Topology
+{
+  public:
+    /** Build a topology of @p n modules (n >= 1). */
+    static Topology build(TopologyKind kind, int n);
+
+    int numModules() const { return static_cast<int>(parent_.size()); }
+
+    /** Parent module id; -1 for module 0 (attached to the processor). */
+    int parent(int m) const { return parent_[m]; }
+
+    const std::vector<int> &children(int m) const { return children_[m]; }
+
+    /** Hop distance from the processor (module 0 is 1). */
+    int hopDistance(int m) const { return depth_[m]; }
+
+    Radix radix(int m) const { return radix_[m]; }
+
+    TopologyKind kind() const { return kind_; }
+
+    /**
+     * Modules along the route processor -> m, starting with module 0 and
+     * ending with m itself.
+     */
+    const std::vector<int> &path(int m) const { return paths_[m]; }
+
+    /** Count of modules at each hop distance (index 0 unused). */
+    std::vector<int> modulesPerHop() const;
+
+    /**
+     * Validate the minimally-connected invariants: a single tree rooted
+     * at module 0, radix link budgets respected, depths consistent.
+     * Panics on violation (used by tests).
+     */
+    void validate() const;
+
+  private:
+    Topology() = default;
+
+    void finalize();
+
+    TopologyKind kind_ = TopologyKind::DaisyChain;
+    std::vector<int> parent_;
+    std::vector<std::vector<int>> children_;
+    std::vector<int> depth_;
+    std::vector<Radix> radix_;
+    std::vector<std::vector<int>> paths_;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_NET_TOPOLOGY_HH

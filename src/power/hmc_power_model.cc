@@ -1,0 +1,53 @@
+#include "power/hmc_power_model.hh"
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+namespace
+{
+
+/** Build the parameter block for one radix class. */
+HmcPowerParams
+makeParams(double peak_total, int link_ends)
+{
+    HmcPowerParams p{};
+    p.peakTotalW = peak_total;
+    p.peakDramW = peak_total * HmcPowerModel::kDramShare;
+    p.peakLogicW = peak_total * HmcPowerModel::kLogicShare;
+    p.peakIoW = peak_total * HmcPowerModel::kIoShare;
+    p.idleDramW = p.peakDramW * HmcPowerModel::kDramIdleFrac;
+    p.idleLogicW = p.peakLogicW * HmcPowerModel::kLogicIdleFrac;
+    p.linkEndW = p.peakIoW / link_ends;
+
+    // DRAM dynamic energy per access: the non-leakage DRAM power at peak
+    // internal bandwidth divided by the peak access rate.
+    const double peak_access_rate = HmcPowerModel::kDramPeakBytesPerSec /
+                                    HmcPowerModel::kBytesPerAccess;
+    p.dramAccessJ = (p.peakDramW - p.idleDramW) / peak_access_rate;
+
+    // Logic dynamic energy per flit-hop: non-leakage logic power when all
+    // link ends stream flits at peak rate.
+    const double peak_flit_rate =
+        HmcPowerModel::kPeakFlitsPerSecPerEnd * link_ends;
+    p.flitHopJ = (p.peakLogicW - p.idleLogicW) / peak_flit_rate;
+    return p;
+}
+
+} // namespace
+
+HmcPowerModel::HmcPowerModel(IoAttribution attr)
+    : attr_(attr),
+      high(makeParams(kHighRadixPeakW, kHighRadixLinkEnds)),
+      low(makeParams(kHighRadixPeakW / 2.0, kLowRadixLinkEnds))
+{
+}
+
+const HmcPowerParams &
+HmcPowerModel::params(Radix r) const
+{
+    return r == Radix::High ? high : low;
+}
+
+} // namespace memnet

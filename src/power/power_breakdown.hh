@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Energy/power bookkeeping result types.
+ *
+ * The six components mirror Figure 5 of the paper: idle I/O, active I/O,
+ * logic leakage, logic dynamic, DRAM leakage, DRAM dynamic.
+ */
+
+#ifndef MEMNET_POWER_POWER_BREAKDOWN_HH
+#define MEMNET_POWER_POWER_BREAKDOWN_HH
+
+namespace memnet
+{
+
+/** Energy totals in joules for one run (whole network). */
+struct EnergyBreakdown
+{
+    double idleIoJ = 0.0;
+    double activeIoJ = 0.0;
+    double logicLeakJ = 0.0;
+    double logicDynJ = 0.0;
+    double dramLeakJ = 0.0;
+    double dramDynJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return idleIoJ + activeIoJ + logicLeakJ + logicDynJ + dramLeakJ +
+               dramDynJ;
+    }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        idleIoJ += o.idleIoJ;
+        activeIoJ += o.activeIoJ;
+        logicLeakJ += o.logicLeakJ;
+        logicDynJ += o.logicDynJ;
+        dramLeakJ += o.dramLeakJ;
+        dramDynJ += o.dramDynJ;
+        return *this;
+    }
+};
+
+/** Average power in watts over a measurement window. */
+struct PowerBreakdown
+{
+    double idleIoW = 0.0;
+    double activeIoW = 0.0;
+    double logicLeakW = 0.0;
+    double logicDynW = 0.0;
+    double dramLeakW = 0.0;
+    double dramDynW = 0.0;
+
+    double
+    totalW() const
+    {
+        return idleIoW + activeIoW + logicLeakW + logicDynW + dramLeakW +
+               dramDynW;
+    }
+
+    double ioW() const { return idleIoW + activeIoW; }
+
+    /** Scale (e.g. divide by module count for per-HMC figures). */
+    PowerBreakdown
+    scaled(double f) const
+    {
+        return PowerBreakdown{idleIoW * f,   activeIoW * f, logicLeakW * f,
+                              logicDynW * f, dramLeakW * f, dramDynW * f};
+    }
+
+    /** Convert energy over a window into average power. */
+    static PowerBreakdown
+    fromEnergy(const EnergyBreakdown &e, double seconds)
+    {
+        PowerBreakdown p;
+        if (seconds <= 0.0)
+            return p;
+        p.idleIoW = e.idleIoJ / seconds;
+        p.activeIoW = e.activeIoJ / seconds;
+        p.logicLeakW = e.logicLeakJ / seconds;
+        p.logicDynW = e.logicDynJ / seconds;
+        p.dramLeakW = e.dramLeakJ / seconds;
+        p.dramDynW = e.dramDynJ / seconds;
+        return p;
+    }
+};
+
+} // namespace memnet
+
+#endif // MEMNET_POWER_POWER_BREAKDOWN_HH

@@ -1,0 +1,42 @@
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+
+EventQueue::~EventQueue()
+{
+    // Drain the heap, deleting any still-pending one-shot events would
+    // require ownership knowledge we don't have; components own their
+    // events, so simply drop the entries. OneShotEvents that never fired
+    // are deliberately leaked only at process teardown of failed runs.
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!heap.empty()) {
+        const Entry top = heap.top();
+        Event *ev = top.ev;
+        // Stale entry: descheduled or rescheduled since it was pushed.
+        if (!ev->_scheduled || ev->_seq != top.seq) {
+            heap.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        heap.pop();
+        memnet_assert(top.when >= _now, "time went backwards");
+        _now = top.when;
+        ev->_scheduled = false;
+        --_pending;
+        ++_fired;
+        ++n;
+        ev->fire();
+    }
+    if (_now < limit && limit != kTickMax)
+        _now = limit;
+    return n;
+}
+
+} // namespace memnet

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole system. Components own re-armable
+ * Event subclasses (no per-firing allocation on the hot path); ad-hoc
+ * one-shot work can be scheduled with a callable via schedule().
+ *
+ * Events at the same tick fire in scheduling order (FIFO), which keeps
+ * runs deterministic for a fixed seed.
+ */
+
+#ifndef MEMNET_SIM_EVENT_QUEUE_HH
+#define MEMNET_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events. An Event may be scheduled on at most
+ * one queue at a time; descheduling and rescheduling are supported.
+ */
+class Event
+{
+  public:
+    virtual ~Event() = default;
+
+    /** Invoked when simulated time reaches the scheduled tick. */
+    virtual void fire() = 0;
+
+    /** @return true while the event sits in a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** @return the tick this event is (or was last) scheduled for. */
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    bool _scheduled = false;
+    Tick _when = kTickInvalid;
+    std::uint64_t _seq = 0;
+};
+
+/** Event wrapping an arbitrary callable; fires once then deletes itself. */
+template <typename F>
+class OneShotEvent : public Event
+{
+  public:
+    explicit OneShotEvent(F f) : func(std::move(f)) {}
+
+    void
+    fire() override
+    {
+        F local(std::move(func));
+        delete this;
+        local();
+    }
+
+  private:
+    F func;
+};
+
+/** Event calling a member function of its owner; re-armable. */
+template <typename T, void (T::*Method)()>
+class MemberEvent : public Event
+{
+  public:
+    explicit MemberEvent(T *owner) : obj(owner) {}
+
+    void fire() override { (obj->*Method)(); }
+
+  private:
+    T *obj;
+};
+
+/**
+ * The central time-ordered queue of pending events.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule an event at an absolute tick (>= now()).
+     * @param ev event to arm; must not already be scheduled.
+     * @param when absolute firing tick.
+     */
+    void
+    schedule(Event *ev, Tick when)
+    {
+        memnet_assert(!ev->_scheduled, "event double-scheduled");
+        memnet_assert(when >= _now,
+                      "event scheduled in the past: ", when, " < ", _now);
+        ev->_scheduled = true;
+        ev->_when = when;
+        ev->_seq = nextSeq++;
+        heap.push(Entry{when, ev->_seq, ev});
+        ++_pending;
+    }
+
+    /** Schedule a one-shot callable at an absolute tick. */
+    template <typename F>
+    void
+    schedule(Tick when, F &&f)
+    {
+        schedule(new OneShotEvent<std::decay_t<F>>(std::forward<F>(f)),
+                 when);
+    }
+
+    /**
+     * Remove a scheduled event from the queue. The heap entry is lazily
+     * discarded (stale entries are detected by sequence number); the event
+     * object must outlive its stale entries, so components should own
+     * their events for the duration of the run.
+     */
+    void
+    deschedule(Event *ev)
+    {
+        memnet_assert(ev->_scheduled, "descheduling unscheduled event");
+        ev->_scheduled = false;
+        --_pending;
+    }
+
+    /** Convenience: (re)schedule, descheduling first if needed. */
+    void
+    reschedule(Event *ev, Tick when)
+    {
+        if (ev->_scheduled)
+            deschedule(ev);
+        schedule(ev, when);
+    }
+
+    /**
+     * Run until the queue empties or simulated time would exceed @p limit.
+     * Events exactly at @p limit are executed.
+     * @return number of events fired.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run everything. */
+    std::uint64_t run() { return runUntil(kTickMax); }
+
+    /** Number of live (non-squashed) scheduled events. */
+    std::uint64_t pending() const { return _pending; }
+
+    /** Total number of events ever fired. */
+    std::uint64_t fired() const { return _fired; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t _pending = 0;
+    std::uint64_t _fired = 0;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_SIM_EVENT_QUEUE_HH

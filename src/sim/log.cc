@@ -1,0 +1,59 @@
+#include "sim/log.hh"
+
+#include <stdexcept>
+
+namespace memnet
+{
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * Thrown by panic/fatal in unit tests instead of aborting the process.
+ * Production binaries never enable this.
+ */
+bool throwOnError = false;
+
+} // namespace
+
+/** Test hook: make panic/fatal throw std::runtime_error instead. */
+void
+setThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (throwOnError)
+        throw std::runtime_error("panic: " + msg);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (throwOnError)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace memnet

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user errors (bad configuration). Both terminate. warn() and
+ * inform() only print.
+ */
+
+#ifndef MEMNET_SIM_LOG_HH
+#define MEMNET_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace memnet
+{
+
+namespace detail
+{
+
+/** Fold any streamable arguments into one string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Test hook: panic/fatal throw std::runtime_error instead of aborting. */
+void setThrowOnError(bool enable);
+
+} // namespace detail
+
+/** Abort on a simulator bug; never a user error. */
+#define memnet_panic(...)                                                   \
+    ::memnet::detail::panicImpl(                                            \
+        __FILE__, __LINE__, ::memnet::detail::formatMessage(__VA_ARGS__))
+
+/** Exit on a user/configuration error. */
+#define memnet_fatal(...)                                                   \
+    ::memnet::detail::fatalImpl(                                            \
+        __FILE__, __LINE__, ::memnet::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define memnet_warn(...)                                                    \
+    ::memnet::detail::warnImpl(::memnet::detail::formatMessage(__VA_ARGS__))
+
+/** Status message to stderr. */
+#define memnet_inform(...)                                                  \
+    ::memnet::detail::informImpl(                                           \
+        ::memnet::detail::formatMessage(__VA_ARGS__))
+
+/** Cheap always-on assertion used for simulator invariants. */
+#define memnet_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            memnet_panic("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+} // namespace memnet
+
+#endif // MEMNET_SIM_LOG_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * Every stochastic component owns a Random stream seeded from the run
+ * seed plus a stable stream id, so adding components never perturbs the
+ * draws seen by existing ones.
+ */
+
+#ifndef MEMNET_SIM_RANDOM_HH
+#define MEMNET_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace memnet
+{
+
+/** PCG32 generator (O'Neill); small, fast, statistically solid. */
+class Random
+{
+  public:
+    /**
+     * @param seed run-level seed.
+     * @param stream component-level stream selector.
+     */
+    explicit Random(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                    std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        inc = (stream << 1u) | 1u;
+        state = 0;
+        next();
+        state += seed;
+        next();
+    }
+
+    /** Next raw 32-bit draw. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state;
+        state = old * 6364136223846793005ULL + inc;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint32_t
+    below(std::uint32_t n)
+    {
+        // Lemire-style rejection-free mapping is fine here; a slight
+        // modulo bias at n close to 2^32 never occurs in our uses.
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(next()) * n) >> 32);
+    }
+
+    /** Uniform 64-bit integer in [0, n). */
+    std::uint64_t
+    below64(std::uint64_t n)
+    {
+        // Compose from two 32-bit draws; exact enough for address picks.
+        std::uint64_t r =
+            (static_cast<std::uint64_t>(next()) << 32) | next();
+        return r % n;
+    }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        return -mean * std::log(1.0 - u + 1e-18);
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_SIM_RANDOM_HH

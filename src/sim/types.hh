@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental simulation types and time units.
+ *
+ * The whole simulator counts time in integer picoseconds so that every
+ * timing constant in the reproduced paper (0.64 ns flit slots, 3.2 ns
+ * SERDES, 14 ns wakeups, 100 us epochs, ...) is exactly representable.
+ */
+
+#ifndef MEMNET_SIM_TYPES_HH
+#define MEMNET_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace memnet
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::int64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick kTickInvalid = -1;
+
+/** Largest representable tick. */
+constexpr Tick kTickMax = INT64_MAX;
+
+/** Convert picoseconds to ticks (identity, for readability). */
+constexpr Tick
+ps(std::int64_t v)
+{
+    return v;
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+ns(std::int64_t v)
+{
+    return v * 1000;
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+us(std::int64_t v)
+{
+    return v * 1000 * 1000;
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+msec(std::int64_t v)
+{
+    return v * 1000 * 1000 * 1000;
+}
+
+/** Convert ticks to seconds as a double (for rates and powers). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/** Convert a double value in nanoseconds to ticks (rounded). */
+constexpr Tick
+nsf(double v)
+{
+    return static_cast<Tick>(v * 1000.0 + 0.5);
+}
+
+} // namespace memnet
+
+#endif // MEMNET_SIM_TYPES_HH

@@ -1,0 +1,174 @@
+#include "workload/processor.hh"
+
+#include <algorithm>
+
+#include "net/packet.hh"
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+/** Per-core issue state machine. */
+struct Processor::Core
+{
+    Core(Processor &p, int idx, std::uint64_t seed)
+        : proc(p), id(idx), rng(seed, 0x9e3779b97f4a7c15ULL + idx)
+    {
+    }
+
+    void
+    tick()
+    {
+        proc.issueFrom(*this);
+    }
+
+    Processor &proc;
+    const int id;
+    Random rng;
+
+    int outstandingReads = 0;
+    int outstandingWrites = 0;
+    bool stalledOnReads = false;
+    bool stalledOnWrites = false;
+
+    /** Current burst ends at this tick; idle gaps push it forward. */
+    Tick burstEnd = 0;
+
+    /** Working-region center (address fraction) for the current burst. */
+    double regionFrac = -1.0;
+
+    MemberEvent<Core, &Core::tick> issueEvent{this};
+};
+
+Processor::Processor(EventQueue &eq, TrafficTarget &target,
+                     const WorkloadProfile &profile,
+                     ProcessorParams params)
+    : eq(eq), target(target), profile(profile), params(params)
+{
+    // Calibrate the aggregate access rate so the full-power network sees
+    // the profile's channel utilization: per access the channel moves
+    // r*16 + (1-r)*80 request bytes and r*80 response bytes, and channel
+    // utilization is the mean of the two directions' utilizations.
+    const double r = profile.readFraction;
+    const double bytes_both = (16.0 * r + 80.0 * (1.0 - r)) + 80.0 * r;
+    const double dir_bw = Link::fullBytesPerSec();
+    targetRate = profile.channelUtil * 2.0 * dir_bw / bytes_both *
+                 params.rateScale;
+
+    const double duty = std::clamp(profile.burstDuty, 0.05, 1.0);
+    // Mean issue gap during bursts across `cores` issuing cores.
+    gapMeanPs = params.cores * duty / targetRate * 1e12;
+    idleMeanPs = profile.idleMeanUs * 1e6;
+    burstMeanPs = duty >= 0.999 ? 0.0 : idleMeanPs * duty / (1.0 - duty);
+
+    for (int i = 0; i < params.cores; ++i) {
+        cores.push_back(
+            std::make_unique<Core>(*this, i, params.seed * 1000003 + i));
+    }
+    if (auto *net = dynamic_cast<Network *>(&target))
+        net->setHost(this);
+}
+
+Processor::~Processor() = default;
+
+void
+Processor::start(Tick at)
+{
+    for (auto &c : cores) {
+        // Desynchronize cores by a random fraction of the issue gap.
+        const Tick jitter =
+            static_cast<Tick>(c->rng.uniform() * (gapMeanPs + 1000));
+        c->burstEnd =
+            at + static_cast<Tick>(c->rng.exponential(
+                     burstMeanPs > 0 ? burstMeanPs : 1e12));
+        c->regionFrac = profile.addressFracFor(c->rng.uniform());
+        eq.schedule(&c->issueEvent, at + jitter);
+    }
+}
+
+void
+Processor::issueFrom(Core &c)
+{
+    const Tick now = eq.now();
+
+    // Burst/idle alternation: if the burst expired, take an idle gap
+    // and move the core's working region (phase change).
+    if (burstMeanPs > 0.0 && now >= c.burstEnd) {
+        const Tick gap = static_cast<Tick>(c.rng.exponential(idleMeanPs));
+        c.burstEnd = now + gap + static_cast<Tick>(
+                                     c.rng.exponential(burstMeanPs));
+        c.regionFrac = profile.addressFracFor(c.rng.uniform());
+        eq.reschedule(&c.issueEvent, now + gap);
+        return;
+    }
+
+    const bool is_read = c.rng.chance(profile.readFraction);
+    if (is_read && c.outstandingReads >= params.maxReadsPerCore) {
+        c.stalledOnReads = true; // resume on a read completion
+        return;
+    }
+    if (!is_read && c.outstandingWrites >= params.maxWritesPerCore) {
+        c.stalledOnWrites = true; // resume on a write retirement
+        return;
+    }
+
+    const double frac = profile.drawAddressFrac(c.rng, c.regionFrac);
+    std::uint64_t addr = static_cast<std::uint64_t>(
+        frac * static_cast<double>(profile.footprintBytes()));
+    addr &= ~std::uint64_t{63};
+
+    Packet *pkt = new Packet;
+    pkt->id = nextPktId++;
+    pkt->type = is_read ? PacketType::ReadReq : PacketType::WriteReq;
+    pkt->addr = addr;
+    pkt->core = c.id;
+    pkt->flits = flitsFor(pkt->type);
+    pkt->issued = now;
+
+    if (is_read)
+        ++c.outstandingReads;
+    else
+        ++c.outstandingWrites;
+
+    target.inject(pkt);
+
+    eq.reschedule(&c.issueEvent,
+                  now + static_cast<Tick>(c.rng.exponential(gapMeanPs)));
+}
+
+void
+Processor::readCompleted(Packet *pkt, Tick now)
+{
+    Core &c = *cores[pkt->core];
+    --c.outstandingReads;
+    ++nReads;
+    readLat.sample(toSeconds(now - pkt->issued) * 1e9);
+    delete pkt;
+    if (c.stalledOnReads) {
+        c.stalledOnReads = false;
+        eq.reschedule(&c.issueEvent, now);
+    }
+}
+
+void
+Processor::writeRetired(Packet *pkt, Tick now)
+{
+    Core &c = *cores[pkt->core];
+    --c.outstandingWrites;
+    ++nWrites;
+    delete pkt;
+    if (c.stalledOnWrites) {
+        c.stalledOnWrites = false;
+        eq.reschedule(&c.issueEvent, now);
+    }
+}
+
+void
+Processor::resetStats()
+{
+    nReads = 0;
+    nWrites = 0;
+    readLat.reset();
+}
+
+} // namespace memnet

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Closed-loop 16-core processor front end.
+ *
+ * Substitutes for the paper's gem5 full-system x86 host (Table II). Each
+ * core alternates issuing bursts and idle gaps, keeps a bounded number
+ * of outstanding reads (MSHR-style) and posted writes, and draws
+ * addresses from the workload's access CDF. Because issue is
+ * closed-loop, added memory latency feeds back into lost throughput,
+ * which is what the paper's allowable-memory-slowdown knob bounds.
+ */
+
+#ifndef MEMNET_WORKLOAD_PROCESSOR_HH
+#define MEMNET_WORKLOAD_PROCESSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "workload/profile.hh"
+
+namespace memnet
+{
+
+/** Processor configuration (Table II reduced to what traffic needs). */
+struct ProcessorParams
+{
+    int cores = 16;
+    /** Outstanding read misses per core. */
+    int maxReadsPerCore = 12;
+    /** Posted writes in flight per core (write buffer). */
+    int maxWritesPerCore = 32;
+    std::uint64_t seed = 1;
+    /**
+     * Scales the calibrated aggregate access rate; multi-channel
+     * systems use the channel count here so every channel sees the
+     * profile's utilization.
+     */
+    double rateScale = 1.0;
+};
+
+class Processor : public EndpointHost
+{
+  public:
+    /**
+     * @param target where requests are injected (a Network wires its
+     *        host to this Processor automatically; a multi-channel
+     *        switch wires each channel's host itself).
+     */
+    Processor(EventQueue &eq, TrafficTarget &target,
+              const WorkloadProfile &profile, ProcessorParams params);
+    ~Processor() override;
+
+    /** Begin issuing at @p at. */
+    void start(Tick at);
+
+    // EndpointHost
+    void readCompleted(Packet *pkt, Tick now) override;
+    void writeRetired(Packet *pkt, Tick now) override;
+
+    /** Reset measurement counters (start of measure window). */
+    void resetStats();
+
+    std::uint64_t completedReads() const { return nReads; }
+    std::uint64_t retiredWrites() const { return nWrites; }
+    double avgReadLatencyNs() const { return readLat.mean(); }
+
+    /** Aggregate target access rate (accesses/s) for this profile. */
+    double targetAccessRate() const { return targetRate; }
+
+  private:
+    struct Core;
+
+    void issueFrom(Core &c);
+
+    EventQueue &eq;
+    TrafficTarget &target;
+    const WorkloadProfile &profile;
+    const ProcessorParams params;
+
+    std::vector<std::unique_ptr<Core>> cores;
+
+    double targetRate = 0.0;
+    /** Mean issue gap during a burst, in ticks. */
+    double gapMeanPs = 0.0;
+    double burstMeanPs = 0.0;
+    double idleMeanPs = 0.0;
+
+    std::uint64_t nextPktId = 1;
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+    Average readLat;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_WORKLOAD_PROCESSOR_HH

@@ -1,0 +1,120 @@
+#include "workload/profile.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+namespace memnet
+{
+
+double
+WorkloadProfile::addressFracFor(double u) const
+{
+    // Walk the piecewise-linear CDF (anchored at (0,0) and (1,1)) and
+    // invert the segment containing u.
+    double x0 = 0.0, y0 = 0.0;
+    for (const CdfPoint &p : cdf) {
+        if (u < p.accessFrac) {
+            const double dy = p.accessFrac - y0;
+            if (dy <= 0.0)
+                return p.addrFrac;
+            return x0 + (p.addrFrac - x0) * (u - y0) / dy;
+        }
+        x0 = p.addrFrac;
+        y0 = p.accessFrac;
+    }
+    const double dy = 1.0 - y0;
+    if (dy <= 0.0)
+        return x0;
+    return x0 + (1.0 - x0) * (u - y0) / dy;
+}
+
+double
+WorkloadProfile::drawAddressFrac(Random &rng, double region_frac) const
+{
+    if (region_frac >= 0.0 && rng.chance(locality)) {
+        const double window =
+            regionMB * 1024.0 * 1024.0 /
+            static_cast<double>(footprintBytes());
+        const double f =
+            region_frac + (rng.uniform() - 0.5) * window;
+        return std::clamp(f, 0.0, 0.999999);
+    }
+    return addressFracFor(rng.uniform());
+}
+
+namespace
+{
+
+std::vector<WorkloadProfile>
+makeWorkloads()
+{
+    std::vector<WorkloadProfile> v;
+
+    // --- NAS class-D style HPC workloads -----------------------------
+    // Mostly regular sweeps over large footprints: CDFs near the
+    // diagonal, moderate-to-high duty cycles.
+    v.push_back({"ua.D", 12, 0.40, 0.70,
+                 {{0.30, 0.38}, {0.70, 0.80}}, 0.80, 2.0});
+    v.push_back({"lu.D", 9, 0.55, 0.72,
+                 {{0.50, 0.52}}, 0.85, 1.5});
+    v.push_back({"bt.D", 38, 0.35, 0.70,
+                 {{0.25, 0.28}, {0.75, 0.78}}, 0.75, 3.0});
+    // sp.D: lowest channel utilization of the suite (Figure 9).
+    v.push_back({"sp.D", 36, 0.10, 0.68,
+                 {{0.40, 0.42}}, 0.30, 8.0});
+    // cg.D: sparse solver; hot index/vector region up front.
+    v.push_back({"cg.D", 24, 0.45, 0.75,
+                 {{0.20, 0.55}, {0.60, 0.90}}, 0.80, 2.0});
+    v.push_back({"mg.D", 26, 0.50, 0.72,
+                 {{0.15, 0.45}, {0.50, 0.80}}, 0.80, 2.0});
+    // is.D: bucketed integer sort; stepped CDF with cold stretches.
+    v.push_back({"is.D", 17, 0.30, 0.55,
+                 {{0.20, 0.10}, {0.30, 0.55}, {0.85, 0.75}}, 0.60, 4.0,
+                 0.80, 32.0}); // bucket scatter: weaker locality
+
+    // --- Cloud mixes (Table III) --------------------------------------
+    // Applications are invoked in sequence, so earlier (lower) address
+    // ranges belong to the first apps; hot first apps give convex CDFs
+    // and the late-invoked instances leave cold tails (the flat
+    // segments of Figure 4 that let far modules idle).
+    v.push_back({"mixA", 14, 0.55, 0.70,
+                 {{0.30, 0.50}, {0.70, 0.92}}, 0.85, 1.5});
+    // mixB: highest channel utilization (~75%), mcf/GemsFDTD heavy.
+    v.push_back({"mixB", 11, 0.75, 0.65,
+                 {{0.25, 0.55}, {0.50, 0.85}}, 0.92, 1.0,
+                 0.85, 48.0}); // mcf/Gems pointer chasing
+    v.push_back({"mixC", 13, 0.60, 0.63,
+                 {{0.35, 0.60}, {0.65, 0.90}}, 0.85, 1.5});
+    v.push_back({"mixD", 9, 0.25, 0.66,
+                 {{0.30, 0.55}, {0.55, 0.90}}, 0.55, 5.0});
+    v.push_back({"mixE", 8, 0.30, 0.68,
+                 {{0.40, 0.70}}, 0.60, 4.0});
+    v.push_back({"mixF", 10, 0.35, 0.70,
+                 {{0.30, 0.60}, {0.60, 0.88}}, 0.65, 3.0});
+    v.push_back({"mixG", 12, 0.50, 0.62,
+                 {{0.20, 0.50}, {0.45, 0.82}}, 0.80, 2.0, 0.85, 48.0});
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+allWorkloads()
+{
+    static const std::vector<WorkloadProfile> v = makeWorkloads();
+    return v;
+}
+
+const WorkloadProfile &
+workloadByName(const std::string &name)
+{
+    for (const WorkloadProfile &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    memnet_fatal("unknown workload: ", name);
+}
+
+} // namespace memnet

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic workload profiles.
+ *
+ * The paper drives its networks with gem5 full-system traces of seven
+ * NAS class-D benchmarks and seven SPEC/SPLASH2X cloud mixes. We cannot
+ * rerun those, so each workload is distilled into the properties the
+ * power study actually consumes (see DESIGN.md "Substitutions"):
+ *
+ *  - memory footprint (determines network size: ceil(fp / 4 GB) modules
+ *    in the small study, ceil(fp / 1 GB) in the big study);
+ *  - the cumulative distribution of accesses over the address space
+ *    (Figure 4) as piecewise-linear control points;
+ *  - target channel utilization at full power (Figure 9);
+ *  - read fraction and burstiness (duty cycle + mean idle gap), which
+ *    shape the idle-interval distribution that ROO exploits.
+ */
+
+#ifndef MEMNET_WORKLOAD_PROFILE_HH
+#define MEMNET_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memnet
+{
+
+/** One control point of the access CDF: (address fraction, CDF value). */
+struct CdfPoint
+{
+    double addrFrac;
+    double accessFrac;
+};
+
+/** Distilled description of one workload. */
+struct WorkloadProfile
+{
+    std::string name;
+    /** Memory footprint in gigabytes. */
+    double footprintGB = 16.0;
+    /**
+     * Target utilization of the processor channel at full power
+     * (average of the request and response direction utilizations).
+     */
+    double channelUtil = 0.4;
+    /** Fraction of accesses that are reads. */
+    double readFraction = 0.67;
+    /**
+     * Access CDF control points, strictly increasing in both
+     * coordinates, implicitly anchored at (0,0) and (1,1).
+     */
+    std::vector<CdfPoint> cdf;
+    /** Fraction of time each core spends in an issuing burst. */
+    double burstDuty = 0.8;
+    /** Mean idle-gap duration between bursts, microseconds. */
+    double idleMeanUs = 2.0;
+    /**
+     * Spatio-temporal phase locality: during a burst each core works
+     * in a region (picked per burst from the CDF); this fraction of
+     * its accesses stay within the region window. Locality is what
+     * gives edge modules the multi-microsecond idle gaps that rapid
+     * on/off exploits — without it every module sees a thin continuous
+     * stream from all cores.
+     */
+    double locality = 0.95;
+    /** Width of a core's working region, in megabytes. */
+    double regionMB = 96.0;
+
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(footprintGB *
+                                          (1024.0 * 1024.0 * 1024.0));
+    }
+
+    /** Modules needed at a given per-module chunk size. */
+    int
+    modulesFor(std::uint64_t chunk_bytes) const
+    {
+        const std::uint64_t fp = footprintBytes();
+        return static_cast<int>((fp + chunk_bytes - 1) / chunk_bytes);
+    }
+
+    /** Inverse-CDF: map u in [0,1) to an address fraction in [0,1). */
+    double addressFracFor(double u) const;
+
+    /**
+     * Draw one access's address fraction given the core's current
+     * region (a fraction, or negative for "no region"): local to the
+     * region window with probability `locality`, globally CDF-
+     * distributed otherwise.
+     */
+    double drawAddressFrac(class Random &rng, double region_frac) const;
+};
+
+/** The fourteen evaluated workloads (7 NAS-like + 7 cloud mixes). */
+const std::vector<WorkloadProfile> &allWorkloads();
+
+/** Lookup by name; fatal if unknown. */
+const WorkloadProfile &workloadByName(const std::string &name);
+
+} // namespace memnet
+
+#endif // MEMNET_WORKLOAD_PROFILE_HH

@@ -1,0 +1,167 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "net/packet.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+namespace memnet
+{
+
+std::vector<TraceRecord>
+readTrace(std::istream &in)
+{
+    std::vector<TraceRecord> out;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        double t_ns;
+        std::string op;
+        std::string addr_hex;
+        int core;
+        if (!(ls >> t_ns >> op >> addr_hex >> core) ||
+            (op != "R" && op != "W")) {
+            memnet_fatal("malformed trace line ", lineno, ": ", line);
+        }
+        TraceRecord r;
+        r.when = nsf(t_ns);
+        r.isRead = op == "R";
+        r.addr = std::stoull(addr_hex, nullptr, 16);
+        r.core = core;
+        out.push_back(r);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.when < b.when;
+                     });
+    return out;
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<TraceRecord> &trace)
+{
+    out << "# memnet trace: <time_ns> <R|W> <hex_address> <core>\n";
+    for (const TraceRecord &r : trace) {
+        out << toSeconds(r.when) * 1e9 << ' '
+            << (r.isRead ? 'R' : 'W') << ' ' << std::hex << "0x"
+            << r.addr << std::dec << ' ' << r.core << '\n';
+    }
+}
+
+std::vector<TraceRecord>
+generateTrace(const WorkloadProfile &profile, Tick duration,
+              std::uint64_t seed, int cores)
+{
+    // Open-loop rendering of the profile: same aggregate rate, spatial
+    // CDF and burst/idle alternation the closed-loop Processor uses.
+    const double r = profile.readFraction;
+    const double bytes_both = 16.0 * r + 80.0 * (1.0 - r) + 80.0 * r;
+    const double rate =
+        profile.channelUtil * 2.0 * Link::fullBytesPerSec() /
+        bytes_both;
+    const double duty = std::clamp(profile.burstDuty, 0.05, 1.0);
+    const double gap_mean = cores * duty / rate * 1e12;
+    const double idle_mean = profile.idleMeanUs * 1e6;
+    const double burst_mean =
+        duty >= 0.999 ? 0.0 : idle_mean * duty / (1.0 - duty);
+
+    std::vector<TraceRecord> out;
+    for (int c = 0; c < cores; ++c) {
+        Random rng(seed * 7919 + c, 0xabcdef12345ULL + c);
+        Tick t = static_cast<Tick>(rng.uniform() * gap_mean);
+        Tick burst_end =
+            burst_mean > 0
+                ? static_cast<Tick>(rng.exponential(burst_mean))
+                : duration;
+        double region = profile.addressFracFor(rng.uniform());
+        while (t < duration) {
+            if (burst_mean > 0 && t >= burst_end) {
+                t += static_cast<Tick>(rng.exponential(idle_mean));
+                burst_end =
+                    t + static_cast<Tick>(rng.exponential(burst_mean));
+                region = profile.addressFracFor(rng.uniform());
+                continue;
+            }
+            TraceRecord rec;
+            rec.when = t;
+            rec.core = c;
+            rec.isRead = rng.chance(r);
+            rec.addr = static_cast<std::uint64_t>(
+                           profile.drawAddressFrac(rng, region) *
+                           static_cast<double>(
+                               profile.footprintBytes())) &
+                       ~std::uint64_t{63};
+            out.push_back(rec);
+            t += static_cast<Tick>(rng.exponential(gap_mean));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.when < b.when;
+                     });
+    return out;
+}
+
+TracePlayer::TracePlayer(EventQueue &eq, Network &net,
+                         std::vector<TraceRecord> trace)
+    : eq(eq), net(net), trace_(std::move(trace))
+{
+    net.setHost(this);
+}
+
+void
+TracePlayer::start(Tick at)
+{
+    origin = at;
+    next = 0;
+    if (!trace_.empty())
+        eq.schedule(&injectEvent, at + trace_[0].when);
+}
+
+void
+TracePlayer::injectNext()
+{
+    const Tick now = eq.now();
+    while (next < trace_.size() &&
+           origin + trace_[next].when <= now) {
+        const TraceRecord &r = trace_[next];
+        Packet *pkt = new Packet;
+        pkt->id = next;
+        pkt->type =
+            r.isRead ? PacketType::ReadReq : PacketType::WriteReq;
+        pkt->addr = r.addr;
+        pkt->core = r.core;
+        pkt->flits = flitsFor(pkt->type);
+        pkt->issued = now;
+        net.inject(pkt);
+        ++next;
+        ++injected;
+    }
+    if (next < trace_.size())
+        eq.schedule(&injectEvent, origin + trace_[next].when);
+}
+
+void
+TracePlayer::readCompleted(Packet *pkt, Tick now)
+{
+    ++nReads;
+    readLat.sample(toSeconds(now - pkt->issued) * 1e9);
+    delete pkt;
+}
+
+void
+TracePlayer::writeRetired(Packet *pkt, Tick now)
+{
+    ++nWrites;
+    delete pkt;
+}
+
+} // namespace memnet

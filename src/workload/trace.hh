@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Trace-driven traffic: record format, text (de)serialization, a
+ * synthetic trace generator, and an open-loop trace player.
+ *
+ * The paper drives its networks from gem5 full-system traces; this
+ * module gives downstream users the equivalent entry point: capture or
+ * synthesize a memory access trace, then replay it through any network
+ * configuration to obtain a power report.
+ *
+ * Text format, one record per line:
+ *
+ *     <time_ns> <R|W> <hex_address> <core>
+ *
+ * Lines starting with '#' are comments.
+ */
+
+#ifndef MEMNET_WORKLOAD_TRACE_HH
+#define MEMNET_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "workload/profile.hh"
+
+namespace memnet
+{
+
+/** One memory access of a trace. */
+struct TraceRecord
+{
+    Tick when = 0;
+    std::uint64_t addr = 0;
+    bool isRead = true;
+    int core = 0;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return when == o.when && addr == o.addr &&
+               isRead == o.isRead && core == o.core;
+    }
+};
+
+/** Parse a trace from a text stream. Fatal on malformed input. */
+std::vector<TraceRecord> readTrace(std::istream &in);
+
+/** Serialize a trace to a text stream (readTrace-compatible). */
+void writeTrace(std::ostream &out,
+                const std::vector<TraceRecord> &trace);
+
+/**
+ * Synthesize an open-loop trace with a profile's spatial distribution,
+ * intensity and burstiness over @p duration simulated time.
+ */
+std::vector<TraceRecord> generateTrace(const WorkloadProfile &profile,
+                                       Tick duration,
+                                       std::uint64_t seed,
+                                       int cores = 16);
+
+/**
+ * Replays a trace into a network, open loop (records are injected at
+ * their recorded times regardless of completions — a trace carries its
+ * own timing). Completion statistics are still collected.
+ */
+class TracePlayer : public EndpointHost
+{
+  public:
+    TracePlayer(EventQueue &eq, Network &net,
+                std::vector<TraceRecord> trace);
+
+    /** Schedule all injections starting at @p at. */
+    void start(Tick at);
+
+    // EndpointHost
+    void readCompleted(Packet *pkt, Tick now) override;
+    void writeRetired(Packet *pkt, Tick now) override;
+
+    std::uint64_t completedReads() const { return nReads; }
+    std::uint64_t retiredWrites() const { return nWrites; }
+    double avgReadLatencyNs() const { return readLat.mean(); }
+
+    /** True once every trace record has been injected and retired. */
+    bool
+    drained() const
+    {
+        return injected == trace_.size() &&
+               nReads + nWrites == injected;
+    }
+
+  private:
+    void injectNext();
+
+    EventQueue &eq;
+    Network &net;
+    std::vector<TraceRecord> trace_;
+    std::size_t next = 0;
+    std::size_t injected = 0;
+    Tick origin = 0;
+
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+    Average readLat;
+
+    MemberEvent<TracePlayer, &TracePlayer::injectNext> injectEvent{
+        this};
+};
+
+} // namespace memnet
+
+#endif // MEMNET_WORKLOAD_TRACE_HH

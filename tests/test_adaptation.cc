@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Multi-epoch adaptation behavior: managers must learn over epochs,
+ * recover from violation storms, and respond to workload intensity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memnet/experiment.hh"
+#include "memnet/simulator.hh"
+#include "mgmt/manager.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "workload/processor.hh"
+
+namespace memnet
+{
+namespace
+{
+
+/**
+ * Run a managed network and sample total link power fraction at each
+ * epoch boundary (just after selections are applied).
+ */
+class EpochSampler : public ::testing::Test
+{
+  protected:
+    void
+    run(Tick horizon)
+    {
+        const WorkloadProfile &w = workloadByName("mixC");
+        topo = Topology::build(TopologyKind::Star,
+                               w.modulesFor(1ULL << 30));
+        AddressMap amap;
+        amap.chunkBytes = 1ULL << 30;
+        net = std::make_unique<Network>(eq, topo, dram,
+                                        BwMechanism::Vwl, roo, pm,
+                                        amap);
+        proc = std::make_unique<Processor>(eq, *net, w,
+                                           ProcessorParams{});
+        ManagerParams mp;
+        mp.alphaPct = 5.0;
+        mgr = std::make_unique<UnawareManager>(*net, BwMechanism::Vwl,
+                                               roo, mp);
+        mgr->start(0);
+        proc->start(0);
+
+        for (Tick t = us(100); t <= horizon; t += us(100)) {
+            eq.runUntil(t + ns(1)); // just past the epoch boundary
+            double frac = 0.0;
+            int n = 0;
+            for (Link *l : net->allLinks()) {
+                frac += l->power().mode().powerFrac;
+                ++n;
+            }
+            samples.push_back(frac / n);
+        }
+    }
+
+    EventQueue eq;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo;
+    Topology topo{Topology::build(TopologyKind::Star, 1)};
+    std::unique_ptr<Network> net;
+    std::unique_ptr<Processor> proc;
+    std::unique_ptr<UnawareManager> mgr;
+    std::vector<double> samples;
+};
+
+TEST_F(EpochSampler, FirstEpochIsFullPowerThenModesDrop)
+{
+    run(us(500));
+    ASSERT_GE(samples.size(), 5u);
+    // During epoch 0 there is no history: everything at full power.
+    // After the first boundary some links must have dropped modes.
+    EXPECT_LT(samples.back(), 1.0);
+    // Average link power fraction should not grow over time.
+    EXPECT_LE(samples.back(), samples.front() + 0.05);
+}
+
+TEST_F(EpochSampler, EpochCountMatchesSimulatedTime)
+{
+    run(us(500));
+    EXPECT_EQ(mgr->epochs(), 5u);
+}
+
+TEST(Adaptation, LongerRunsDoNotDegradeSavings)
+{
+    // The Equation-1 running sums must keep the budget stable: power
+    // reduction at 8 epochs should be at least as good as at 3.
+    Runner r;
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.warmup = us(100);
+    cfg.measure = us(300);
+    const double short_red = r.powerReduction(cfg);
+    cfg.measure = us(800);
+    const double long_red = r.powerReduction(cfg);
+    EXPECT_GT(long_red, short_red - 0.05);
+}
+
+TEST(Adaptation, QuietWorkloadSavesMoreThanBusyOne)
+{
+    Runner r;
+    auto reduction = [&](const char *wl) {
+        SystemConfig cfg;
+        cfg.workload = wl;
+        cfg.topology = TopologyKind::Star;
+        cfg.sizeClass = SizeClass::Big;
+        cfg.policy = Policy::Aware;
+        cfg.mechanism = BwMechanism::Vwl;
+        cfg.roo = true;
+        cfg.warmup = us(100);
+        cfg.measure = us(300);
+        return r.powerReduction(cfg);
+    };
+    // sp.D has 10% channel utilization, mixB 75%: far more headroom.
+    EXPECT_GT(reduction("sp.D"), reduction("mixB"));
+}
+
+TEST(Adaptation, StrictSerializationCoreStillProgresses)
+{
+    // One outstanding read per core: a degenerate latency-bound host.
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::DaisyChain;
+    cfg.sizeClass = SizeClass::Small;
+    cfg.maxReadsPerCore = 1;
+    cfg.maxWritesPerCore = 1;
+    cfg.warmup = us(50);
+    cfg.measure = us(200);
+    const RunResult r = runSimulation(cfg);
+    EXPECT_GT(r.completedReads, 100u);
+}
+
+} // namespace
+} // namespace memnet

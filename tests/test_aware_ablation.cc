@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the network-aware ablation switches: each Section-VI
+ * ingredient can be disabled independently and the full scheme should
+ * not be worse than its ablated variants on the axis each ingredient
+ * targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memnet/experiment.hh"
+#include "memnet/simulator.hh"
+
+namespace memnet
+{
+namespace
+{
+
+SystemConfig
+awareConfig()
+{
+    SystemConfig cfg;
+    cfg.workload = "mixC";
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.policy = Policy::Aware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.alphaPct = 5.0;
+    cfg.warmup = us(100);
+    cfg.measure = us(400);
+    return cfg;
+}
+
+TEST(AwareAblation, KeyChangesWithFeatures)
+{
+    SystemConfig a = awareConfig();
+    SystemConfig b = a;
+    b.aware.wakeCoordination = false;
+    EXPECT_NE(Runner::key(a), Runner::key(b));
+    b = a;
+    b.aware.ispIterations = 1;
+    EXPECT_NE(Runner::key(a), Runner::key(b));
+}
+
+TEST(AwareAblation, EveryVariantRunsToCompletion)
+{
+    Runner r;
+    r.verbose = false;
+    for (int it : {1, 2, 3}) {
+        for (bool cong : {false, true}) {
+            for (bool wake : {false, true}) {
+                for (bool grants : {false, true}) {
+                    SystemConfig cfg = awareConfig();
+                    cfg.workload = "mixE"; // keep it quick
+                    cfg.measure = us(200);
+                    cfg.aware.ispIterations = it;
+                    cfg.aware.congestionDiscount = cong;
+                    cfg.aware.wakeCoordination = wake;
+                    cfg.aware.grantPool = grants;
+                    const RunResult &res = r.get(cfg);
+                    EXPECT_GT(res.completedReads, 50u)
+                        << it << cong << wake << grants;
+                }
+            }
+        }
+    }
+}
+
+TEST(AwareAblation, MoreIspIterationsDoNotHurtPower)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig one = awareConfig();
+    one.aware.ispIterations = 1;
+    SystemConfig three = awareConfig();
+    const double p1 = r.get(one).totalNetworkPowerW;
+    const double p3 = r.get(three).totalNetworkPowerW;
+    // Three iterations distribute strictly more AMS; allow sim noise.
+    EXPECT_LT(p3, p1 * 1.03);
+}
+
+TEST(AwareAblation, WakeCoordinationHelpsRooPerformanceOrPower)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig with = awareConfig();
+    with.mechanism = BwMechanism::None; // pure ROO
+    SystemConfig without = with;
+    without.aware.wakeCoordination = false;
+
+    const double pw = r.get(with).totalNetworkPowerW;
+    const double po = r.get(without).totalNetworkPowerW;
+    const double dw = r.degradation(with);
+    const double do_ = r.degradation(without);
+    // Coordination must win on at least one axis without losing badly
+    // on the other.
+    const bool power_ok = pw <= po * 1.02;
+    const bool perf_ok = dw <= do_ + 0.02;
+    EXPECT_TRUE(power_ok && perf_ok)
+        << "power " << pw << " vs " << po << ", degradation " << dw
+        << " vs " << do_;
+}
+
+TEST(AwareAblation, GrantPoolReducesViolations)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig with = awareConfig();
+    with.workload = "mixB"; // busy: violations likely
+    with.alphaPct = 2.5;
+    SystemConfig without = with;
+    without.aware.grantPool = false;
+    EXPECT_LE(r.get(with).violations, r.get(without).violations);
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the per-mode delay monitor (virtual queue).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mgmt/delay_monitor.hh"
+
+namespace memnet
+{
+namespace
+{
+
+constexpr Tick kFixed = LinkTiming::kSerdesPs + LinkTiming::kRouterPs;
+
+TEST(DelayMonitor, EmptyHasNoLatency)
+{
+    DelayMonitor m;
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(), 0.0);
+    EXPECT_EQ(m.packets(), 0u);
+}
+
+TEST(DelayMonitor, SinglePacketLatencyIsServiceTime)
+{
+    DelayMonitor m; // default: full-power configuration
+    m.arrival(ns(100), 5);
+    // 5 flits * 0.64 ns + serdes + router.
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(),
+                     static_cast<double>(5 * 640 + kFixed));
+    EXPECT_EQ(m.packets(), 1u);
+}
+
+TEST(DelayMonitor, BackToBackArrivalsQueue)
+{
+    DelayMonitor m;
+    m.arrival(0, 5); // busy until 3200 ps
+    m.arrival(0, 5); // waits 3200, done at 6400
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(),
+                     static_cast<double>((3200 + kFixed) +
+                                         (6400 + kFixed)));
+}
+
+TEST(DelayMonitor, SpacedArrivalsDoNotQueue)
+{
+    DelayMonitor m;
+    m.arrival(0, 1);
+    m.arrival(ns(100), 1);
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(),
+                     2.0 * (640 + kFixed));
+}
+
+TEST(DelayMonitor, SlowerModeAccumulatesMoreLatency)
+{
+    DelayMonitor full, quarter;
+    full.configure(640, kFixed);
+    quarter.configure(640 * 4, kFixed); // 4-lane VWL
+    for (int i = 0; i < 50; ++i) {
+        const Tick t = ns(20) * i;
+        full.arrival(t, 5);
+        quarter.arrival(t, 5);
+    }
+    EXPECT_GT(quarter.aggregateLatencyPs(), full.aggregateLatencyPs());
+    // At 20 ns spacing even the quarter link keeps up (12.8 ns/packet),
+    // so the difference is pure serialization: 50 * 5 * 3 * 640 ps.
+    EXPECT_DOUBLE_EQ(quarter.aggregateLatencyPs() -
+                         full.aggregateLatencyPs(),
+                     50.0 * 5 * 3 * 640);
+}
+
+TEST(DelayMonitor, DvfsSerdesPenaltyCounted)
+{
+    DelayMonitor dvfs;
+    dvfs.configure(800, nsf(4.0) + LinkTiming::kRouterPs); // 80% mode
+    dvfs.arrival(0, 1);
+    EXPECT_DOUBLE_EQ(dvfs.aggregateLatencyPs(),
+                     800.0 + 4000.0 + LinkTiming::kRouterPs);
+}
+
+TEST(DelayMonitor, EpochResetKeepsBacklog)
+{
+    DelayMonitor m;
+    m.arrival(0, 5);
+    m.arrival(0, 5);
+    m.resetEpoch();
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(), 0.0);
+    EXPECT_EQ(m.packets(), 0u);
+    // A packet arriving right after still queues behind the backlog.
+    const Tick vfree = m.virtualFree();
+    EXPECT_EQ(vfree, 6400);
+    m.arrival(0, 1);
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(),
+                     static_cast<double>(vfree + 640 + kFixed));
+}
+
+} // namespace
+} // namespace memnet

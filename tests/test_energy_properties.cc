@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Property tests over the energy accounting, parameterized across
+ * mechanisms, policies and topologies: components are non-negative,
+ * per-HMC and network totals agree, managed power never exceeds full
+ * power, and I/O energy is bounded by always-on link power.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memnet/experiment.hh"
+#include "memnet/simulator.hh"
+
+namespace memnet
+{
+namespace
+{
+
+using Param = std::tuple<TopologyKind, BwMechanism, bool, Policy>;
+
+class EnergyProperty : public ::testing::TestWithParam<Param>
+{
+  protected:
+    SystemConfig
+    config() const
+    {
+        const auto [topo, mech, roo, policy] = GetParam();
+        SystemConfig cfg;
+        cfg.workload = "mixF";
+        cfg.topology = topo;
+        cfg.sizeClass = SizeClass::Big; // 10 modules
+        cfg.mechanism = mech;
+        cfg.roo = roo;
+        cfg.policy = policy;
+        cfg.warmup = us(50);
+        cfg.measure = us(200);
+        if (policy == Policy::StaticTaper)
+            cfg.interleavePages = true;
+        return cfg;
+    }
+};
+
+TEST_P(EnergyProperty, ComponentsNonNegativeAndConsistent)
+{
+    const RunResult r = runSimulation(config());
+    EXPECT_GE(r.perHmc.idleIoW, 0.0);
+    EXPECT_GE(r.perHmc.activeIoW, 0.0);
+    EXPECT_GE(r.perHmc.logicLeakW, 0.0);
+    EXPECT_GE(r.perHmc.logicDynW, 0.0);
+    EXPECT_GE(r.perHmc.dramLeakW, 0.0);
+    EXPECT_GE(r.perHmc.dramDynW, 0.0);
+    EXPECT_NEAR(r.perHmc.totalW() * r.numModules,
+                r.totalNetworkPowerW, 1e-6);
+    EXPECT_GE(r.idleIoFrac, 0.0);
+    EXPECT_LE(r.idleIoFrac, 1.0);
+}
+
+TEST_P(EnergyProperty, IoEnergyBoundedByAlwaysOnLinks)
+{
+    const RunResult r = runSimulation(config());
+    // 2 links per module at full power is the ceiling.
+    HmcPowerModel pm;
+    const double ceiling = 2.0 * pm.linkFullPowerW();
+    EXPECT_LE(r.perHmc.ioW(), ceiling * 1.0001);
+}
+
+TEST_P(EnergyProperty, ManagedNeverBeatsPhysicsOrExceedsFp)
+{
+    Runner runner;
+    runner.verbose = false;
+    const SystemConfig cfg = config();
+    const RunResult &r = runner.get(cfg);
+    const RunResult &fp = runner.get(Runner::fullPowerBaseline(cfg));
+    EXPECT_LE(r.totalNetworkPowerW, fp.totalNetworkPowerW * 1.01);
+    // Leakage is unmanageable: identical across policies.
+    EXPECT_NEAR(r.perHmc.logicLeakW, fp.perHmc.logicLeakW, 1e-9);
+    EXPECT_NEAR(r.perHmc.dramLeakW, fp.perHmc.dramLeakW, 1e-9);
+}
+
+TEST_P(EnergyProperty, ThroughputSurvivesManagement)
+{
+    Runner runner;
+    runner.verbose = false;
+    const SystemConfig cfg = config();
+    const double deg = runner.degradation(cfg);
+    // No configuration may lose more than ~15% throughput at the
+    // default alpha (the paper's worst case is 5.9%; static tapering
+    // is allowed more).
+    const double limit =
+        cfg.policy == Policy::StaticTaper ? 0.45 : 0.15;
+    EXPECT_LT(deg, limit) << cfg.describe();
+    EXPECT_GT(deg, -0.05) << cfg.describe(); // no speedups from noise
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnergyProperty,
+    ::testing::Values(
+        Param{TopologyKind::DaisyChain, BwMechanism::Vwl, false,
+              Policy::Unaware},
+        Param{TopologyKind::TernaryTree, BwMechanism::Vwl, true,
+              Policy::Unaware},
+        Param{TopologyKind::Star, BwMechanism::None, true,
+              Policy::Unaware},
+        Param{TopologyKind::Star, BwMechanism::Dvfs, false,
+              Policy::Unaware},
+        Param{TopologyKind::DaisyChain, BwMechanism::Vwl, true,
+              Policy::Aware},
+        Param{TopologyKind::Star, BwMechanism::None, true,
+              Policy::Aware},
+        Param{TopologyKind::DdrxLike, BwMechanism::Dvfs, true,
+              Policy::Aware},
+        Param{TopologyKind::Star, BwMechanism::Vwl, false,
+              Policy::StaticTaper},
+        Param{TopologyKind::DdrxLike, BwMechanism::None, false,
+              Policy::FullPower}));
+
+} // namespace
+} // namespace memnet

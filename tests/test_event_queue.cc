@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.fired(), 0u);
+}
+
+TEST(EventQueue, OneShotLambdaFiresAtScheduledTick)
+{
+    EventQueue eq;
+    Tick seen = kTickInvalid;
+    eq.schedule(ns(5), [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, ns(5));
+    EXPECT_EQ(eq.now(), ns(5));
+}
+
+TEST(EventQueue, EventsFireInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(ns(30), [&] { order.push_back(3); });
+    eq.schedule(ns(10), [&] { order.push_back(1); });
+    eq.schedule(ns(20), [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(ns(7), [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(ns(10), [&] { ++fired; });
+    eq.schedule(ns(20), [&] { ++fired; });
+    eq.schedule(ns(30), [&] { ++fired; });
+    eq.runUntil(ns(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), ns(20));
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(us(3));
+    EXPECT_EQ(eq.now(), us(3));
+}
+
+struct CountingEvent : public Event
+{
+    int fired = 0;
+    void fire() override { ++fired; }
+};
+
+TEST(EventQueue, MemberStyleEventReArmable)
+{
+    EventQueue eq;
+    CountingEvent ev;
+    eq.schedule(&ev, ns(1));
+    eq.run();
+    EXPECT_EQ(ev.fired, 1);
+    EXPECT_FALSE(ev.scheduled());
+    eq.schedule(&ev, ns(2));
+    eq.run();
+    EXPECT_EQ(ev.fired, 2);
+}
+
+TEST(EventQueue, DescheduleCancelsFiring)
+{
+    EventQueue eq;
+    CountingEvent ev;
+    eq.schedule(&ev, ns(5));
+    EXPECT_TRUE(ev.scheduled());
+    eq.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_EQ(ev.fired, 0);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RescheduleMovesFiringTime)
+{
+    EventQueue eq;
+    CountingEvent ev;
+    eq.schedule(&ev, ns(5));
+    eq.reschedule(&ev, ns(9));
+    Tick when = kTickInvalid;
+    eq.schedule(ns(6), [&] {
+        // At ns(6) the event must not have fired yet.
+        EXPECT_EQ(ev.fired, 0);
+        when = eq.now();
+    });
+    eq.run();
+    EXPECT_EQ(when, ns(6));
+    EXPECT_EQ(ev.fired, 1);
+    EXPECT_EQ(ev.when(), ns(9));
+}
+
+TEST(EventQueue, RescheduleEarlierFiresEarlier)
+{
+    EventQueue eq;
+    CountingEvent ev;
+    eq.schedule(&ev, ns(100));
+    eq.reschedule(&ev, ns(2));
+    eq.runUntil(ns(10));
+    EXPECT_EQ(ev.fired, 1);
+}
+
+TEST(EventQueue, EventsScheduledDuringFiringRun)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.schedule(eq.now() + ns(1), chain);
+    };
+    eq.schedule(ns(1), chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), ns(5));
+}
+
+TEST(EventQueue, PendingTracksLiveEvents)
+{
+    EventQueue eq;
+    CountingEvent a, b;
+    eq.schedule(&a, ns(1));
+    eq.schedule(&b, ns(2));
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.fired(), 1u);
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the experiment runner and table utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memnet/experiment.hh"
+
+namespace memnet
+{
+namespace
+{
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::DaisyChain;
+    cfg.sizeClass = SizeClass::Small;
+    cfg.warmup = us(20);
+    cfg.measure = us(100);
+    return cfg;
+}
+
+TEST(Runner, CachesRepeatRuns)
+{
+    Runner r;
+    r.verbose = false;
+    const SystemConfig cfg = tinyConfig();
+    r.get(cfg);
+    EXPECT_EQ(r.runsExecuted(), 1);
+    r.get(cfg);
+    EXPECT_EQ(r.runsExecuted(), 1);
+    const RunResult &a = r.get(cfg);
+    const RunResult &b = r.get(cfg);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Runner, KeyDistinguishesConfigs)
+{
+    SystemConfig a = tinyConfig();
+    SystemConfig b = a;
+    EXPECT_EQ(Runner::key(a), Runner::key(b));
+    b.alphaPct = 2.5;
+    EXPECT_NE(Runner::key(a), Runner::key(b));
+    b = a;
+    b.topology = TopologyKind::Star;
+    EXPECT_NE(Runner::key(a), Runner::key(b));
+    b = a;
+    b.roo = true;
+    EXPECT_NE(Runner::key(a), Runner::key(b));
+}
+
+TEST(Runner, FullPowerBaselineStripsManagement)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.policy = Policy::Aware;
+    cfg.mechanism = BwMechanism::Dvfs;
+    cfg.roo = true;
+    cfg.interleavePages = true;
+    const SystemConfig base = Runner::fullPowerBaseline(cfg);
+    EXPECT_EQ(base.policy, Policy::FullPower);
+    EXPECT_EQ(base.mechanism, BwMechanism::None);
+    EXPECT_FALSE(base.roo);
+    EXPECT_FALSE(base.interleavePages);
+    // Workload and topology untouched.
+    EXPECT_EQ(base.workload, cfg.workload);
+    EXPECT_EQ(base.topology, cfg.topology);
+}
+
+TEST(Runner, FullPowerDegradationIsZero)
+{
+    Runner r;
+    r.verbose = false;
+    EXPECT_DOUBLE_EQ(r.degradation(tinyConfig()), 0.0);
+    EXPECT_DOUBLE_EQ(r.powerReduction(tinyConfig()), 0.0);
+}
+
+TEST(Lists, TopologiesAndWorkloadsComplete)
+{
+    EXPECT_EQ(allTopologies().size(), 4u);
+    EXPECT_EQ(workloadNames().size(), 14u);
+    EXPECT_EQ(workloadNames().front(), "ua.D");
+}
+
+TEST(TextTableTest, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+    EXPECT_EQ(TextTable::pct(-0.05, 0), "-5%");
+}
+
+TEST(TextTableTest, PrintsAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1.0"});
+    t.addRow({"a-much-longer-label", "2"});
+    ::testing::internal::CaptureStdout();
+    t.print();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("a-much-longer-label"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConfigTest, DescribeAndNames)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.policy = Policy::Aware;
+    const std::string d = cfg.describe();
+    EXPECT_NE(d.find("mixE"), std::string::npos);
+    EXPECT_NE(d.find("daisychain"), std::string::npos);
+    EXPECT_NE(d.find("small"), std::string::npos);
+    EXPECT_NE(d.find("aware"), std::string::npos);
+    EXPECT_STREQ(sizeClassName(SizeClass::Big), "big");
+    EXPECT_STREQ(policyName(Policy::StaticTaper), "static");
+}
+
+TEST(ConfigTest, ChunkBytesPerSizeClass)
+{
+    SystemConfig cfg;
+    cfg.sizeClass = SizeClass::Small;
+    EXPECT_EQ(cfg.chunkBytes(), 4ULL << 30);
+    cfg.sizeClass = SizeClass::Big;
+    EXPECT_EQ(cfg.chunkBytes(), 1ULL << 30);
+}
+
+} // namespace
+} // namespace memnet

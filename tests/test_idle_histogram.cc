@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the ROO idle-interval histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mgmt/idle_histogram.hh"
+
+namespace memnet
+{
+namespace
+{
+
+std::vector<Tick>
+paperThresholds()
+{
+    return {ns(32), ns(128), ns(512), ns(2048)};
+}
+
+TEST(IdleHistogram, ShortIntervalsIgnored)
+{
+    IdleHistogram h(paperThresholds());
+    h.interval(ns(10));
+    h.interval(ns(31));
+    for (std::size_t r = 0; r < 4; ++r)
+        EXPECT_EQ(h.wakeups(r), 0u);
+}
+
+TEST(IdleHistogram, WakeupsAreCumulativeFromThreshold)
+{
+    IdleHistogram h(paperThresholds());
+    h.interval(ns(40));   // >= 32 only
+    h.interval(ns(200));  // >= 32, 128
+    h.interval(ns(600));  // >= 32, 128, 512
+    h.interval(ns(5000)); // all
+    EXPECT_EQ(h.wakeups(0), 4u);
+    EXPECT_EQ(h.wakeups(1), 3u);
+    EXPECT_EQ(h.wakeups(2), 2u);
+    EXPECT_EQ(h.wakeups(3), 1u);
+}
+
+TEST(IdleHistogram, OffTimeSubtractsThreshold)
+{
+    IdleHistogram h(paperThresholds());
+    h.interval(ns(100)); // 32-mode sleeps 68 ns
+    h.interval(ns(160)); // 32-mode: 128; 128-mode: 32
+    EXPECT_EQ(h.offTime(0), ns(68) + ns(128));
+    EXPECT_EQ(h.offTime(1), ns(32));
+    EXPECT_EQ(h.offTime(2), 0);
+}
+
+TEST(IdleHistogram, OffTimeForLargestThreshold)
+{
+    IdleHistogram h(paperThresholds());
+    h.interval(us(10));
+    EXPECT_EQ(h.offTime(3), us(10) - ns(2048));
+    EXPECT_EQ(h.wakeups(3), 1u);
+}
+
+TEST(IdleHistogram, ExactThresholdCounts)
+{
+    IdleHistogram h(paperThresholds());
+    h.interval(ns(32));
+    EXPECT_EQ(h.wakeups(0), 1u);
+    EXPECT_EQ(h.offTime(0), 0);
+}
+
+TEST(IdleHistogram, ResetClears)
+{
+    IdleHistogram h(paperThresholds());
+    h.interval(us(1));
+    h.resetEpoch();
+    EXPECT_EQ(h.wakeups(0), 0u);
+    EXPECT_EQ(h.offTime(0), 0);
+}
+
+TEST(IdleHistogram, EmptyThresholdListIsInert)
+{
+    IdleHistogram h({});
+    h.interval(us(1));
+    EXPECT_EQ(h.modes(), 0u);
+}
+
+} // namespace
+} // namespace memnet

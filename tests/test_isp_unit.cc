@@ -1,0 +1,233 @@
+/**
+ * @file
+ * White-box unit tests of Iterative Slowdown Propagation: drive the
+ * AwareManager's redistribute() directly with synthetic counter state
+ * and check the budget arithmetic, scatter division and monotonicity
+ * enforcement in isolation from full-system noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mgmt/aware.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+/** Exposes the protected policy machinery for testing. */
+class IspHarness : public AwareManager
+{
+  public:
+    using AwareManager::AwareManager;
+    using AwareManager::redistribute;
+
+    void
+    setModuleEpoch(int m, double fel_ps, double ael_ps)
+    {
+        mods[m].felPs = fel_ps;
+        mods[m].aelPs = ael_ps;
+    }
+};
+
+class IspUnitTest : public ::testing::Test
+{
+  protected:
+    /** A 4-deep daisy chain with VWL links and no ROO. */
+    void
+    build(BwMechanism mech = BwMechanism::Vwl, int n = 4,
+          double alpha = 5.0, AwareOptions opts = {})
+    {
+        Topology topo = Topology::build(TopologyKind::DaisyChain, n);
+        AddressMap amap;
+        net = std::make_unique<Network>(eq, topo, dram, mech, roo, pm,
+                                        amap);
+        ManagerParams mp;
+        mp.alphaPct = alpha;
+        mgr = std::make_unique<IspHarness>(*net, mech, roo, mp, opts);
+        // Not started: we drive redistribute() by hand.
+    }
+
+    /** Feed N spaced read arrivals into a link and close its epoch. */
+    void
+    feedReads(LinkMgmtState &s, int n, int flits = 5)
+    {
+        for (int i = 0; i < n; ++i)
+            s.onReadArrival(ns(100) * i, flits);
+        s.epochEnd(us(100));
+    }
+
+    EventQueue eq;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo; // disabled
+    std::unique_ptr<Network> net;
+    std::unique_ptr<IspHarness> mgr;
+};
+
+TEST_F(IspUnitTest, NoBudgetKeepsEveryLinkFullPower)
+{
+    build();
+    // Traffic on every link but zero AMS (alpha small, big overhead).
+    for (int m = 0; m < 4; ++m) {
+        feedReads(mgr->requestState(m), 100);
+        feedReads(mgr->responseState(m), 100);
+        mgr->setModuleEpoch(m, /*fel=*/1e6, /*ael=*/5e6); // deep debt
+    }
+    mgr->redistribute(0);
+    for (int m = 0; m < 4; ++m) {
+        EXPECT_EQ(mgr->requestState(m).selected.bw, 0u);
+        EXPECT_EQ(mgr->responseState(m).selected.bw, 0u);
+    }
+    EXPECT_DOUBLE_EQ(mgr->grantPool(), 0.0);
+}
+
+TEST_F(IspUnitTest, IdleNetworkDropsToLowestModes)
+{
+    build();
+    for (int m = 0; m < 4; ++m) {
+        mgr->requestState(m).epochEnd(us(100)); // zero traffic: FLO 0
+        mgr->responseState(m).epochEnd(us(100));
+        mgr->setModuleEpoch(m, 1e6, 1e6); // AMS generated, no debt
+    }
+    mgr->redistribute(0);
+    for (int m = 0; m < 4; ++m) {
+        EXPECT_EQ(mgr->requestState(m).selected.bw, 3u)
+            << "request link " << m;
+        EXPECT_EQ(mgr->responseState(m).selected.bw, 3u)
+            << "response link " << m;
+    }
+    // Zero FLO everywhere: the entire budget returns as grant pool.
+    EXPECT_NEAR(mgr->grantPool(), 0.05 * 4e6, 1.0);
+}
+
+TEST_F(IspUnitTest, BudgetFollowsEquationOneAcrossEpochs)
+{
+    build();
+    // Epoch 1: generate budget.
+    for (int m = 0; m < 4; ++m) {
+        mgr->requestState(m).epochEnd(us(100));
+        mgr->responseState(m).epochEnd(us(100));
+        mgr->setModuleEpoch(m, 1e6, 1e6);
+    }
+    mgr->redistribute(0);
+    const double pool1 = mgr->grantPool();
+    // Epoch 2: overhead spends some of the cumulative budget.
+    for (int m = 0; m < 4; ++m) {
+        mgr->requestState(m).epochEnd(us(100));
+        mgr->responseState(m).epochEnd(us(100));
+        mgr->setModuleEpoch(m, 1e6, 1e6 + 2e4); // 20 ns overhead each
+    }
+    mgr->redistribute(0);
+    // Cumulative: alpha * 8e6 - 8e4 = 4e5 - 8e4.
+    EXPECT_NEAR(mgr->grantPool(), 0.05 * 8e6 - 4 * 2e4, 1.0);
+    EXPECT_GT(pool1, 0.0);
+}
+
+TEST_F(IspUnitTest, BudgetGoesToTheLinkThatCanUseIt)
+{
+    build();
+    // Only module 2's request link has (modest) traffic; everyone
+    // else is idle. Give the network a budget that affords module 2's
+    // 8-lane mode.
+    for (int m = 0; m < 4; ++m) {
+        if (m == 2) {
+            feedReads(mgr->requestState(m), 50); // flo(8l) = 160 ns
+        } else {
+            mgr->requestState(m).epochEnd(us(100));
+        }
+        mgr->responseState(m).epochEnd(us(100));
+        mgr->setModuleEpoch(m, m == 2 ? 1e7 : 0.0, m == 2 ? 1e7 : 0.0);
+    }
+    mgr->redistribute(0);
+    // flo(8-lane) for 50 5-flit packets = 50*5*640 ps = 160000 ps;
+    // budget alpha=5% of 1e7 = 5e5 ps, plenty. Module 2's request
+    // link must leave full power.
+    EXPECT_GT(mgr->requestState(2).selected.bw, 0u);
+    // Idle links all drop to 1 lane.
+    EXPECT_EQ(mgr->requestState(3).selected.bw, 3u);
+}
+
+TEST_F(IspUnitTest, MonotonicityHoldsWithUnequalTraffic)
+{
+    build();
+    // Downstream-heavy traffic pattern: module 3's links busiest.
+    const int reads[4] = {200, 150, 100, 400};
+    for (int m = 0; m < 4; ++m) {
+        feedReads(mgr->requestState(m), reads[m]);
+        feedReads(mgr->responseState(m), reads[m]);
+        mgr->setModuleEpoch(m, 2e6, 2e6);
+    }
+    mgr->redistribute(0);
+    for (int m = 0; m + 1 < 4; ++m) {
+        EXPECT_LE(mgr->requestState(m).selected.bw,
+                  mgr->requestState(m + 1).selected.bw);
+        EXPECT_LE(mgr->responseState(m).selected.bw,
+                  mgr->responseState(m + 1).selected.bw);
+    }
+}
+
+TEST_F(IspUnitTest, SingleIterationDistributesLessThanThree)
+{
+    AwareOptions one;
+    one.ispIterations = 1;
+    build(BwMechanism::Vwl, 4, 5.0, one);
+    for (int m = 0; m < 4; ++m) {
+        feedReads(mgr->requestState(m), 100 * (m + 1));
+        mgr->responseState(m).epochEnd(us(100));
+        mgr->setModuleEpoch(m, 1e6, 1e6);
+    }
+    mgr->redistribute(0);
+    double total_flo_1 = 0;
+    for (int m = 0; m < 4; ++m)
+        total_flo_1 += mgr->requestState(m).amsPs;
+
+    // Same scenario with the full three iterations.
+    build(BwMechanism::Vwl, 4, 5.0, {});
+    for (int m = 0; m < 4; ++m) {
+        feedReads(mgr->requestState(m), 100 * (m + 1));
+        mgr->responseState(m).epochEnd(us(100));
+        mgr->setModuleEpoch(m, 1e6, 1e6);
+    }
+    mgr->redistribute(0);
+    double total_flo_3 = 0;
+    for (int m = 0; m < 4; ++m)
+        total_flo_3 += mgr->requestState(m).amsPs;
+
+    // More iterations allocate at least as much slowdown budget.
+    EXPECT_GE(total_flo_3, total_flo_1);
+}
+
+TEST_F(IspUnitTest, CongestionDiscountShrinksDebt)
+{
+    // Two managers, identical counters except the discount switch.
+    double discounted = 0.0, undiscounted = 0.0;
+    for (bool discount : {false, true}) {
+        AwareOptions opts;
+        opts.congestionDiscount = discount;
+        build(BwMechanism::Vwl, 4, 5.0, opts);
+        for (int m = 0; m < 4; ++m) {
+            LinkMgmtState &resp = mgr->responseState(m);
+            // Congest the response links: bursts of back-to-back reads.
+            for (int i = 0; i < 50; ++i)
+                resp.onReadArrival(ns(1), 5);
+            resp.epochEnd(us(100));
+            mgr->requestState(m).epochEnd(us(100));
+            mgr->setModuleEpoch(m, 1e6, 1e6 + 5e4); // debt everywhere
+        }
+        mgr->redistribute(0);
+        if (discount)
+            discounted = mgr->grantPool();
+        else
+            undiscounted = mgr->grantPool();
+    }
+    // Discounting hidden downstream overhead leaves more budget.
+    EXPECT_GE(discounted, undiscounted);
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the link CRC/retry error model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memnet/simulator.hh"
+#include "net/link.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+struct CountSink : public PacketSink
+{
+    int delivered = 0;
+    Tick last = 0;
+    void
+    accept(Packet *pkt, Tick now) override
+    {
+        ++delivered;
+        last = now;
+        delete pkt;
+    }
+};
+
+Packet *
+makeResp()
+{
+    Packet *p = new Packet;
+    p->type = PacketType::ReadResp;
+    p->flits = 5;
+    return p;
+}
+
+class LinkErrorTest : public ::testing::Test
+{
+  protected:
+    void
+    build(double fer)
+    {
+        errors.flitErrorRate = fer;
+        link = std::make_unique<Link>(
+            eq, 0, LinkType::Request, 0,
+            &ModeTable::forMechanism(BwMechanism::None), &roo, 1.0,
+            &sink, &errors);
+    }
+
+    EventQueue eq;
+    RooConfig roo;
+    LinkErrorModel errors;
+    CountSink sink;
+    std::unique_ptr<Link> link;
+};
+
+TEST_F(LinkErrorTest, CleanLinkNeverRetries)
+{
+    build(0.0);
+    for (int i = 0; i < 200; ++i)
+        link->enqueue(makeResp());
+    eq.run();
+    EXPECT_EQ(sink.delivered, 200);
+    EXPECT_EQ(link->stats().retries, 0u);
+}
+
+TEST_F(LinkErrorTest, NoisyLinkRetriesButDelivers)
+{
+    build(0.02); // ~10% packet error for 5 flits
+    for (int i = 0; i < 500; ++i)
+        link->enqueue(makeResp());
+    eq.run();
+    EXPECT_EQ(sink.delivered, 500);
+    EXPECT_GT(link->stats().retries, 10u);
+    EXPECT_LT(link->stats().retries, 200u);
+    // Retransmitted flits count toward utilization/energy.
+    EXPECT_EQ(link->stats().flits,
+              5 * (500 + link->stats().retries));
+}
+
+TEST_F(LinkErrorTest, RetriesAddLatency)
+{
+    build(0.0);
+    link->enqueue(makeResp());
+    eq.run();
+    const Tick clean = sink.last;
+
+    // Same single packet on a very noisy link takes longer.
+    EventQueue eq2;
+    CountSink sink2;
+    LinkErrorModel noisy;
+    noisy.flitErrorRate = 0.2;
+    Link link2(eq2, 0, LinkType::Request, 0,
+               &ModeTable::forMechanism(BwMechanism::None), &roo, 1.0,
+               &sink2, &noisy);
+    int attempts = 0;
+    while (sink2.delivered == 0 && attempts < 50) {
+        // A fresh packet per attempt would skew stats; just run once —
+        // the retry loop is internal.
+        if (attempts++ == 0)
+            link2.enqueue(makeResp());
+        eq2.run();
+    }
+    ASSERT_EQ(sink2.delivered, 1);
+    EXPECT_GE(sink2.last, clean);
+}
+
+TEST_F(LinkErrorTest, SystemLevelErrorsInflatePowerAndLatency)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.warmup = us(50);
+    cfg.measure = us(200);
+    const RunResult clean = runSimulation(cfg);
+    cfg.linkFlitErrorRate = 0.02;
+    const RunResult noisy = runSimulation(cfg);
+    EXPECT_GT(noisy.avgReadLatencyNs, clean.avgReadLatencyNs);
+    // Retransmissions burn extra active-I/O energy.
+    EXPECT_GT(noisy.perHmc.activeIoW, clean.perHmc.activeIoW);
+    EXPECT_EQ(noisy.completedReads + 0, noisy.completedReads); // sane
+    EXPECT_GT(noisy.completedReads, 1000u);
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the passive link power state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linkpm/link_power_state.hh"
+
+namespace memnet
+{
+namespace
+{
+
+class LinkPowerStateVwl : public ::testing::Test
+{
+  protected:
+    LinkPowerStateVwl()
+        : table(&ModeTable::forMechanism(BwMechanism::Vwl))
+    {
+        roo.enabled = true;
+        state = std::make_unique<LinkPowerState>(table, &roo);
+    }
+
+    const ModeTable *table;
+    RooConfig roo;
+    std::unique_ptr<LinkPowerState> state;
+};
+
+TEST_F(LinkPowerStateVwl, StartsFullPowerOn)
+{
+    EXPECT_EQ(state->modeIndex(), 0u);
+    EXPECT_EQ(state->rooState(), RooState::On);
+    EXPECT_EQ(state->rooModeIndex(), roo.fullModeIndex());
+    EXPECT_DOUBLE_EQ(state->powerFrac(0), 1.0);
+    EXPECT_EQ(state->flitTime(0), LinkTiming::kFullFlitPs);
+}
+
+TEST_F(LinkPowerStateVwl, SetModeStartsTransition)
+{
+    const Tick end = state->setMode(ns(100), 1); // 8 lanes
+    EXPECT_EQ(end, ns(100) + us(1));
+    EXPECT_TRUE(state->inTransition(ns(500)));
+    EXPECT_FALSE(state->inTransition(end));
+}
+
+TEST_F(LinkPowerStateVwl, TransitionUsesWorstOfBothModes)
+{
+    state->setMode(0, 2); // 16 -> 4 lanes
+    // During the transition: bandwidth of the slower mode, power of the
+    // higher mode.
+    EXPECT_EQ(state->flitTime(ns(10)), LinkTiming::kFullFlitPs * 4);
+    EXPECT_DOUBLE_EQ(state->onPowerFrac(ns(10)), 1.0);
+    // After: the new mode's numbers.
+    EXPECT_EQ(state->flitTime(us(2)), LinkTiming::kFullFlitPs * 4);
+    EXPECT_NEAR(state->onPowerFrac(us(2)), 5.0 / 17.0, 1e-12);
+}
+
+TEST_F(LinkPowerStateVwl, UpTransitionAlsoWorstCase)
+{
+    state->setMode(0, 3);       // to 1 lane
+    state->setMode(us(2), 0);   // back to 16 lanes
+    // Still 1-lane bandwidth and full power during the up transition.
+    EXPECT_EQ(state->flitTime(us(2) + ns(10)),
+              LinkTiming::kFullFlitPs * 16);
+    EXPECT_DOUBLE_EQ(state->onPowerFrac(us(2) + ns(10)), 1.0);
+    EXPECT_EQ(state->flitTime(us(4)), LinkTiming::kFullFlitPs);
+}
+
+TEST_F(LinkPowerStateVwl, SettingSameModeIsNoOp)
+{
+    const Tick end = state->setMode(ns(50), 0);
+    EXPECT_EQ(end, ns(50));
+    EXPECT_FALSE(state->inTransition(ns(50)));
+}
+
+TEST_F(LinkPowerStateVwl, RooOffAndWakeSequence)
+{
+    state->turnOff();
+    EXPECT_EQ(state->rooState(), RooState::Off);
+    EXPECT_DOUBLE_EQ(state->powerFrac(ns(10)), 0.01);
+
+    const Tick up = state->beginWake(ns(100));
+    EXPECT_EQ(up, ns(100) + ns(14));
+    EXPECT_EQ(state->rooState(), RooState::Waking);
+    // Waking draws full on-state power.
+    EXPECT_DOUBLE_EQ(state->powerFrac(ns(105)), 1.0);
+
+    state->finishWake();
+    EXPECT_EQ(state->rooState(), RooState::On);
+}
+
+TEST_F(LinkPowerStateVwl, RooModeSelectsThreshold)
+{
+    state->setRooMode(0);
+    EXPECT_EQ(state->idleThreshold(), ns(32));
+    state->setRooMode(2);
+    EXPECT_EQ(state->idleThreshold(), ns(512));
+    EXPECT_EQ(state->rooFullModeIndex(), 3u);
+}
+
+TEST_F(LinkPowerStateVwl, OffPowerIndependentOfBwMode)
+{
+    state->setMode(0, 3);
+    state->turnOff();
+    // Off power is 1% of *full* link power regardless of lane mode.
+    EXPECT_DOUBLE_EQ(state->powerFrac(us(5)), 0.01);
+}
+
+TEST(LinkPowerStateDvfs, SerdesTracksTransitionWorstCase)
+{
+    RooConfig roo; // disabled
+    LinkPowerState s(&ModeTable::forMechanism(BwMechanism::Dvfs), &roo);
+    s.setMode(0, 2); // 50% mode, serdes 6.4 ns
+    EXPECT_EQ(s.serdes(ns(10)), nsf(6.4));
+    EXPECT_EQ(s.serdes(us(4)), nsf(6.4));
+    s.setMode(us(4), 0);
+    // Transitioning back up still reports the slower SERDES.
+    EXPECT_EQ(s.serdes(us(4) + ns(1)), nsf(6.4));
+    EXPECT_EQ(s.serdes(us(8)), LinkTiming::kSerdesPs);
+}
+
+TEST(LinkPowerStateNoRoo, RooDisabledDefaults)
+{
+    RooConfig roo;
+    LinkPowerState s(&ModeTable::forMechanism(BwMechanism::Vwl), &roo);
+    EXPECT_FALSE(s.rooEnabled());
+    EXPECT_EQ(s.rooState(), RooState::On);
+    EXPECT_EQ(s.rooModeIndex(), 0u);
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the per-link management state: FLO estimation, combo
+ * selection, congestion counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mgmt/link_state.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+struct NullSink : public PacketSink
+{
+    void accept(Packet *pkt, Tick) override { delete pkt; }
+};
+
+class LinkStateTest : public ::testing::Test
+{
+  protected:
+    void
+    build(BwMechanism mech, bool roo_on,
+          LinkType type = LinkType::Response)
+    {
+        roo.enabled = roo_on;
+        const ModeTable &table = ModeTable::forMechanism(mech);
+        link = std::make_unique<Link>(eq, 0, type, 0, &table, &roo, 1.0,
+                                      &sink);
+        state = std::make_unique<LinkMgmtState>(*link, table, roo);
+    }
+
+    EventQueue eq;
+    RooConfig roo;
+    NullSink sink;
+    std::unique_ptr<Link> link;
+    std::unique_ptr<LinkMgmtState> state;
+};
+
+TEST_F(LinkStateTest, FloZeroWithNoTraffic)
+{
+    build(BwMechanism::Vwl, false);
+    state->epochEnd(us(100));
+    for (const Combo &c : state->combosByPower())
+        EXPECT_DOUBLE_EQ(state->flo(c), 0.0);
+}
+
+TEST_F(LinkStateTest, FloGrowsForSlowerModes)
+{
+    build(BwMechanism::Vwl, false);
+    for (int i = 0; i < 100; ++i)
+        state->onReadArrival(ns(100) * i, 5);
+    state->epochEnd(us(100));
+    double prev = -1.0;
+    for (std::size_t b = 0; b < state->bwModes(); ++b) {
+        const double f = state->flo(Combo{b, 0});
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+    // 8-lane mode adds one extra flit time per flit: 100 * 5 * 640 ps.
+    EXPECT_DOUBLE_EQ(state->flo(Combo{1, 0}), 100.0 * 5 * 640);
+}
+
+TEST_F(LinkStateTest, BestComboRespectsAms)
+{
+    build(BwMechanism::Vwl, false);
+    for (int i = 0; i < 100; ++i)
+        state->onReadArrival(ns(100) * i, 5);
+    state->epochEnd(us(100));
+    // Tiny budget: must stay at full power.
+    EXPECT_EQ(state->bestCombo(10.0).bw, 0u);
+    // Budget for 8 lanes but not 4: flo(8)=320 ns, flo(4)=960 ns.
+    const Combo c = state->bestCombo(5e5);
+    EXPECT_EQ(c.bw, 1u);
+    // Huge budget: cheapest mode wins.
+    EXPECT_EQ(state->bestCombo(1e12).bw, 3u);
+}
+
+TEST_F(LinkStateTest, ActualLatencyAndOverhead)
+{
+    build(BwMechanism::Vwl, false);
+    state->onReadArrival(0, 5);
+    state->onReadDeparture(0, ns(50));
+    // Full-power estimate for one 5-flit packet: 3.2+3.2+2.56 ns.
+    EXPECT_DOUBLE_EQ(state->actualLatencyPs(), 50000.0);
+    EXPECT_DOUBLE_EQ(state->fullPowerLatencyPs(), 8960.0);
+    EXPECT_DOUBLE_EQ(state->overheadPs(), 50000.0 - 8960.0);
+}
+
+TEST_F(LinkStateTest, RooFloCountsOnlyExtraWakeups)
+{
+    build(BwMechanism::None, true, LinkType::Response);
+    // Three intervals long enough for 128 ns mode but not 2048 ns.
+    state->onIdleInterval(ns(200));
+    state->onIdleInterval(ns(300));
+    state->onIdleInterval(ns(250));
+    // One interval that even the full mode would sleep through.
+    state->onIdleInterval(us(10));
+    state->epochEnd(us(100));
+    // Full mode wakeup (the us(10) interval) is the baseline.
+    EXPECT_DOUBLE_EQ(state->flo(Combo{0, 3}), 0.0);
+    // 128 ns mode: 3 extra wakeups at 14 ns each (no sampled arrivals).
+    EXPECT_DOUBLE_EQ(state->flo(Combo{0, 1}), 3.0 * 14000);
+}
+
+TEST_F(LinkStateTest, RequestLinksPayResponseAmplification)
+{
+    build(BwMechanism::None, true, LinkType::Request);
+    // Create sampled arrivals during wake windows: bursts of reads.
+    for (int burst = 0; burst < 20; ++burst) {
+        const Tick t0 = us(1) * burst;
+        for (int j = 0; j < 4; ++j)
+            state->onReadArrival(t0 + ns(2) * j, 1);
+        state->onIdleInterval(ns(600));
+    }
+    state->epochEnd(us(100));
+    // avg arrivals-during-wake is ~3, so per-wake overhead is
+    // 14 ns * (1 + 2*avg) for request links: strictly more than the
+    // response-link formula 14 ns * (1 + avg).
+    const double flo = state->flo(Combo{0, 0});
+    EXPECT_GT(flo, 20.0 * 14000 * (1.0 + 3.0) * 0.9);
+}
+
+TEST_F(LinkStateTest, PredictedPowerUsesOffFraction)
+{
+    build(BwMechanism::None, true);
+    // Idle essentially the whole epoch.
+    state->onIdleInterval(us(99));
+    state->epochEnd(us(100));
+    const double p_aggressive = state->predictedPowerFrac(Combo{0, 0});
+    const double p_full = state->predictedPowerFrac(Combo{0, 3});
+    EXPECT_LT(p_aggressive, 0.05);
+    EXPECT_LT(p_full, p_aggressive + 0.05); // both mostly off
+    EXPECT_GT(p_full, 0.0);
+}
+
+TEST_F(LinkStateTest, CongestionCountersDetectQueuing)
+{
+    build(BwMechanism::Vwl, false);
+    // Twenty packets arriving simultaneously: deep virtual queue.
+    for (int i = 0; i < 20; ++i)
+        state->onReadArrival(ns(1), 5);
+    EXPECT_GT(state->queuedFraction(), 0.5);
+    state->epochEnd(us(100));
+    EXPECT_GT(state->lastQf, 0.5);
+    EXPECT_GT(state->lastQdPs, 0.0);
+}
+
+TEST_F(LinkStateTest, NoQueuingForSpacedArrivals)
+{
+    build(BwMechanism::Vwl, false);
+    for (int i = 0; i < 20; ++i)
+        state->onReadArrival(us(1) * i, 5);
+    EXPECT_DOUBLE_EQ(state->queuedFraction(), 0.0);
+}
+
+TEST_F(LinkStateTest, EpochEndResetsInEpochCounters)
+{
+    build(BwMechanism::Vwl, true);
+    state->onReadArrival(0, 5);
+    state->onReadDeparture(0, ns(10));
+    state->onIdleInterval(us(1));
+    state->epochEnd(us(100));
+    EXPECT_DOUBLE_EQ(state->actualLatencyPs(), 0.0);
+    EXPECT_EQ(state->readPackets(), 0u);
+    EXPECT_FALSE(state->forcedFullPower);
+    EXPECT_EQ(state->grantsUsed, 0);
+}
+
+TEST_F(LinkStateTest, NextLowerPowerWalksOrdering)
+{
+    build(BwMechanism::Vwl, false);
+    state->epochEnd(us(100));
+    const auto &ordered = state->combosByPower();
+    ASSERT_GE(ordered.size(), 2u);
+    Combo lower;
+    // The cheapest combo has no lower-power neighbor.
+    EXPECT_FALSE(state->nextLowerPower(ordered.front(), &lower));
+    // The most expensive one does.
+    EXPECT_TRUE(state->nextLowerPower(ordered.back(), &lower));
+    EXPECT_LE(state->predictedPowerFrac(lower),
+              state->predictedPowerFrac(ordered.back()));
+}
+
+TEST_F(LinkStateTest, FullComboIsAlwaysAffordable)
+{
+    build(BwMechanism::Dvfs, true);
+    for (int i = 0; i < 50; ++i)
+        state->onReadArrival(ns(10) * i, 5);
+    state->onIdleInterval(ns(100));
+    state->epochEnd(us(100));
+    EXPECT_DOUBLE_EQ(state->flo(state->fullCombo()), 0.0);
+    const Combo c = state->bestCombo(0.0);
+    EXPECT_DOUBLE_EQ(state->flo(c), 0.0);
+}
+
+} // namespace
+} // namespace memnet

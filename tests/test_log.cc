@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(Log, PanicAbortsByDefault)
+{
+    EXPECT_DEATH(memnet_panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(Log, FatalExitsWithError)
+{
+    EXPECT_EXIT(memnet_fatal("bad config: ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config: x");
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    memnet_assert(1 + 1 == 2, "arithmetic");
+    SUCCEED();
+}
+
+TEST(Log, AssertDiesOnFalse)
+{
+    EXPECT_DEATH(memnet_assert(false, "ctx ", 7),
+                 "assertion failed.*ctx 7");
+}
+
+TEST(Log, ThrowOnErrorHookThrowsInstead)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(memnet_panic("thrown"), std::runtime_error);
+    EXPECT_THROW(memnet_fatal("thrown too"), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Log, MessageFormatterConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::formatMessage("a=", 1, " b=", 2.5, " c"),
+              "a=1 b=2.5 c");
+    EXPECT_EQ(detail::formatMessage(), "");
+}
+
+TEST(Log, WarnAndInformDoNotTerminate)
+{
+    memnet_warn("just a warning ", 1);
+    memnet_inform("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace memnet

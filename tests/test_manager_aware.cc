@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Integration tests for network-aware management (Section VI): ISP
+ * monotonicity, power advantage over unaware, wakeup hiding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memnet/experiment.hh"
+#include "memnet/simulator.hh"
+#include "mgmt/aware.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "workload/processor.hh"
+
+namespace memnet
+{
+namespace
+{
+
+SystemConfig
+baseConfig(const std::string &wl = "mixC")
+{
+    SystemConfig cfg;
+    cfg.workload = wl;
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.warmup = us(100);
+    cfg.measure = us(400);
+    cfg.policy = Policy::Aware;
+    cfg.alphaPct = 5.0;
+    return cfg;
+}
+
+TEST(AwareManager, BeatsUnawareOnPowerVwl)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig aware = baseConfig();
+    aware.mechanism = BwMechanism::Vwl;
+    SystemConfig unaware = aware;
+    unaware.policy = Policy::Unaware;
+    EXPECT_GT(r.powerReduction(aware),
+              r.powerReduction(unaware) - 0.005);
+}
+
+TEST(AwareManager, BeatsUnawareOnPowerRoo)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig aware = baseConfig();
+    aware.mechanism = BwMechanism::None;
+    aware.roo = true;
+    SystemConfig unaware = aware;
+    unaware.policy = Policy::Unaware;
+    EXPECT_GT(r.powerReduction(aware),
+              r.powerReduction(unaware) - 0.005);
+}
+
+TEST(AwareManager, PerformanceStaysNearAlpha)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig("mixB");
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    EXPECT_LT(r.degradation(cfg), 0.08);
+}
+
+/**
+ * Drive a real network + aware manager directly so we can inspect ISP's
+ * invariant: an upstream link never runs at a lower power mode than a
+ * downstream link of the same type.
+ */
+class IspInvariantTest : public ::testing::Test
+{
+  protected:
+    void
+    run(BwMechanism mech, bool roo_on)
+    {
+        const WorkloadProfile &w = workloadByName("mixC");
+        const std::uint64_t chunk = 1ULL << 30;
+        topo = Topology::build(TopologyKind::DaisyChain,
+                               w.modulesFor(chunk));
+        RooConfig *roo = new RooConfig; // leaked in test, fine
+        roo->enabled = roo_on;
+        AddressMap amap;
+        amap.chunkBytes = chunk;
+        net = std::make_unique<Network>(eq, topo, dram, mech, *roo, pm,
+                                        amap);
+        ProcessorParams pp;
+        proc = std::make_unique<Processor>(eq, *net, w, pp);
+        ManagerParams mp;
+        mp.alphaPct = 5.0;
+        mgr = std::make_unique<AwareManager>(*net, mech, *roo, mp);
+        mgr->start(0);
+        proc->start(0);
+        eq.runUntil(us(450)); // several epochs
+    }
+
+    EventQueue eq;
+    DramParams dram;
+    HmcPowerModel pm;
+    Topology topo{Topology::build(TopologyKind::DaisyChain, 1)};
+    std::unique_ptr<Network> net;
+    std::unique_ptr<Processor> proc;
+    std::unique_ptr<AwareManager> mgr;
+};
+
+TEST_F(IspInvariantTest, UpstreamNeverAtLowerBwModeThanDownstream)
+{
+    run(BwMechanism::Vwl, false);
+    ASSERT_GT(mgr->epochs(), 2u);
+    // Inspect ISP's selections (the live link mode can additionally be
+    // snapped to full power by mid-epoch violation feedback).
+    for (int m = 0; m + 1 < net->numModules(); ++m) {
+        EXPECT_LE(mgr->requestState(m).selected.bw,
+                  mgr->requestState(m + 1).selected.bw)
+            << "request link " << m;
+        EXPECT_LE(mgr->responseState(m).selected.bw,
+                  mgr->responseState(m + 1).selected.bw)
+            << "response link " << m;
+    }
+}
+
+TEST_F(IspInvariantTest, UpstreamRooThresholdAtLeastDownstream)
+{
+    run(BwMechanism::None, true);
+    ASSERT_GT(mgr->epochs(), 2u);
+    for (int m = 0; m + 1 < net->numModules(); ++m) {
+        EXPECT_GE(mgr->requestState(m).selected.roo,
+                  mgr->requestState(m + 1).selected.roo)
+            << "request link " << m;
+    }
+}
+
+TEST_F(IspInvariantTest, ResponseLinksUseAggressiveRooWithCoordination)
+{
+    run(BwMechanism::None, true);
+    for (int m = 0; m < net->numModules(); ++m) {
+        if (mgr->responseState(m).forcedFullPower)
+            continue; // violation feedback overrides until epoch end
+        EXPECT_EQ(net->responseLink(m).power().rooModeIndex(), 0u)
+            << "response link " << m;
+    }
+}
+
+TEST_F(IspInvariantTest, GrantPoolIsNonNegative)
+{
+    run(BwMechanism::Vwl, true);
+    EXPECT_GE(mgr->grantPool(), 0.0);
+}
+
+TEST(AwareManager, ShiftsLinkHoursTowardColdLinks)
+{
+    // Figure 13: network-aware management increases low-power residency
+    // of low-utilization links relative to unaware management.
+    Runner r;
+    r.verbose = false;
+    SystemConfig aware = baseConfig("mixB");
+    aware.mechanism = BwMechanism::Vwl;
+    aware.alphaPct = 2.5;
+    SystemConfig unaware = aware;
+    unaware.policy = Policy::Unaware;
+    const RunResult &ra = r.get(aware);
+    const RunResult &ru = r.get(unaware);
+
+    auto narrow_cold = [](const RunResult &res) {
+        double t = 0;
+        for (int b = 0; b <= 1; ++b) // 0-1% and 1-5% buckets
+            for (int lane = 1; lane < kLaneModes; ++lane)
+                t += res.linkHours[b][lane];
+        return t;
+    };
+    EXPECT_GE(narrow_cold(ra), narrow_cold(ru) * 0.9);
+}
+
+TEST(AwareManager, WorksAcrossAllTopologies)
+{
+    Runner r;
+    r.verbose = false;
+    for (TopologyKind k : allTopologies()) {
+        SystemConfig cfg = baseConfig("mixE");
+        cfg.topology = k;
+        cfg.mechanism = BwMechanism::Vwl;
+        cfg.roo = true;
+        const RunResult &res = r.get(cfg);
+        EXPECT_GT(res.completedReads, 100u) << topologyName(k);
+        EXPECT_GT(res.totalNetworkPowerW, 0.0) << topologyName(k);
+        EXPECT_LT(r.degradation(cfg), 0.15) << topologyName(k);
+    }
+}
+
+TEST(AwareManager, TwentyNsWakeupStillSaves)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig();
+    cfg.mechanism = BwMechanism::None;
+    cfg.roo = true;
+    cfg.rooWakeupPs = ns(20);
+    EXPECT_GT(r.powerReduction(cfg), 0.0);
+}
+
+} // namespace
+} // namespace memnet

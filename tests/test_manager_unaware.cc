@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Integration tests for network-unaware management (Section V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memnet/experiment.hh"
+#include "memnet/simulator.hh"
+
+namespace memnet
+{
+namespace
+{
+
+SystemConfig
+baseConfig()
+{
+    SystemConfig cfg;
+    cfg.workload = "mixC";
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.warmup = us(100);
+    cfg.measure = us(400);
+    return cfg;
+}
+
+TEST(UnawareManager, VwlReducesPowerVersusFullPower)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig();
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.alphaPct = 5.0;
+    EXPECT_GT(r.powerReduction(cfg), 0.02);
+}
+
+TEST(UnawareManager, RooReducesPowerVersusFullPower)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig();
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::None;
+    cfg.roo = true;
+    EXPECT_GT(r.powerReduction(cfg), 0.02);
+}
+
+TEST(UnawareManager, PerformanceLossTracksAlpha)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig();
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.alphaPct = 2.5;
+    // The paper: maximum throughput degradation 3.2% at alpha = 2.5%.
+    // Allow headroom for our shorter windows and small networks.
+    EXPECT_LT(r.degradation(cfg), 0.06);
+}
+
+TEST(UnawareManager, HigherAlphaNeverCostsPower)
+{
+    Runner r;
+    r.verbose = false;
+    SystemConfig lo = baseConfig();
+    lo.policy = Policy::Unaware;
+    lo.mechanism = BwMechanism::Vwl;
+    lo.roo = true;
+    SystemConfig hi = lo;
+    lo.alphaPct = 2.5;
+    hi.alphaPct = 5.0;
+    // More slack should not increase power (tolerate sim noise).
+    EXPECT_LT(r.get(hi).totalNetworkPowerW,
+              r.get(lo).totalNetworkPowerW * 1.03);
+}
+
+TEST(UnawareManager, ColdLinksReachLowModes)
+{
+    // mixC's cold tail (flat CDF past 65%) leaves far modules nearly
+    // untouched; unaware management must put their links into narrow
+    // modes. We check via the link-hour histogram: some 0-1% util
+    // link time must be in sub-16-lane modes.
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig();
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    const RunResult &res = r.get(cfg);
+    double narrow = 0.0;
+    for (int bucket = 0; bucket <= 1; ++bucket) // <1% and 1-5% util
+        for (int lane = 1; lane < kLaneModes; ++lane)
+            narrow += res.linkHours[bucket][lane];
+    EXPECT_GT(narrow, 0.0);
+}
+
+TEST(UnawareManager, TheCounterintuitivePathologyExists)
+{
+    // Section VI's motivation: under unaware management some very low
+    // utilization (but nonzero) links remain at 16 lanes because their
+    // modules generate almost no AMS. Look for 16-lane residency in
+    // the 0-1% bucket.
+    Runner r;
+    r.verbose = false;
+    SystemConfig cfg = baseConfig();
+    cfg.workload = "mixB";
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.alphaPct = 2.5;
+    const RunResult &res = r.get(cfg);
+    EXPECT_GT(res.linkHours[0][0] + res.linkHours[1][0], 0.0);
+}
+
+TEST(UnawareManager, ViolationFeedbackEngagesUnderPressure)
+{
+    // A bursty workload with tight alpha must occasionally trip the
+    // violation detector and snap links back to full power.
+    SystemConfig cfg = baseConfig();
+    cfg.workload = "mixB";
+    cfg.policy = Policy::Unaware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.alphaPct = 2.5;
+    const RunResult res = runSimulation(cfg);
+    // Not asserting a count: just that the run completes sanely with
+    // management active and non-trivial traffic.
+    EXPECT_GT(res.completedReads, 1000u);
+    EXPECT_GT(res.totalNetworkPowerW, 0.0);
+}
+
+TEST(UnawareManager, DvfsSavesLessThanVwl)
+{
+    // Section VI-D: DVFS yields less power reduction than VWL at the
+    // same alpha because of SERDES latency overheads.
+    Runner r;
+    r.verbose = false;
+    SystemConfig vwl = baseConfig();
+    vwl.policy = Policy::Unaware;
+    vwl.mechanism = BwMechanism::Vwl;
+    SystemConfig dvfs = vwl;
+    dvfs.mechanism = BwMechanism::Dvfs;
+    EXPECT_GE(r.powerReduction(vwl), r.powerReduction(dvfs) - 0.02);
+}
+
+TEST(UnawareManager, BigNetworksSaveMoreThanSmall)
+{
+    // The paper: 24% (big) vs 14% (small) overall power reduction.
+    Runner r;
+    r.verbose = false;
+    SystemConfig small = baseConfig();
+    small.sizeClass = SizeClass::Small;
+    small.policy = Policy::Unaware;
+    small.mechanism = BwMechanism::Vwl;
+    small.roo = true;
+    SystemConfig big = small;
+    big.sizeClass = SizeClass::Big;
+    EXPECT_GT(r.powerReduction(big), r.powerReduction(small) - 0.02);
+}
+
+} // namespace
+} // namespace memnet

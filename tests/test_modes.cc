@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the VWL/DVFS mode tables (Section IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "linkpm/modes.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(ModeTable, NoneHasSingleFullMode)
+{
+    const ModeTable &t = ModeTable::forMechanism(BwMechanism::None);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.mode(0).bwFrac, 1.0);
+    EXPECT_DOUBLE_EQ(t.mode(0).powerFrac, 1.0);
+    EXPECT_EQ(t.transitionPs(), 0);
+}
+
+TEST(ModeTable, VwlLaneCountsAndPower)
+{
+    const ModeTable &t = ModeTable::forMechanism(BwMechanism::Vwl);
+    ASSERT_EQ(t.size(), 4u);
+    const int lanes[] = {16, 8, 4, 1};
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.mode(i).lanes, lanes[i]);
+        // Power of an l-lane link is (l+1)/17 of full (I/O clock).
+        EXPECT_NEAR(t.mode(i).powerFrac, (lanes[i] + 1) / 17.0, 1e-12);
+        EXPECT_NEAR(t.mode(i).bwFrac, lanes[i] / 16.0, 1e-12);
+        // VWL does not slow the SERDES.
+        EXPECT_EQ(t.mode(i).serdesPs, LinkTiming::kSerdesPs);
+    }
+    EXPECT_EQ(t.transitionPs(), us(1));
+}
+
+TEST(ModeTable, DvfsBandwidthAndPowerPoints)
+{
+    const ModeTable &t = ModeTable::forMechanism(BwMechanism::Dvfs);
+    ASSERT_EQ(t.size(), 4u);
+    const double bw[] = {1.0, 0.8, 0.5, 0.14};
+    const double pw[] = {1.0, 0.70, 0.35, 0.08};
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(t.mode(i).bwFrac, bw[i], 1e-12);
+        EXPECT_NEAR(t.mode(i).powerFrac, pw[i], 1e-12);
+    }
+    EXPECT_EQ(t.transitionPs(), us(3));
+}
+
+TEST(ModeTable, DvfsSerdesScalesWithFrequency)
+{
+    const ModeTable &t = ModeTable::forMechanism(BwMechanism::Dvfs);
+    EXPECT_EQ(t.mode(0).serdesPs, ns(3) + 200); // 3.2 ns
+    EXPECT_EQ(t.mode(1).serdesPs, nsf(4.0));
+    EXPECT_EQ(t.mode(2).serdesPs, nsf(6.4));
+    // 14% bandwidth on an 8-lane bundle -> frequency ratio 0.28.
+    EXPECT_EQ(t.mode(3).serdesPs, nsf(3.2 / 0.28));
+    EXPECT_EQ(t.mode(3).lanes, 8);
+}
+
+TEST(ModeTable, ModesOrderedFullFirstDecreasingPower)
+{
+    for (BwMechanism m : {BwMechanism::Vwl, BwMechanism::Dvfs}) {
+        const ModeTable &t = ModeTable::forMechanism(m);
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            EXPECT_LT(t.mode(i).powerFrac, t.mode(i - 1).powerFrac);
+            EXPECT_LT(t.mode(i).bwFrac, t.mode(i - 1).bwFrac);
+        }
+    }
+}
+
+TEST(RooConfig, DefaultsMatchPaper)
+{
+    RooConfig roo;
+    ASSERT_EQ(roo.thresholdsPs.size(), 4u);
+    EXPECT_EQ(roo.thresholdsPs[0], ns(32));
+    EXPECT_EQ(roo.thresholdsPs[1], ns(128));
+    EXPECT_EQ(roo.thresholdsPs[2], ns(512));
+    EXPECT_EQ(roo.thresholdsPs[3], ns(2048));
+    EXPECT_EQ(roo.wakeupPs, ns(14));
+    EXPECT_DOUBLE_EQ(roo.offPowerFrac, 0.01);
+    EXPECT_EQ(roo.fullModeIndex(), 3u);
+}
+
+TEST(LinkTiming, FlitAndRouterConstants)
+{
+    // 16 B per 0.64 ns equals 25 GB/s per direction.
+    EXPECT_EQ(LinkTiming::kFullFlitPs, 640);
+    EXPECT_EQ(LinkTiming::kSerdesPs, 3200);
+    EXPECT_EQ(LinkTiming::kRouterPs, 4 * 640);
+    EXPECT_EQ(LinkTiming::kBufferEntries, 128);
+}
+
+} // namespace
+} // namespace memnet

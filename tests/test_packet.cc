@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for packet/flit definitions and per-module routing accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(Packet, FlitCountsPerPaper)
+{
+    // Read request: one 16 B flit; write request and read response:
+    // five flits (64 B line + header).
+    EXPECT_EQ(flitsFor(PacketType::ReadReq), 1);
+    EXPECT_EQ(flitsFor(PacketType::WriteReq), 5);
+    EXPECT_EQ(flitsFor(PacketType::ReadResp), 5);
+    EXPECT_EQ(kFlitBytes, 16);
+}
+
+TEST(Packet, ReadPacketClassification)
+{
+    // Only read request/response latency enters the AMS accounting.
+    EXPECT_TRUE(isReadPacket(PacketType::ReadReq));
+    EXPECT_TRUE(isReadPacket(PacketType::ReadResp));
+    EXPECT_FALSE(isReadPacket(PacketType::WriteReq));
+}
+
+TEST(Packet, ByteSizeFollowsFlits)
+{
+    Packet p;
+    p.type = PacketType::ReadResp;
+    p.flits = flitsFor(p.type);
+    EXPECT_EQ(p.bytes(), 80);
+    p.type = PacketType::ReadReq;
+    p.flits = flitsFor(p.type);
+    EXPECT_EQ(p.bytes(), 16);
+}
+
+/** Host swallowing all endpoint traffic. */
+struct SwallowHost : public EndpointHost
+{
+    int reads = 0, writes = 0;
+    void
+    readCompleted(Packet *pkt, Tick) override
+    {
+        ++reads;
+        delete pkt;
+    }
+    void
+    writeRetired(Packet *pkt, Tick) override
+    {
+        ++writes;
+        delete pkt;
+    }
+};
+
+class ModuleRoutingTest : public ::testing::Test
+{
+  protected:
+    void
+    build(int n)
+    {
+        Topology topo = Topology::build(TopologyKind::DaisyChain, n);
+        AddressMap amap;
+        amap.chunkBytes = 1ULL << 30;
+        net = std::make_unique<Network>(eq, topo, dram,
+                                        BwMechanism::None, roo, pm,
+                                        amap);
+        net->setHost(&host);
+    }
+
+    void
+    read(std::uint64_t addr)
+    {
+        Packet *p = new Packet;
+        p->type = PacketType::ReadReq;
+        p->addr = addr;
+        p->flits = 1;
+        net->inject(p);
+    }
+
+    EventQueue eq;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo;
+    SwallowHost host;
+    std::unique_ptr<Network> net;
+};
+
+TEST_F(ModuleRoutingTest, IntermediateModulesCountTransitFlits)
+{
+    build(3);
+    read(2ULL << 30); // home = module 2, through 0 and 1
+    eq.run();
+    ASSERT_EQ(host.reads, 1);
+    // Module 0 and 1 each forward the 1-flit request and the 5-flit
+    // response; module 2 sees the request once and the response once
+    // more when it leaves the vault.
+    EXPECT_EQ(net->module(0).flitsRouted(), 6u);
+    EXPECT_EQ(net->module(1).flitsRouted(), 6u);
+    EXPECT_EQ(net->module(2).flitsRouted(), 6u);
+}
+
+TEST_F(ModuleRoutingTest, HomeModuleServicesDram)
+{
+    build(2);
+    read(0);
+    read(1ULL << 30);
+    eq.run();
+    EXPECT_EQ(net->module(0).dramAccesses(), 1u);
+    EXPECT_EQ(net->module(1).dramAccesses(), 1u);
+    EXPECT_EQ(net->module(0).dramReadsServiced(), 1u);
+}
+
+TEST_F(ModuleRoutingTest, DramReadsInFlightWindow)
+{
+    build(1);
+    read(64);
+    // Request still in the link; no DRAM read in flight yet.
+    EXPECT_FALSE(net->module(0).dramReadsInFlight());
+    eq.runUntil(ns(10)); // past delivery at 6.4 ns, before 30 ns access
+    EXPECT_TRUE(net->module(0).dramReadsInFlight());
+    eq.run();
+    EXPECT_FALSE(net->module(0).dramReadsInFlight());
+}
+
+TEST_F(ModuleRoutingTest, StatsResetZeroesRouting)
+{
+    build(1);
+    read(0);
+    eq.run();
+    net->resetStats();
+    EXPECT_EQ(net->module(0).flitsRouted(), 0u);
+    EXPECT_EQ(net->module(0).dramAccesses(), 0u);
+}
+
+} // namespace
+} // namespace memnet

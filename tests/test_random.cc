@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the PCG32 wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentStreamsDiffer)
+{
+    Random a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanNearHalf)
+{
+    Random r(2);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, Below64StaysInRange)
+{
+    Random r(4);
+    const std::uint64_t n = 1ULL << 40;
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below64(n), n);
+}
+
+TEST(Random, ExponentialMeanApprox)
+{
+    Random r(5);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+TEST(Random, ExponentialNonNegative)
+{
+    Random r(6);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Random, ChanceProbability)
+{
+    Random r(7);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RandomSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomSeedSweep, UniformCoversQuartiles)
+{
+    Random r(GetParam());
+    int q[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++q[static_cast<int>(r.uniform() * 4.0)];
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GT(q[i], 800) << "quartile " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeedSweep,
+                         ::testing::Values(1, 2, 3, 1234567, 1ULL << 50));
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Smoke tests for the report printers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memnet/report.hh"
+#include "memnet/simulator.hh"
+
+namespace memnet
+{
+namespace
+{
+
+RunResult
+sampleRun()
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::Star;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.policy = Policy::Aware;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.warmup = us(50);
+    cfg.measure = us(150);
+    return runSimulation(cfg);
+}
+
+TEST(Report, SummaryMentionsKeyNumbers)
+{
+    const RunResult r = sampleRun();
+    ::testing::internal::CaptureStdout();
+    printRunSummary(r);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("mixE"), std::string::npos);
+    EXPECT_NE(out.find("modules: 8"), std::string::npos);
+    EXPECT_NE(out.find("W per HMC"), std::string::npos);
+}
+
+TEST(Report, ModuleReportHasOneRowPerModule)
+{
+    const RunResult r = sampleRun();
+    ASSERT_EQ(r.modules.size(), 8u);
+    ::testing::internal::CaptureStdout();
+    printModuleReport(r);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    // Header + separator + 8 rows.
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 10);
+}
+
+TEST(Report, PowerBreakdownSharesSumToOne)
+{
+    const RunResult r = sampleRun();
+    ::testing::internal::CaptureStdout();
+    printPowerBreakdown(r);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("Idle I/O"), std::string::npos);
+    EXPECT_NE(out.find("100.0%"), std::string::npos);
+}
+
+TEST(Report, LinkHoursHandlesEmptyData)
+{
+    RunResult r;
+    ::testing::internal::CaptureStdout();
+    printLinkHours(r);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("no link-hour data"), std::string::npos);
+}
+
+TEST(Report, ModuleDetailsAreConsistent)
+{
+    const RunResult r = sampleRun();
+    for (const ModuleDetail &m : r.modules) {
+        EXPECT_GE(m.hopDistance, 1);
+        EXPECT_GE(m.requestLinkUtil, 0.0);
+        EXPECT_LE(m.requestLinkUtil, 1.0);
+        EXPECT_GT(m.requestLinkPowerFrac, 0.0);
+        EXPECT_LE(m.requestLinkPowerFrac, 1.0 + 1e-9);
+    }
+    // Module 0 carries everything: it must be the busiest.
+    for (const ModuleDetail &m : r.modules) {
+        EXPECT_LE(m.requestLinkUtil,
+                  r.modules[0].requestLinkUtil + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the static fat/tapered-tree baseline (Section VII-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mgmt/static_taper.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(StaticTaper, ChainFractionsFollowFormula)
+{
+    // Daisy chain of N: S(d)=1, so bw(d) = 1 - (d-1)/N.
+    Topology t = Topology::build(TopologyKind::DaisyChain, 4);
+    const auto f = StaticTaperManager::taperFractions(t);
+    ASSERT_EQ(f.size(), 5u);
+    EXPECT_DOUBLE_EQ(f[1], 1.0);
+    EXPECT_DOUBLE_EQ(f[2], 0.75);
+    EXPECT_DOUBLE_EQ(f[3], 0.50);
+    EXPECT_DOUBLE_EQ(f[4], 0.25);
+}
+
+TEST(StaticTaper, TernaryTreeFractions)
+{
+    // N=13: S = {1,3,9}; bw(1)=1, bw(2)=(1-1/13)/3, bw(3)=(1-4/13)/9.
+    Topology t = Topology::build(TopologyKind::TernaryTree, 13);
+    const auto f = StaticTaperManager::taperFractions(t);
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_DOUBLE_EQ(f[1], 1.0);
+    EXPECT_NEAR(f[2], (1.0 - 1.0 / 13) / 3, 1e-12);
+    EXPECT_NEAR(f[3], (1.0 - 4.0 / 13) / 9, 1e-12);
+}
+
+TEST(StaticTaper, FractionsDecreaseWithDepth)
+{
+    for (TopologyKind k : {TopologyKind::DaisyChain, TopologyKind::Star,
+                           TopologyKind::DdrxLike}) {
+        Topology t = Topology::build(k, 17);
+        const auto f = StaticTaperManager::taperFractions(t);
+        for (std::size_t d = 2; d < f.size(); ++d)
+            EXPECT_LE(f[d], f[d - 1] + 1e-12)
+                << topologyName(k) << " depth " << d;
+    }
+}
+
+class StaticApplyTest : public ::testing::Test
+{
+  protected:
+    void
+    build(TopologyKind kind, int n)
+    {
+        Topology topo = Topology::build(kind, n);
+        AddressMap amap;
+        amap.interleavePages = true;
+        net = std::make_unique<Network>(eq, topo, dram,
+                                        BwMechanism::Vwl, roo, pm,
+                                        amap);
+    }
+
+    EventQueue eq;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo;
+    std::unique_ptr<Network> net;
+};
+
+TEST_F(StaticApplyTest, ModesRoundUpToAvailableBandwidth)
+{
+    build(TopologyKind::DaisyChain, 4);
+    StaticTaperManager taper(*net, BwMechanism::Vwl);
+    taper.apply();
+    // Fractions 1, .75, .5, .25 -> VWL options 16, 16, 8, 4 lanes.
+    EXPECT_EQ(net->requestLink(0).power().modeIndex(), 0u);
+    EXPECT_EQ(net->requestLink(1).power().modeIndex(), 0u);
+    EXPECT_EQ(net->requestLink(2).power().modeIndex(), 1u);
+    EXPECT_EQ(net->requestLink(3).power().modeIndex(), 2u);
+    // Response links get the same static widths.
+    EXPECT_EQ(net->responseLink(3).power().modeIndex(), 2u);
+}
+
+TEST_F(StaticApplyTest, RootLinkAlwaysFullBandwidth)
+{
+    for (TopologyKind k : {TopologyKind::TernaryTree, TopologyKind::Star,
+                           TopologyKind::DdrxLike}) {
+        build(k, 12);
+        StaticTaperManager taper(*net, BwMechanism::Vwl);
+        taper.apply();
+        EXPECT_EQ(net->requestLink(0).power().modeIndex(), 0u)
+            << topologyName(k);
+    }
+}
+
+TEST_F(StaticApplyTest, NeverSelectsBandwidthBelowFraction)
+{
+    build(TopologyKind::Star, 23);
+    StaticTaperManager taper(*net, BwMechanism::Vwl);
+    taper.apply();
+    const auto frac =
+        StaticTaperManager::taperFractions(net->topology());
+    const ModeTable &t = ModeTable::forMechanism(BwMechanism::Vwl);
+    for (int m = 0; m < net->numModules(); ++m) {
+        const int d = net->topology().hopDistance(m);
+        const std::size_t k =
+            net->requestLink(m).power().modeIndex();
+        EXPECT_GE(t.mode(k).bwFrac, frac[d] - 1e-12)
+            << "module " << m;
+    }
+}
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and property tests for the four topology builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/topology.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(Topology, DaisyChainIsAChain)
+{
+    Topology t = Topology::build(TopologyKind::DaisyChain, 6);
+    t.validate();
+    for (int i = 1; i < 6; ++i) {
+        EXPECT_EQ(t.parent(i), i - 1);
+        EXPECT_EQ(t.hopDistance(i), i + 1);
+        EXPECT_EQ(t.radix(i), Radix::Low);
+    }
+    EXPECT_EQ(t.path(5).size(), 6u);
+}
+
+TEST(Topology, TernaryTreeDepthsAreLogarithmic)
+{
+    Topology t = Topology::build(TopologyKind::TernaryTree, 13);
+    t.validate();
+    // 1 + 3 + 9 modules -> depths 1, 2, 3.
+    EXPECT_EQ(t.hopDistance(0), 1);
+    for (int i = 1; i <= 3; ++i)
+        EXPECT_EQ(t.hopDistance(i), 2);
+    for (int i = 4; i <= 12; ++i)
+        EXPECT_EQ(t.hopDistance(i), 3);
+    for (int i = 0; i < 13; ++i)
+        EXPECT_EQ(t.radix(i), Radix::High);
+}
+
+TEST(Topology, StarMatchesTernaryDepthsWithFewerHighRadix)
+{
+    const int n = 13;
+    Topology tern = Topology::build(TopologyKind::TernaryTree, n);
+    Topology star = Topology::build(TopologyKind::Star, n);
+    star.validate();
+    int high = 0;
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(star.hopDistance(i), tern.hopDistance(i));
+        high += star.radix(i) == Radix::High;
+    }
+    // Only the four internal fan-out modules need four full links.
+    EXPECT_EQ(high, 4);
+}
+
+TEST(Topology, StarLeafWithOneChildIsLowRadix)
+{
+    // 5 modules: root has children 1,2,3; module 1 has child 4.
+    Topology t = Topology::build(TopologyKind::Star, 5);
+    t.validate();
+    EXPECT_EQ(t.radix(0), Radix::High); // three children
+    EXPECT_EQ(t.radix(1), Radix::Low);  // one child fits a low-radix HMC
+    EXPECT_EQ(t.radix(4), Radix::Low);
+}
+
+TEST(Topology, DdrxLikeRowsOfThree)
+{
+    Topology t = Topology::build(TopologyKind::DdrxLike, 9);
+    t.validate();
+    // Row centers 0, 3, 6 chain together; sides hang off centers.
+    EXPECT_EQ(t.parent(1), 0);
+    EXPECT_EQ(t.parent(2), 0);
+    EXPECT_EQ(t.parent(3), 0);
+    EXPECT_EQ(t.parent(4), 3);
+    EXPECT_EQ(t.parent(5), 3);
+    EXPECT_EQ(t.parent(6), 3);
+    EXPECT_EQ(t.radix(0), Radix::High);
+    EXPECT_EQ(t.radix(1), Radix::Low);
+    // Hop distances grow by rows.
+    EXPECT_EQ(t.hopDistance(0), 1);
+    EXPECT_EQ(t.hopDistance(2), 2);
+    EXPECT_EQ(t.hopDistance(3), 2);
+    // Sides of row 2 sit one hop past their row center (depth 3).
+    EXPECT_EQ(t.hopDistance(7), 4);
+}
+
+TEST(Topology, SingleModuleWorksForAllKinds)
+{
+    for (TopologyKind k :
+         {TopologyKind::DaisyChain, TopologyKind::TernaryTree,
+          TopologyKind::Star, TopologyKind::DdrxLike}) {
+        Topology t = Topology::build(k, 1);
+        t.validate();
+        EXPECT_EQ(t.numModules(), 1);
+        EXPECT_EQ(t.parent(0), -1);
+        EXPECT_EQ(t.hopDistance(0), 1);
+    }
+}
+
+TEST(Topology, ModulesPerHopSumsToModuleCount)
+{
+    Topology t = Topology::build(TopologyKind::Star, 23);
+    int sum = 0;
+    for (int c : t.modulesPerHop())
+        sum += c;
+    EXPECT_EQ(sum, 23);
+}
+
+TEST(Topology, NamesAreStable)
+{
+    EXPECT_STREQ(topologyName(TopologyKind::DaisyChain), "daisychain");
+    EXPECT_STREQ(topologyName(TopologyKind::TernaryTree),
+                 "ternary tree");
+    EXPECT_STREQ(topologyName(TopologyKind::Star), "star");
+    EXPECT_STREQ(topologyName(TopologyKind::DdrxLike), "DDRx-like");
+}
+
+/** Property sweep: every builder at every size satisfies invariants. */
+class TopologyProperty
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, int>>
+{
+};
+
+TEST_P(TopologyProperty, ValidatesAndIsMinimallyConnected)
+{
+    const auto [kind, n] = GetParam();
+    Topology t = Topology::build(kind, n);
+    t.validate();
+    EXPECT_EQ(t.numModules(), n);
+
+    // Tree property: exactly n-1 parent edges, no cycles (parent < child
+    // is asserted inside finalize), every path starts at the root.
+    for (int i = 0; i < n; ++i) {
+        const auto &p = t.path(i);
+        EXPECT_EQ(p.front(), 0);
+        EXPECT_EQ(p.back(), i);
+        for (std::size_t j = 1; j < p.size(); ++j)
+            EXPECT_EQ(t.parent(p[j]), p[j - 1]);
+    }
+}
+
+TEST_P(TopologyProperty, DepthIsMinimalForBranchingShapes)
+{
+    const auto [kind, n] = GetParam();
+    if (kind != TopologyKind::TernaryTree && kind != TopologyKind::Star)
+        GTEST_SKIP();
+    Topology t = Topology::build(kind, n);
+    // BFS with branching 3 gives the minimum possible max depth for a
+    // tree whose nodes have at most 3 children.
+    int cap = 1, depth = 1, covered = 1;
+    while (covered < n) {
+        cap *= 3;
+        covered += cap;
+        ++depth;
+    }
+    int max_d = 0;
+    for (int i = 0; i < n; ++i)
+        max_d = std::max(max_d, t.hopDistance(i));
+    EXPECT_EQ(max_d, depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, TopologyProperty,
+    ::testing::Combine(
+        ::testing::Values(TopologyKind::DaisyChain,
+                          TopologyKind::TernaryTree, TopologyKind::Star,
+                          TopologyKind::DdrxLike),
+        ::testing::Values(1, 2, 3, 4, 5, 7, 9, 12, 17, 24, 38)));
+
+} // namespace
+} // namespace memnet

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit and integration tests for the trace module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "workload/trace.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(TraceFormat, RoundTripsRecords)
+{
+    std::vector<TraceRecord> in = {
+        {ns(10), 0x1000, true, 0},
+        {ns(25), 0xdeadbeef, false, 3},
+        {us(1), 0x40, true, 15},
+    };
+    std::stringstream ss;
+    writeTrace(ss, in);
+    const std::vector<TraceRecord> out = readTrace(ss);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], in[i]) << "record " << i;
+}
+
+TEST(TraceFormat, SkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\n5.0 R 0x40 2\n");
+    const auto t = readTrace(ss);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].when, ns(5));
+    EXPECT_TRUE(t[0].isRead);
+    EXPECT_EQ(t[0].addr, 0x40u);
+    EXPECT_EQ(t[0].core, 2);
+}
+
+TEST(TraceFormat, SortsByTime)
+{
+    std::stringstream ss("20 W 0x80 0\n10 R 0x40 1\n");
+    const auto t = readTrace(ss);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_LT(t[0].when, t[1].when);
+    EXPECT_TRUE(t[0].isRead);
+}
+
+TEST(TraceFormat, MalformedLineDies)
+{
+    std::stringstream ss("10 X 0x40 1\n");
+    EXPECT_DEATH(readTrace(ss), "malformed trace line");
+}
+
+TEST(TraceGenerate, RespectsProfileRateApproximately)
+{
+    const WorkloadProfile &w = workloadByName("lu.D");
+    const auto t = generateTrace(w, us(500), 7);
+    ASSERT_GT(t.size(), 100u);
+    // Expected count: rate * duty-independent (bursts average out).
+    const double r = w.readFraction;
+    const double bytes = 16 * r + 80 * (1 - r) + 80 * r;
+    const double rate =
+        w.channelUtil * 2 * Link::fullBytesPerSec() / bytes;
+    const double expected = rate * 500e-6;
+    EXPECT_NEAR(static_cast<double>(t.size()), expected,
+                expected * 0.25);
+}
+
+TEST(TraceGenerate, TimesAreSortedAndBounded)
+{
+    const auto t = generateTrace(workloadByName("mixD"), us(100), 3);
+    Tick prev = 0;
+    for (const TraceRecord &r : t) {
+        EXPECT_GE(r.when, prev);
+        EXPECT_LT(r.when, us(100));
+        EXPECT_EQ(r.addr % 64, 0u);
+        prev = r.when;
+    }
+}
+
+TEST(TraceGenerate, DeterministicPerSeed)
+{
+    const auto a = generateTrace(workloadByName("mixD"), us(50), 11);
+    const auto b = generateTrace(workloadByName("mixD"), us(50), 11);
+    const auto c = generateTrace(workloadByName("mixD"), us(50), 12);
+    EXPECT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    EXPECT_NE(a.size(), c.size());
+}
+
+class TracePlayerTest : public ::testing::Test
+{
+  protected:
+    void
+    build(int modules)
+    {
+        Topology topo = Topology::build(TopologyKind::Star, modules);
+        AddressMap amap;
+        amap.chunkBytes = 1ULL << 30;
+        net = std::make_unique<Network>(eq, topo, dram,
+                                        BwMechanism::None, roo, pm,
+                                        amap);
+    }
+
+    EventQueue eq;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo;
+    std::unique_ptr<Network> net;
+};
+
+TEST_F(TracePlayerTest, ReplaysAtRecordedTimes)
+{
+    build(2);
+    std::vector<TraceRecord> trace = {
+        {0, 0x0, true, 0},
+        {us(1), 1ULL << 30, true, 1},
+    };
+    TracePlayer player(eq, *net, trace);
+    player.start(0);
+    eq.run();
+    EXPECT_TRUE(player.drained());
+    EXPECT_EQ(player.completedReads(), 2u);
+    EXPECT_GT(player.avgReadLatencyNs(), 30.0);
+}
+
+TEST_F(TracePlayerTest, DrainsGeneratedTrace)
+{
+    const WorkloadProfile &w = workloadByName("mixE"); // 8 GB
+    build(8);
+    TracePlayer player(eq, *net, generateTrace(w, us(100), 5));
+    player.start(0);
+    eq.run();
+    EXPECT_TRUE(player.drained());
+    EXPECT_GT(player.completedReads(), 100u);
+    EXPECT_GT(player.retiredWrites(), 10u);
+}
+
+TEST_F(TracePlayerTest, EmptyTraceIsFine)
+{
+    build(1);
+    TracePlayer player(eq, *net, {});
+    player.start(0);
+    eq.run();
+    EXPECT_TRUE(player.drained());
+    EXPECT_EQ(player.completedReads(), 0u);
+}
+
+} // namespace
+} // namespace memnet

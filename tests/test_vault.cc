@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the cycle-level vault model (Table I timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/vault.hh"
+#include "dram/vault_set.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+struct Completion
+{
+    std::uint64_t tag;
+    bool isRead;
+    Tick when;
+};
+
+class VaultTest : public ::testing::Test
+{
+  protected:
+    VaultTest()
+        : vault(eq, params,
+                [this](std::uint64_t tag, bool is_read, Tick now) {
+                    done.push_back({tag, is_read, now});
+                })
+    {
+    }
+
+    EventQueue eq;
+    DramParams params;
+    Vault vault;
+    std::vector<Completion> done;
+};
+
+TEST_F(VaultTest, ClosePageReadLatencyIs30ns)
+{
+    // tRCD (11) + tCL (11) + 64 B burst at 8 GB/s (8 ns) = 30 ns.
+    EXPECT_EQ(params.readAccessLatency(), ns(30));
+    vault.push({0, true, 1});
+    eq.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].when, ns(30));
+    EXPECT_TRUE(done[0].isRead);
+    EXPECT_EQ(vault.servicedReads(), 1u);
+}
+
+TEST_F(VaultTest, ReadsPrioritizedOverWrites)
+{
+    // Both are queued before the scheduler first runs; the read must be
+    // selected first even though the write arrived earlier.
+    vault.push({0, false, 1});
+    vault.push({64 * 32, true, 2});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_TRUE(done[0].isRead);
+    EXPECT_FALSE(done[1].isRead);
+}
+
+TEST_F(VaultTest, QueuedReadBypassesQueuedWrites)
+{
+    vault.push({0, false, 1});
+    vault.push({0, false, 2});
+    vault.push({0, false, 3});
+    vault.push({64 * 32, true, 4});
+    eq.run();
+    ASSERT_EQ(done.size(), 4u);
+    // The read overtakes every queued write.
+    EXPECT_EQ(done[0].tag, 4u);
+    EXPECT_TRUE(done[0].isRead);
+    EXPECT_EQ(done[1].tag, 1u);
+}
+
+TEST_F(VaultTest, BankConflictAddsPrechargeDelay)
+{
+    // Same bank back to back (in-order service): the second ACT waits
+    // for the bank to close (burst end at 30 ns) plus tRP.
+    vault.push({0, true, 1});
+    vault.push({0, true, 2});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].when, ns(30));
+    // ACT at 30 + tRP = 41, data at +tRCD+tCL = 63, burst end 71.
+    EXPECT_EQ(done[1].when, ns(71));
+}
+
+TEST_F(VaultTest, DifferentBanksAvoidPrechargePenalty)
+{
+    // Next bank in the same vault: line address advances by 32 lines.
+    const std::uint64_t bank_stride = 64ull * 32;
+    vault.push({0, true, 1});
+    vault.push({bank_stride, true, 2});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].when, ns(30));
+    // In-order service: second starts right at 30 ns with no bank wait.
+    EXPECT_EQ(done[1].when, ns(60));
+}
+
+TEST_F(VaultTest, WriteRecoveryExtendsBankBusy)
+{
+    // Let the write finish first (a read pushed at the same instant
+    // would overtake it), then hit the same bank with a read.
+    vault.push({0, false, 1});
+    eq.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].when, ns(30));
+    vault.push({0, true, 2});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Write burst ends at 30; bank closes at 30 + tWR, precharged at
+    // +tRP => ACT at 53; read completes 53 + 30 = 83 ns.
+    EXPECT_EQ(done[1].when, ns(83));
+}
+
+TEST_F(VaultTest, BufferSpaceAccounting)
+{
+    EXPECT_TRUE(vault.hasSpace());
+    for (int i = 0; i < params.bufferEntries; ++i)
+        vault.push({0, false, static_cast<std::uint64_t>(i)});
+    EXPECT_FALSE(vault.hasSpace());
+    vault.push({0, false, 99});
+    EXPECT_EQ(vault.overflowed(), 1u);
+    eq.run();
+}
+
+TEST_F(VaultTest, ReadsInFlightTracksQueueAndService)
+{
+    EXPECT_FALSE(vault.readsInFlight());
+    vault.push({0, true, 1});
+    EXPECT_TRUE(vault.readsInFlight());
+    eq.run();
+    EXPECT_FALSE(vault.readsInFlight());
+}
+
+TEST(VaultSetTest, LineInterleavedDecoding)
+{
+    EventQueue eq;
+    DramParams params;
+    int completions = 0;
+    VaultSet set(eq, params,
+                 [&](std::uint64_t, bool, Tick) { ++completions; });
+    EXPECT_EQ(set.vaultOf(0), 0);
+    EXPECT_EQ(set.vaultOf(64), 1);
+    EXPECT_EQ(set.vaultOf(64 * 31), 31);
+    EXPECT_EQ(set.vaultOf(64 * 32), 0);
+
+    // Accesses to different vaults proceed fully in parallel.
+    for (int v = 0; v < 8; ++v)
+        set.access(static_cast<std::uint64_t>(64 * v), true, v);
+    eq.run();
+    EXPECT_EQ(completions, 8);
+    EXPECT_EQ(eq.now(), ns(30)); // all finished in one access time
+    EXPECT_EQ(set.servicedReads(), 8u);
+}
+
+TEST(VaultSetTest, ReadsInFlightAggregates)
+{
+    EventQueue eq;
+    DramParams params;
+    VaultSet set(eq, params, [](std::uint64_t, bool, Tick) {});
+    EXPECT_FALSE(set.readsInFlight());
+    set.access(128, true, 1);
+    EXPECT_TRUE(set.readsInFlight());
+    eq.run();
+    EXPECT_FALSE(set.readsInFlight());
+}
+
+} // namespace
+} // namespace memnet

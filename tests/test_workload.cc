@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit and property tests for the workload profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+
+namespace memnet
+{
+namespace
+{
+
+TEST(Workloads, FourteenProfilesInPaperOrder)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 14u);
+    EXPECT_EQ(all[0].name, "ua.D");
+    EXPECT_EQ(all[6].name, "is.D");
+    EXPECT_EQ(all[7].name, "mixA");
+    EXPECT_EQ(all[13].name, "mixG");
+}
+
+TEST(Workloads, AverageFootprintMatchesPaper)
+{
+    // The paper: average memory footprint of all workloads is 17 GB.
+    double sum = 0;
+    for (const auto &w : allWorkloads())
+        sum += w.footprintGB;
+    EXPECT_NEAR(sum / 14.0, 17.0, 0.5);
+}
+
+TEST(Workloads, AverageChannelUtilMatchesPaper)
+{
+    // The paper reports 43% average channel utilization.
+    double sum = 0;
+    for (const auto &w : allWorkloads())
+        sum += w.channelUtil;
+    EXPECT_NEAR(sum / 14.0, 0.43, 0.02);
+}
+
+TEST(Workloads, SpDHasLowestUtilAndMixBHighest)
+{
+    const auto &all = allWorkloads();
+    for (const auto &w : all) {
+        EXPECT_GE(w.channelUtil, workloadByName("sp.D").channelUtil);
+        EXPECT_LE(w.channelUtil, workloadByName("mixB").channelUtil);
+    }
+    EXPECT_NEAR(workloadByName("mixB").channelUtil, 0.75, 1e-9);
+}
+
+TEST(Workloads, SmallNetworkAveragesFiveModules)
+{
+    // ceil(17 GB / 4 GB) = 5 modules on average (paper Section III-C).
+    double sum = 0;
+    for (const auto &w : allWorkloads())
+        sum += w.modulesFor(4ULL << 30);
+    EXPECT_NEAR(sum / 14.0, 5.0, 1.0);
+}
+
+TEST(Workloads, ModulesForRoundsUp)
+{
+    const WorkloadProfile &w = workloadByName("mixB"); // 11 GB
+    EXPECT_EQ(w.modulesFor(4ULL << 30), 3);
+    EXPECT_EQ(w.modulesFor(1ULL << 30), 11);
+}
+
+TEST(Workloads, LookupUnknownNameDies)
+{
+    EXPECT_DEATH(workloadByName("nope"), "unknown workload");
+}
+
+class WorkloadCdfProperty
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadCdfProperty, CdfControlPointsAreMonotone)
+{
+    const WorkloadProfile &w = workloadByName(GetParam());
+    double x = 0.0, y = 0.0;
+    for (const CdfPoint &p : w.cdf) {
+        EXPECT_GT(p.addrFrac, x);
+        EXPECT_GT(p.accessFrac, y);
+        EXPECT_LT(p.addrFrac, 1.0);
+        EXPECT_LT(p.accessFrac, 1.0);
+        x = p.addrFrac;
+        y = p.accessFrac;
+    }
+}
+
+TEST_P(WorkloadCdfProperty, InverseCdfIsMonotoneAndBounded)
+{
+    const WorkloadProfile &w = workloadByName(GetParam());
+    double prev = -1.0;
+    for (int i = 0; i <= 1000; ++i) {
+        const double u = i / 1000.0 * 0.999999;
+        const double a = w.addressFracFor(u);
+        EXPECT_GE(a, 0.0);
+        EXPECT_LT(a, 1.0 + 1e-9);
+        EXPECT_GE(a, prev - 1e-12) << "non-monotone at u=" << u;
+        prev = a;
+    }
+}
+
+TEST_P(WorkloadCdfProperty, InverseCdfHitsControlPoints)
+{
+    const WorkloadProfile &w = workloadByName(GetParam());
+    for (const CdfPoint &p : w.cdf) {
+        EXPECT_NEAR(w.addressFracFor(p.accessFrac - 1e-12), p.addrFrac,
+                    1e-6);
+    }
+}
+
+TEST_P(WorkloadCdfProperty, SaneRates)
+{
+    const WorkloadProfile &w = workloadByName(GetParam());
+    EXPECT_GT(w.channelUtil, 0.0);
+    EXPECT_LE(w.channelUtil, 0.9);
+    EXPECT_GT(w.readFraction, 0.3);
+    EXPECT_LE(w.readFraction, 0.9);
+    EXPECT_GT(w.burstDuty, 0.0);
+    EXPECT_LE(w.burstDuty, 1.0);
+    EXPECT_GT(w.footprintGB, 1.0);
+    EXPECT_LT(w.footprintGB, 39.0); // Figure 4 x-axis tops out at 38 GB
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCdfProperty,
+    ::testing::Values("ua.D", "lu.D", "bt.D", "sp.D", "cg.D", "mg.D",
+                      "is.D", "mixA", "mixB", "mixC", "mixD", "mixE",
+                      "mixF", "mixG"));
+
+} // namespace
+} // namespace memnet
