@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multichannel.dir/bench_ext_multichannel.cc.o"
+  "CMakeFiles/bench_ext_multichannel.dir/bench_ext_multichannel.cc.o.d"
+  "bench_ext_multichannel"
+  "bench_ext_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_link_hours.dir/bench_fig13_link_hours.cc.o"
+  "CMakeFiles/bench_fig13_link_hours.dir/bench_fig13_link_hours.cc.o.d"
+  "bench_fig13_link_hours"
+  "bench_fig13_link_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_link_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

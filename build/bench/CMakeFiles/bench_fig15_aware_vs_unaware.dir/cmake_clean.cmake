@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_aware_vs_unaware.dir/bench_fig15_aware_vs_unaware.cc.o"
+  "CMakeFiles/bench_fig15_aware_vs_unaware.dir/bench_fig15_aware_vs_unaware.cc.o.d"
+  "bench_fig15_aware_vs_unaware"
+  "bench_fig15_aware_vs_unaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_aware_vs_unaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

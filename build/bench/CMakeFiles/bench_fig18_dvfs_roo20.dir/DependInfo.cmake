@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_dvfs_roo20.cc" "bench/CMakeFiles/bench_fig18_dvfs_roo20.dir/bench_fig18_dvfs_roo20.cc.o" "gcc" "bench/CMakeFiles/bench_fig18_dvfs_roo20.dir/bench_fig18_dvfs_roo20.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_linkpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_dvfs_roo20.dir/bench_fig18_dvfs_roo20.cc.o"
+  "CMakeFiles/bench_fig18_dvfs_roo20.dir/bench_fig18_dvfs_roo20.cc.o.d"
+  "bench_fig18_dvfs_roo20"
+  "bench_fig18_dvfs_roo20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_dvfs_roo20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

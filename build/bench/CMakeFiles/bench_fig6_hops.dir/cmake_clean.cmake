@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hops.dir/bench_fig6_hops.cc.o"
+  "CMakeFiles/bench_fig6_hops.dir/bench_fig6_hops.cc.o.d"
+  "bench_fig6_hops"
+  "bench_fig6_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

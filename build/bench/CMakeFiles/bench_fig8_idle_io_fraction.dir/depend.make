@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_idle_io_fraction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7a_static_taper.dir/bench_sec7a_static_taper.cc.o"
+  "CMakeFiles/bench_sec7a_static_taper.dir/bench_sec7a_static_taper.cc.o.d"
+  "bench_sec7a_static_taper"
+  "bench_sec7a_static_taper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7a_static_taper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec7a_static_taper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_run.dir/memnet_run.cpp.o"
+  "CMakeFiles/memnet_run.dir/memnet_run.cpp.o.d"
+  "memnet_run"
+  "memnet_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

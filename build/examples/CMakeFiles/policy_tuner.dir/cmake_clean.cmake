@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tuner.dir/policy_tuner.cpp.o"
+  "CMakeFiles/policy_tuner.dir/policy_tuner.cpp.o.d"
+  "policy_tuner"
+  "policy_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

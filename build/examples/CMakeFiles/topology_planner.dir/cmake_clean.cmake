@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_planner.dir/topology_planner.cpp.o"
+  "CMakeFiles/topology_planner.dir/topology_planner.cpp.o.d"
+  "topology_planner"
+  "topology_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

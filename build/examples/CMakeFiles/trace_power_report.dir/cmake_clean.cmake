@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_power_report.dir/trace_power_report.cpp.o"
+  "CMakeFiles/trace_power_report.dir/trace_power_report.cpp.o.d"
+  "trace_power_report"
+  "trace_power_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_power_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memnet/experiment.cc" "src/CMakeFiles/memnet.dir/memnet/experiment.cc.o" "gcc" "src/CMakeFiles/memnet.dir/memnet/experiment.cc.o.d"
+  "/root/repo/src/memnet/multichannel.cc" "src/CMakeFiles/memnet.dir/memnet/multichannel.cc.o" "gcc" "src/CMakeFiles/memnet.dir/memnet/multichannel.cc.o.d"
+  "/root/repo/src/memnet/report.cc" "src/CMakeFiles/memnet.dir/memnet/report.cc.o" "gcc" "src/CMakeFiles/memnet.dir/memnet/report.cc.o.d"
+  "/root/repo/src/memnet/simulator.cc" "src/CMakeFiles/memnet.dir/memnet/simulator.cc.o" "gcc" "src/CMakeFiles/memnet.dir/memnet/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_linkpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet.dir/memnet/experiment.cc.o"
+  "CMakeFiles/memnet.dir/memnet/experiment.cc.o.d"
+  "CMakeFiles/memnet.dir/memnet/multichannel.cc.o"
+  "CMakeFiles/memnet.dir/memnet/multichannel.cc.o.d"
+  "CMakeFiles/memnet.dir/memnet/report.cc.o"
+  "CMakeFiles/memnet.dir/memnet/report.cc.o.d"
+  "CMakeFiles/memnet.dir/memnet/simulator.cc.o"
+  "CMakeFiles/memnet.dir/memnet/simulator.cc.o.d"
+  "libmemnet.a"
+  "libmemnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

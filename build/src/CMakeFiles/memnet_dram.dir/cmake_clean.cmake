@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_dram.dir/dram/vault.cc.o"
+  "CMakeFiles/memnet_dram.dir/dram/vault.cc.o.d"
+  "libmemnet_dram.a"
+  "libmemnet_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_linkpm.dir/linkpm/modes.cc.o"
+  "CMakeFiles/memnet_linkpm.dir/linkpm/modes.cc.o.d"
+  "libmemnet_linkpm.a"
+  "libmemnet_linkpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_linkpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for memnet_linkpm.
+# This may be replaced when dependencies are built.

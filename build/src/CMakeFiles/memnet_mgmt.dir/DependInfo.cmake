@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgmt/aware.cc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/aware.cc.o" "gcc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/aware.cc.o.d"
+  "/root/repo/src/mgmt/link_state.cc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/link_state.cc.o" "gcc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/link_state.cc.o.d"
+  "/root/repo/src/mgmt/manager.cc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/manager.cc.o" "gcc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/manager.cc.o.d"
+  "/root/repo/src/mgmt/static_taper.cc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/static_taper.cc.o" "gcc" "src/CMakeFiles/memnet_mgmt.dir/mgmt/static_taper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_linkpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

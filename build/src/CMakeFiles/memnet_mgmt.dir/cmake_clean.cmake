@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_mgmt.dir/mgmt/aware.cc.o"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/aware.cc.o.d"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/link_state.cc.o"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/link_state.cc.o.d"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/manager.cc.o"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/manager.cc.o.d"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/static_taper.cc.o"
+  "CMakeFiles/memnet_mgmt.dir/mgmt/static_taper.cc.o.d"
+  "libmemnet_mgmt.a"
+  "libmemnet_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

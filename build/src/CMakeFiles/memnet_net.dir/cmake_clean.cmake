@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_net.dir/net/link.cc.o"
+  "CMakeFiles/memnet_net.dir/net/link.cc.o.d"
+  "CMakeFiles/memnet_net.dir/net/module.cc.o"
+  "CMakeFiles/memnet_net.dir/net/module.cc.o.d"
+  "CMakeFiles/memnet_net.dir/net/network.cc.o"
+  "CMakeFiles/memnet_net.dir/net/network.cc.o.d"
+  "CMakeFiles/memnet_net.dir/net/topology.cc.o"
+  "CMakeFiles/memnet_net.dir/net/topology.cc.o.d"
+  "libmemnet_net.a"
+  "libmemnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

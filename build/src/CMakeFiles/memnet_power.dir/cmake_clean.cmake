@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_power.dir/power/hmc_power_model.cc.o"
+  "CMakeFiles/memnet_power.dir/power/hmc_power_model.cc.o.d"
+  "libmemnet_power.a"
+  "libmemnet_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

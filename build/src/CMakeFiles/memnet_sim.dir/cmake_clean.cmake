@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/memnet_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/memnet_sim.dir/sim/log.cc.o"
+  "CMakeFiles/memnet_sim.dir/sim/log.cc.o.d"
+  "libmemnet_sim.a"
+  "libmemnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

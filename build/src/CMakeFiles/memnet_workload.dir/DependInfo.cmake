@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/processor.cc" "src/CMakeFiles/memnet_workload.dir/workload/processor.cc.o" "gcc" "src/CMakeFiles/memnet_workload.dir/workload/processor.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/memnet_workload.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/memnet_workload.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/memnet_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/memnet_workload.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_linkpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

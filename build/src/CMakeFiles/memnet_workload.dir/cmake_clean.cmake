@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memnet_workload.dir/workload/processor.cc.o"
+  "CMakeFiles/memnet_workload.dir/workload/processor.cc.o.d"
+  "CMakeFiles/memnet_workload.dir/workload/profile.cc.o"
+  "CMakeFiles/memnet_workload.dir/workload/profile.cc.o.d"
+  "CMakeFiles/memnet_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/memnet_workload.dir/workload/trace.cc.o.d"
+  "libmemnet_workload.a"
+  "libmemnet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memnet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptation.dir/test_adaptation.cc.o"
+  "CMakeFiles/test_adaptation.dir/test_adaptation.cc.o.d"
+  "test_adaptation"
+  "test_adaptation.pdb"
+  "test_adaptation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aware_ablation.dir/test_aware_ablation.cc.o"
+  "CMakeFiles/test_aware_ablation.dir/test_aware_ablation.cc.o.d"
+  "test_aware_ablation"
+  "test_aware_ablation.pdb"
+  "test_aware_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aware_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

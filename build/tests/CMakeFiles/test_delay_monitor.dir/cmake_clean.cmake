@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_monitor.dir/test_delay_monitor.cc.o"
+  "CMakeFiles/test_delay_monitor.dir/test_delay_monitor.cc.o.d"
+  "test_delay_monitor"
+  "test_delay_monitor.pdb"
+  "test_delay_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_properties.dir/test_energy_properties.cc.o"
+  "CMakeFiles/test_energy_properties.dir/test_energy_properties.cc.o.d"
+  "test_energy_properties"
+  "test_energy_properties.pdb"
+  "test_energy_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

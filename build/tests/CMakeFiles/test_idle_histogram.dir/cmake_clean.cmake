@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idle_histogram.dir/test_idle_histogram.cc.o"
+  "CMakeFiles/test_idle_histogram.dir/test_idle_histogram.cc.o.d"
+  "test_idle_histogram"
+  "test_idle_histogram.pdb"
+  "test_idle_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idle_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isp_unit.dir/test_isp_unit.cc.o"
+  "CMakeFiles/test_isp_unit.dir/test_isp_unit.cc.o.d"
+  "test_isp_unit"
+  "test_isp_unit.pdb"
+  "test_isp_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

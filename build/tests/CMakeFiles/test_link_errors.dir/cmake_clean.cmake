@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_errors.dir/test_link_errors.cc.o"
+  "CMakeFiles/test_link_errors.dir/test_link_errors.cc.o.d"
+  "test_link_errors"
+  "test_link_errors.pdb"
+  "test_link_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_power_state.dir/test_link_power_state.cc.o"
+  "CMakeFiles/test_link_power_state.dir/test_link_power_state.cc.o.d"
+  "test_link_power_state"
+  "test_link_power_state.pdb"
+  "test_link_power_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_power_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager_aware.dir/test_manager_aware.cc.o"
+  "CMakeFiles/test_manager_aware.dir/test_manager_aware.cc.o.d"
+  "test_manager_aware"
+  "test_manager_aware.pdb"
+  "test_manager_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

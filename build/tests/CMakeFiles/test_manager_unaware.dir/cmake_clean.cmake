@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manager_unaware.dir/test_manager_unaware.cc.o"
+  "CMakeFiles/test_manager_unaware.dir/test_manager_unaware.cc.o.d"
+  "test_manager_unaware"
+  "test_manager_unaware.pdb"
+  "test_manager_unaware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manager_unaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

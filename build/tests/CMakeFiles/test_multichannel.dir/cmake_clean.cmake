@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multichannel.dir/test_multichannel.cc.o"
+  "CMakeFiles/test_multichannel.dir/test_multichannel.cc.o.d"
+  "test_multichannel"
+  "test_multichannel.pdb"
+  "test_multichannel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

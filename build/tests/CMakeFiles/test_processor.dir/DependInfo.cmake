@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_processor.cc" "tests/CMakeFiles/test_processor.dir/test_processor.cc.o" "gcc" "tests/CMakeFiles/test_processor.dir/test_processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_linkpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_taper.dir/test_static_taper.cc.o"
+  "CMakeFiles/test_static_taper.dir/test_static_taper.cc.o.d"
+  "test_static_taper"
+  "test_static_taper.pdb"
+  "test_static_taper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_taper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
