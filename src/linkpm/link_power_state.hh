@@ -12,6 +12,13 @@
  * the link keeps operating at the *lower* of the two bandwidths while
  * drawing the *higher* of the two powers, for the mechanism's published
  * transition latency (1 us VWL, 3 us DVFS).
+ *
+ * Lane clamp (fault model): a permanent lane failure caps the usable
+ * width at `laneClamp` lanes. A mode then runs on
+ * min(mode.lanes, clamp) lanes: bandwidth scales with the surviving
+ * fraction of the mode's lanes and power follows the VWL-style
+ * (l+1)/(L+1) rule (dead lanes stop toggling, the I/O clock stays on).
+ * SERDES latency is unaffected.
  */
 
 #ifndef MEMNET_LINKPM_LINK_POWER_STATE_HH
@@ -62,6 +69,11 @@ class LinkPowerState
     setMode(Tick now, std::size_t idx)
     {
         memnet_assert(idx < table_->size(), "mode index out of range");
+        // Clamp to the surviving lanes: selections wider than the
+        // degraded link can drive silently land on the widest usable
+        // mode (the managers are told via LinkObserver::onDegrade, but
+        // must never be able to over-select).
+        idx = std::max(idx, minUsableIdx_);
         if (idx == modeIdx_)
             return std::max(now, transEnd_);
         prevModeIdx_ = effectiveModeIdx(now);
@@ -72,6 +84,60 @@ class LinkPowerState
 
     /** True while a mode transition is in flight. */
     bool inTransition(Tick now) const { return now < transEnd_; }
+
+    // -- Lane clamp (permanent degradation) -----------------------------
+
+    /**
+     * Permanently cap the usable width at @p lanes. Only ever tightens:
+     * a clamp wider than the current one is ignored.
+     */
+    void
+    setLaneClamp(int lanes)
+    {
+        memnet_assert(lanes >= 1, "lane clamp must leave a lane");
+        if (lanes >= laneClamp_)
+            return;
+        laneClamp_ = lanes;
+        minUsableIdx_ = 0;
+        for (std::size_t k = 0; k < table_->size(); ++k) {
+            minUsableIdx_ = k;
+            if (table_->mode(k).lanes <= laneClamp_)
+                break;
+        }
+    }
+
+    /** Usable width cap (16 when healthy). */
+    int laneClamp() const { return laneClamp_; }
+
+    bool degraded() const { return laneClamp_ < kFullLanes; }
+
+    /**
+     * Lowest mode index (widest mode) that fits the surviving lanes.
+     * When no mode fits, the narrowest mode: it still runs, derated.
+     */
+    std::size_t minUsableMode() const { return minUsableIdx_; }
+
+    /** Bandwidth multiplier the clamp imposes on mode @p k. */
+    double
+    laneBwMult(std::size_t k) const
+    {
+        const int l = table_->mode(k).lanes;
+        return l <= laneClamp_
+                   ? 1.0
+                   : static_cast<double>(laneClamp_) / l;
+    }
+
+    /** Power multiplier the clamp imposes on mode @p k. */
+    double
+    lanePowerMult(std::size_t k) const
+    {
+        const int l = table_->mode(k).lanes;
+        if (l <= laneClamp_)
+            return 1.0;
+        return static_cast<double>(laneClamp_ + 1) / (l + 1);
+    }
+
+    static constexpr int kFullLanes = 16;
 
     Tick transitionEnd() const { return transEnd_; }
 
@@ -99,11 +165,13 @@ class LinkPowerState
     double
     onPowerFrac(Tick now) const
     {
-        const LinkMode &a = table_->mode(modeIdx_);
+        const double a =
+            table_->mode(modeIdx_).powerFrac * lanePowerMult(modeIdx_);
         if (!inTransition(now))
-            return a.powerFrac;
-        const LinkMode &b = table_->mode(prevModeIdx_);
-        return std::max(a.powerFrac, b.powerFrac);
+            return a;
+        const double b = table_->mode(prevModeIdx_).powerFrac *
+                         lanePowerMult(prevModeIdx_);
+        return std::max(a, b);
     }
 
     // -- ROO --------------------------------------------------------------
@@ -178,8 +246,9 @@ class LinkPowerState
         if (!inTransition(now))
             return modeIdx_;
         // During a transition the slower of the two modes applies.
-        return table_->mode(modeIdx_).bwFrac <
-                       table_->mode(prevModeIdx_).bwFrac
+        return table_->mode(modeIdx_).bwFrac * laneBwMult(modeIdx_) <
+                       table_->mode(prevModeIdx_).bwFrac *
+                           laneBwMult(prevModeIdx_)
                    ? modeIdx_
                    : prevModeIdx_;
     }
@@ -187,11 +256,14 @@ class LinkPowerState
     double
     effectiveBwFrac(Tick now) const
     {
-        return table_->mode(effectiveModeIdx(now)).bwFrac;
+        const std::size_t k = effectiveModeIdx(now);
+        return table_->mode(k).bwFrac * laneBwMult(k);
     }
 
     const ModeTable *table_;
     const RooConfig *roo_;
+    int laneClamp_ = kFullLanes;
+    std::size_t minUsableIdx_ = 0;
     std::size_t modeIdx_ = 0;
     std::size_t prevModeIdx_ = 0;
     Tick transEnd_ = 0;

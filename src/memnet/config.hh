@@ -15,6 +15,7 @@
 #include "linkpm/modes.hh"
 #include "net/topology.hh"
 #include "power/power_breakdown.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace memnet
@@ -80,6 +81,21 @@ struct SystemConfig
     /** Flit corruption probability (CRC retry model; 0 = clean links). */
     double linkFlitErrorRate = 0.0;
 
+    /**
+     * Deterministic fault schedule (retrains, lane failures, error
+     * bursts). The default — an empty plan — is guaranteed to be
+     * bit-identical to a run without any fault machinery.
+     */
+    FaultPlan faults;
+
+    /**
+     * Stalled-read watchdog timeout. 0 = automatic: off for fault-free
+     * runs (preserving their event stream exactly), 300 us when the
+     * fault plan is non-empty. Negative = always off. Positive = use
+     * the given timeout unconditionally.
+     */
+    Tick watchdogTimeoutPs = 0;
+
     Policy policy = Policy::FullPower;
     double alphaPct = 5.0;
     Tick epochLen = us(100);
@@ -130,6 +146,33 @@ struct ModuleDetail
     double responseLinkPowerFrac = 1.0;
 };
 
+/**
+ * Reliability counters aggregated over every link of the run's
+ * measurement window (all zero for clean, fault-free runs).
+ */
+struct ReliabilityStats
+{
+    /** CRC retransmissions (LinkErrorModel + error bursts). */
+    std::uint64_t retries = 0;
+    /** Packets whose serialization a retrain aborted and replayed. */
+    std::uint64_t replays = 0;
+    /** Retrain windows entered across all links. */
+    std::uint64_t retrains = 0;
+    /** Link-seconds spent retraining. */
+    double retrainSeconds = 0.0;
+    /** Link-seconds spent at reduced width (permanent lane failures). */
+    double degradedSeconds = 0.0;
+    /** Fault-injector events fired over the whole run (incl. warmup). */
+    std::uint64_t faultEvents = 0;
+
+    bool
+    any() const
+    {
+        return retries || replays || retrains || faultEvents ||
+               retrainSeconds > 0.0 || degradedSeconds > 0.0;
+    }
+};
+
 /** Measured outputs of one run. */
 struct RunResult
 {
@@ -151,6 +194,9 @@ struct RunResult
 
     std::uint64_t completedReads = 0;
     std::uint64_t violations = 0;
+
+    /** Aggregated link reliability counters (measurement window). */
+    ReliabilityStats reliability;
 
     /** link-seconds[util bucket][lane mode] (Figure 13). */
     std::array<std::array<double, kLaneModes>, kUtilBuckets> linkHours{};

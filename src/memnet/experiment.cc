@@ -46,7 +46,14 @@ Runner::key(const SystemConfig &cfg)
        << static_cast<int>(cfg.ioAttribution) << '|'
        << cfg.linkFlitErrorRate << '|'
        << cfg.aware.ispIterations << cfg.aware.congestionDiscount
-       << cfg.aware.wakeCoordination << cfg.aware.grantPool;
+       << cfg.aware.wakeCoordination << cfg.aware.grantPool << '|'
+       << cfg.watchdogTimeoutPs << '|' << cfg.faults.flapMeanPeriodPs
+       << ',' << cfg.faults.flapWindowPs;
+    for (const FaultSpec &f : cfg.faults.events) {
+        os << ';' << static_cast<int>(f.kind) << ',' << f.at << ','
+           << f.link << ',' << f.durationPs << ',' << f.survivingLanes
+           << ',' << f.flitErrorRate;
+    }
     return os.str();
 }
 

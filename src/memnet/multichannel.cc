@@ -114,9 +114,25 @@ runMultiChannel(const MultiChannelConfig &mcfg)
     pp.maxWritesPerCore = cfg.maxWritesPerCore;
     pp.seed = cfg.seed;
     pp.rateScale = mcfg.channels;
+    if (cfg.watchdogTimeoutPs > 0)
+        pp.watchdogTimeoutPs = cfg.watchdogTimeoutPs;
+    else if (cfg.watchdogTimeoutPs == 0 && !cfg.faults.empty())
+        pp.watchdogTimeoutPs = us(300);
     Processor proc(eq, sw, profile, pp);
     for (auto &n : nets)
         n->setHost(&proc);
+
+    // Every channel runs the same fault plan; the flap streams are
+    // decorrelated by offsetting the seed per channel. No injector is
+    // built for an empty plan (bit-identical to the fault-free path).
+    std::vector<std::unique_ptr<FaultInjector>> injectors;
+    if (!cfg.faults.empty()) {
+        for (int c = 0; c < mcfg.channels; ++c) {
+            injectors.push_back(std::make_unique<FaultInjector>(
+                eq, *nets[c], cfg.faults, cfg.seed + c));
+            injectors.back()->start(0);
+        }
+    }
 
     ManagerParams mp;
     mp.alphaPct = cfg.alphaPct;

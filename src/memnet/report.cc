@@ -25,6 +25,18 @@ printRunSummary(const RunResult &r)
     if (r.violations)
         std::printf("  AMS violations: %llu\n",
                     static_cast<unsigned long long>(r.violations));
+    if (r.reliability.any()) {
+        const ReliabilityStats &rel = r.reliability;
+        std::printf("  reliability: %llu CRC retries, %llu replays, "
+                    "%llu retrains (%.1f us), %.1f us degraded, "
+                    "%llu fault events\n",
+                    static_cast<unsigned long long>(rel.retries),
+                    static_cast<unsigned long long>(rel.replays),
+                    static_cast<unsigned long long>(rel.retrains),
+                    rel.retrainSeconds * 1e6,
+                    rel.degradedSeconds * 1e6,
+                    static_cast<unsigned long long>(rel.faultEvents));
+    }
 }
 
 void

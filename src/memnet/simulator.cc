@@ -129,7 +129,18 @@ class SimulatorImpl
         pp.maxReadsPerCore = cfg.maxReadsPerCore;
         pp.maxWritesPerCore = cfg.maxWritesPerCore;
         pp.seed = cfg.seed;
+        pp.watchdogTimeoutPs = watchdogTimeout();
         Processor proc(eq, net, profile, pp);
+
+        // Fault injection: only constructed for a non-empty plan so a
+        // default config's event stream is bit-identical to the
+        // pre-fault-model simulator.
+        std::unique_ptr<FaultInjector> injector;
+        if (!cfg.faults.empty()) {
+            injector = std::make_unique<FaultInjector>(
+                eq, net, cfg.faults, cfg.seed);
+            injector->start(0);
+        }
 
         std::unique_ptr<PowerManager> mgr;
         std::unique_ptr<StaticTaperManager> taper;
@@ -171,13 +182,26 @@ class SimulatorImpl
         const Tick end = cfg.warmup + measure;
         eq.runUntil(end);
 
-        return collect(eq, net, proc, mgr.get(), measure);
+        return collect(eq, net, proc, mgr.get(), injector.get(),
+                       measure);
     }
 
   private:
+    /** Resolve the watchdog policy (see SystemConfig::watchdogTimeoutPs). */
+    Tick
+    watchdogTimeout() const
+    {
+        if (cfg.watchdogTimeoutPs > 0)
+            return cfg.watchdogTimeoutPs;
+        if (cfg.watchdogTimeoutPs == 0 && !cfg.faults.empty())
+            return us(300);
+        return 0;
+    }
+
     RunResult
     collect(EventQueue &eq, Network &net, Processor &proc,
-            PowerManager *mgr, Tick measure)
+            PowerManager *mgr, const FaultInjector *injector,
+            Tick measure)
     {
         RunResult r;
         r.config = cfg;
@@ -213,6 +237,11 @@ class SimulatorImpl
             ++links;
             const int b = utilBucket(u);
             const LinkStats &ls = l->stats();
+            r.reliability.retries += ls.retries;
+            r.reliability.replays += ls.replays;
+            r.reliability.retrains += ls.retrains;
+            r.reliability.retrainSeconds += ls.retrainSeconds;
+            r.reliability.degradedSeconds += ls.degradedSeconds;
             for (std::size_t k = 0; k < ls.modeSeconds.size(); ++k) {
                 if (ls.modeSeconds[k] <= 0.0)
                     continue;
@@ -221,6 +250,8 @@ class SimulatorImpl
             }
         }
         r.avgLinkUtil = links ? util_sum / links : 0.0;
+        if (injector)
+            r.reliability.faultEvents = injector->stats().total();
 
         const double link_full_w = net.powerModel().linkFullPowerW();
         for (int m = 0; m < net.numModules(); ++m) {

@@ -175,6 +175,9 @@ AwareManager::gatherUnused(LinkType t)
             want.bw = std::min(want.bw, cc.bw);   // lower idx = more BW
             want.roo = std::max(want.roo, cc.roo); // higher idx = later off
         }
+        // A degraded upstream link cannot widen past its surviving
+        // lanes, however wide its children run.
+        want.bw = std::max(want.bw, s.minUsableBw());
         if (!(want == s.selected)) {
             const double released = s.flo(s.selected) - s.flo(want);
             s.stashPs += std::max(0.0, released);

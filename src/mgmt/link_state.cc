@@ -16,17 +16,49 @@ LinkMgmtState::LinkMgmtState(Link &link, const ModeTable &table,
       histogram(roo.enabled ? roo.thresholdsPs : std::vector<Tick>{})
 {
     monitors.resize(table_.size());
-    for (std::size_t k = 0; k < table_.size(); ++k) {
-        const LinkMode &m = table_.mode(k);
-        const Tick flit = static_cast<Tick>(
-            static_cast<double>(LinkTiming::kFullFlitPs) / m.bwFrac +
-            0.5);
-        monitors[k].configure(flit, m.serdesPs + LinkTiming::kRouterPs);
-    }
+    configureMonitors();
     floBw.assign(table_.size(), 0.0);
     floRoo.assign(rooModes(), 0.0);
     offFrac.assign(rooModes(), 0.0);
     rebuildOrder();
+}
+
+void
+LinkMgmtState::configureMonitors()
+{
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+        const LinkMode &m = table_.mode(k);
+        // A mode wider than the surviving lanes serializes at the
+        // degraded rate; monitor index 0 thereby estimates the
+        // *achievable* full-power latency of the degraded link.
+        const double bw_mult =
+            m.lanes <= laneClamp_
+                ? 1.0
+                : static_cast<double>(laneClamp_) / m.lanes;
+        const Tick flit = static_cast<Tick>(
+            static_cast<double>(LinkTiming::kFullFlitPs) /
+                (m.bwFrac * bw_mult) +
+            0.5);
+        monitors[k].configure(flit, m.serdesPs + LinkTiming::kRouterPs);
+    }
+}
+
+void
+LinkMgmtState::setLaneClamp(int lanes)
+{
+    if (lanes >= laneClamp_)
+        return;
+    laneClamp_ = lanes;
+    minUsableBw_ = 0;
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+        minUsableBw_ = k;
+        if (table_.mode(k).lanes <= laneClamp_)
+            break;
+    }
+    configureMonitors();
+    rebuildOrder();
+    // A previous selection may now be out of range; snap it up.
+    selected.bw = std::max(selected.bw, minUsableBw_);
 }
 
 void
@@ -140,9 +172,20 @@ LinkMgmtState::flo(const Combo &c) const
 }
 
 double
+LinkMgmtState::deratedPowerFrac(std::size_t bw) const
+{
+    const LinkMode &m = table_.mode(bw);
+    if (m.lanes <= laneClamp_)
+        return m.powerFrac;
+    // Dead lanes stop toggling; the I/O clock stays on ((l+1)/(L+1)).
+    return m.powerFrac * static_cast<double>(laneClamp_ + 1) /
+           (m.lanes + 1);
+}
+
+double
 LinkMgmtState::predictedPowerFrac(const Combo &c) const
 {
-    const double on = table_.mode(c.bw).powerFrac;
+    const double on = deratedPowerFrac(c.bw);
     if (!roo_.enabled)
         return on;
     const double off = offFrac[c.roo];
@@ -168,6 +211,8 @@ LinkMgmtState::bestCombo(double ams_ps, bool bw_only) const
 {
     const std::size_t full_roo = fullCombo().roo;
     for (const Combo &c : ordered) {
+        if (!usable(c))
+            continue;
         if (bw_only && c.roo != full_roo)
             continue;
         if (flo(c) <= ams_ps)
@@ -184,6 +229,8 @@ LinkMgmtState::nextLowerPower(const Combo &c, Combo *out,
     const std::size_t full_roo = fullCombo().roo;
     const Combo *prev = nullptr;
     for (const Combo &o : ordered) {
+        if (!usable(o))
+            continue;
         if (bw_only && o.roo != full_roo)
             continue;
         if (o == c) {

@@ -58,6 +58,19 @@ class LinkMgmtState
     void onReadDeparture(Tick arrival, Tick now);
     void onIdleInterval(Tick len);
 
+    /**
+     * The link's usable width permanently dropped (fault model). Marks
+     * modes wider than the surviving lanes unselectable, re-derives the
+     * per-mode delay monitors at the derated serialization speeds (so
+     * FEL/FLO estimates track the achievable — degraded — full power
+     * instead of a baseline the hardware can no longer reach), and
+     * re-sorts the combo order by the derated powers.
+     */
+    void setLaneClamp(int lanes);
+
+    /** Widest selectable bandwidth-mode index under the clamp. */
+    std::size_t minUsableBw() const { return minUsableBw_; }
+
     /** Actual aggregate read latency so far this epoch (ps). */
     double actualLatencyPs() const { return actualPs; }
 
@@ -110,11 +123,12 @@ class LinkMgmtState
     bool nextLowerPower(const Combo &c, Combo *out,
                         bool bw_only = false) const;
 
-    /** Full-power combo. */
+    /** Full-power combo (the widest surviving mode when degraded). */
     Combo
     fullCombo() const
     {
-        return Combo{0, roo_.enabled ? roo_.fullModeIndex() : 0};
+        return Combo{minUsableBw_,
+                     roo_.enabled ? roo_.fullModeIndex() : 0};
     }
 
     // -- AMS / violation bookkeeping ------------------------------------
@@ -153,6 +167,10 @@ class LinkMgmtState
     const ModeTable &table_;
     const RooConfig &roo_;
 
+    /** Usable width cap mirrored from the link (fault model). */
+    int laneClamp_ = 16;
+    std::size_t minUsableBw_ = 0;
+
     std::vector<DelayMonitor> monitors;
     IdleHistogram histogram;
 
@@ -175,6 +193,11 @@ class LinkMgmtState
     std::vector<double> offFrac;   ///< per ROO mode
     std::vector<Combo> ordered;    ///< combos by ascending power
     Tick lastEpochLen = us(100);
+
+    void configureMonitors();
+    /** Mode power fraction including the lane-clamp derate. */
+    double deratedPowerFrac(std::size_t bw) const;
+    bool usable(const Combo &c) const { return c.bw >= minUsableBw_; }
 
     void rebuildOrder();
 };

@@ -65,6 +65,15 @@ PowerManager::onIdleEnd(Link &l, Tick idle_start, Tick now)
 }
 
 void
+PowerManager::onDegrade(Link &l, int lanes, Tick now)
+{
+    // Mirror the surviving-lane clamp into the management state so
+    // mode selection, FEL estimation, and FLO tables all work against
+    // the degraded link's real capabilities from this instant on.
+    stateOf(l).setLaneClamp(lanes);
+}
+
+void
 PowerManager::onDramRead(Module &m, Tick now)
 {
     // Both schemes adapt Malladi et al. [22]: proactively wake the

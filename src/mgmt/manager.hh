@@ -56,6 +56,7 @@ class PowerManager : public LinkObserver, public ModuleObserver
     void onEnqueue(Link &l, Packet &pkt, Tick now) override;
     void onDepart(Link &l, Packet &pkt, Tick now) override;
     void onIdleEnd(Link &l, Tick idle_start, Tick now) override;
+    void onDegrade(Link &l, int lanes, Tick now) override;
 
     // -- ModuleObserver ---------------------------------------------------
 

@@ -51,10 +51,17 @@ Link::accrue(Tick now)
     // State is constant over [lastAccrue, now): every state change calls
     // accrue() first, and a checkpoint event fires at transition ends.
     const double w = fullPowerW * pstate.powerFrac(lastAccrue);
-    if (busy)
+    if (busy) {
         stats_.activeIoJ += w * dt;
-    else
+    } else if (retraining_) {
+        // Training sequences exercise the lanes at on-state power.
+        stats_.activeIoJ += w * dt;
+        stats_.retrainSeconds += dt;
+    } else {
         stats_.idleIoJ += w * dt;
+    }
+    if (pstate.degraded())
+        stats_.degradedSeconds += dt;
     stats_.modeSeconds[pstate.modeIndex()] += dt;
     if (pstate.rooState() == RooState::Off)
         stats_.offSeconds += dt;
@@ -69,16 +76,22 @@ Link::resetStats()
 }
 
 void
+Link::exitIdle(Tick now)
+{
+    if (!idle)
+        return;
+    observer->onIdleEnd(*this, idleStart, now);
+    idle = false;
+    if (sleepEvent.scheduled())
+        eq.deschedule(&sleepEvent);
+}
+
+void
 Link::enqueue(Packet *pkt)
 {
     const Tick now = eq.now();
     pkt->linkArrival = now;
-    if (idle) {
-        observer->onIdleEnd(*this, idleStart, now);
-        idle = false;
-        if (sleepEvent.scheduled())
-            eq.deschedule(&sleepEvent);
-    }
+    exitIdle(now);
     if (isReadPacket(pkt->type))
         readQ.push_back(pkt);
     else
@@ -92,7 +105,7 @@ Link::enqueue(Packet *pkt)
 void
 Link::tryStart()
 {
-    if (busy)
+    if (busy || retraining_)
         return;
     const Tick now = eq.now();
     if (readQ.empty() && writeQ.empty()) {
@@ -130,21 +143,17 @@ Link::onTxDone()
 
     // CRC check at the receiver: a corrupted packet is NAKed and
     // retransmitted from the retry buffer after the turnaround delay.
-    if (errors_.enabled()) {
+    const double fer = flitErrorRate();
+    if (fer > 0.0) {
         double p_ok = 1.0;
         for (int f = 0; f < current->flits; ++f)
-            p_ok *= 1.0 - errors_.flitErrorRate;
+            p_ok *= 1.0 - fer;
         if (!errorRng.chance(p_ok)) {
             ++stats_.retries;
             Packet *retry = current;
             current = nullptr;
-            eq.schedule(now + errors_.retryDelayPs, [this, retry] {
-                if (isReadPacket(retry->type))
-                    readQ.push_front(retry);
-                else
-                    writeQ.push_front(retry);
-                tryStart();
-            });
+            eq.schedule(now + errors_.retryDelayPs,
+                        [this, retry] { admitRetry(retry); });
             return;
         }
     }
@@ -167,6 +176,25 @@ Link::onTxDone()
 }
 
 void
+Link::admitRetry(Packet *retry)
+{
+    // A retry lands like a (front-of-queue) arrival: the link may have
+    // gone idle — or all the way into a sleep transition — during the
+    // NAK turnaround, so the idle interval must be closed and an off
+    // link must be woken, exactly as enqueue() does. (The observer's
+    // onEnqueue is NOT replayed: the packet already counted once.)
+    const Tick now = eq.now();
+    exitIdle(now);
+    if (isReadPacket(retry->type))
+        readQ.push_front(retry);
+    else
+        writeQ.push_front(retry);
+    if (pstate.rooState() == RooState::Off)
+        beginWakeInternal(now);
+    tryStart();
+}
+
+void
 Link::onDeliver()
 {
     memnet_assert(!pipe.empty(), "delivery with empty pipe");
@@ -182,8 +210,10 @@ Link::onDeliver()
 void
 Link::armSleepTimer()
 {
-    if (!pstate.rooEnabled() || pstate.rooState() != RooState::On)
+    if (!pstate.rooEnabled() || pstate.rooState() != RooState::On ||
+        retraining_) {
         return;
+    }
     eq.reschedule(&sleepEvent,
                   std::max(eq.now(), idleStart + pstate.idleThreshold()));
 }
@@ -192,7 +222,7 @@ void
 Link::onSleepTimer()
 {
     const Tick now = eq.now();
-    if (!idle || pstate.rooState() != RooState::On)
+    if (!idle || retraining_ || pstate.rooState() != RooState::On)
         return;
     if (now - idleStart < pstate.idleThreshold()) {
         // Threshold grew since arming; re-check at the right time.
@@ -209,7 +239,7 @@ Link::onSleepTimer()
 void
 Link::noteSleepOpportunity()
 {
-    if (!idle || !pstate.rooEnabled() ||
+    if (!idle || retraining_ || !pstate.rooEnabled() ||
         pstate.rooState() != RooState::On) {
         return;
     }
@@ -265,8 +295,78 @@ void
 Link::forceFullPower()
 {
     // Full power is bandwidth mode 0; for ROO links it is the largest
-    // idleness threshold (Section V-B).
+    // idleness threshold (Section V-B). A degraded link's "full power"
+    // is its widest surviving mode (setMode clamps).
     applyModes(0, pstate.rooEnabled() ? pstate.rooFullModeIndex() : 0);
+}
+
+// ---------------------------------------------------------------------
+// Fault handling
+// ---------------------------------------------------------------------
+
+void
+Link::beginRetrain(Tick window)
+{
+    memnet_assert(window > 0, "retrain window must be positive");
+    const Tick now = eq.now();
+    accrue(now);
+
+    // Retraining is lane activity: close any idle interval so the ROO
+    // histogram never sees a retrain window as exploitable idleness.
+    exitIdle(now);
+
+    // Abort the in-flight serialization; the packet is replayed from
+    // the front of its queue once the link is back up. Packets already
+    // past the link (SERDES/router pipe) continue to deliver.
+    if (busy) {
+        memnet_assert(current, "busy without a packet");
+        eq.deschedule(&txDoneEvent);
+        Packet *p = current;
+        current = nullptr;
+        busy = false;
+        if (isReadPacket(p->type))
+            readQ.push_front(p);
+        else
+            writeQ.push_front(p);
+        ++stats_.replays;
+    }
+
+    if (!retraining_) {
+        retraining_ = true;
+        ++stats_.retrains;
+        observer->onRetrainBegin(*this, now);
+    }
+    retrainEnd_ = std::max(retrainEnd_, now + window);
+    eq.reschedule(&retrainEvent, retrainEnd_);
+
+    // An off link trains on the way up: start the wake in parallel.
+    if (pstate.rooState() == RooState::Off)
+        beginWakeInternal(now);
+}
+
+void
+Link::onRetrainDone()
+{
+    const Tick now = eq.now();
+    memnet_assert(retraining_, "retrain end without retrain");
+    accrue(now);
+    retraining_ = false;
+    observer->onRetrainEnd(*this, now);
+    // Resume service; with empty queues this restarts the idle clock.
+    tryStart();
+}
+
+void
+Link::setLaneLimit(int lanes)
+{
+    memnet_assert(lanes >= 1 && lanes <= LinkPowerState::kFullLanes,
+                  "lane limit out of range: ", lanes);
+    if (lanes >= pstate.laneClamp())
+        return; // lanes never come back
+    const Tick now = eq.now();
+    accrue(now);
+    pstate.setLaneClamp(lanes);
+    observer->onDegrade(*this, lanes, now);
 }
 
 } // namespace memnet

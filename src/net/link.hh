@@ -73,6 +73,15 @@ class LinkObserver
 
     /** The link turned off. */
     virtual void onSleep(Link &, Tick) {}
+
+    /** The link's usable width permanently dropped to @p lanes. */
+    virtual void onDegrade(Link &, int lanes, Tick) {}
+
+    /** The link entered a retrain window (down until it completes). */
+    virtual void onRetrainBegin(Link &, Tick) {}
+
+    /** The link finished retraining and resumed service. */
+    virtual void onRetrainEnd(Link &, Tick) {}
 };
 
 /** Per-link accumulated statistics (reset at measurement start). */
@@ -85,6 +94,14 @@ struct LinkStats
     std::uint64_t readPackets = 0;
     /** CRC retransmissions (LinkErrorModel). */
     std::uint64_t retries = 0;
+    /** Packets whose serialization was aborted and replayed (faults). */
+    std::uint64_t replays = 0;
+    /** Retrain windows entered. */
+    std::uint64_t retrains = 0;
+    /** Seconds spent in the Retraining state. */
+    double retrainSeconds = 0.0;
+    /** Seconds spent with fewer than 16 usable lanes. */
+    double degradedSeconds = 0.0;
     /** Residency seconds per bandwidth-mode index. */
     std::array<double, 8> modeSeconds{};
     double offSeconds = 0.0;
@@ -140,6 +157,46 @@ class Link
      */
     void noteSleepOpportunity();
 
+    // -- Fault handling (called by the fault injector) ---------------------
+
+    /**
+     * Take the link down for a retrain window ending @p window from now.
+     * The in-flight packet's serialization is aborted and replayed after
+     * the window, queued packets wait, and nothing is dropped. The lanes
+     * drive training sequences for the whole window, so the link draws
+     * its on-state power (counted as active I/O). Overlapping retrains
+     * extend the window.
+     */
+    void beginRetrain(Tick window);
+
+    /** True while a retrain window is in progress. */
+    bool retraining() const { return retraining_; }
+
+    /**
+     * Permanently clamp the usable width to @p lanes (1..16); widening
+     * is ignored. Mode selections narrower than the clamp still work;
+     * wider ones are derated to the surviving lanes (and applyModes
+     * clamps future selections). Notifies the observer via onDegrade.
+     */
+    void setLaneLimit(int lanes);
+
+    /** Usable width cap (16 when healthy). */
+    int laneLimit() const { return pstate.laneClamp(); }
+
+    /** Widest selectable mode index under the current lane limit. */
+    std::size_t minUsableMode() const { return pstate.minUsableMode(); }
+
+    /** Override the flit error rate (error burst); negative clears. */
+    void setErrorRateOverride(double rate) { errorOverride = rate; }
+
+    /** Effective flit error rate right now. */
+    double
+    flitErrorRate() const
+    {
+        return errorOverride >= 0.0 ? errorOverride
+                                    : errors_.flitErrorRate;
+    }
+
     const LinkPowerState &power() const { return pstate; }
     LinkPowerState &power() { return pstate; }
 
@@ -184,11 +241,14 @@ class Link
     void onDeliver();
     void onSleepTimer();
     void onWakeDone();
+    void onRetrainDone();
     void onCheckpoint() { accrue(eq.now()); }
 
     void accrue(Tick now);
     void armSleepTimer();
     void beginWakeInternal(Tick now);
+    void exitIdle(Tick now);
+    void admitRetry(Packet *pkt);
 
     EventQueue &eq;
     const int id_;
@@ -200,6 +260,12 @@ class Link
     LinkObserver *observer;
     LinkErrorModel errors_;
     Random errorRng;
+    /** Burst override of the flit error rate; < 0 means "use baseline". */
+    double errorOverride = -1.0;
+
+    /** Retrain window state (fault model). */
+    bool retraining_ = false;
+    Tick retrainEnd_ = 0;
 
     std::deque<Packet *> readQ;
     std::deque<Packet *> writeQ;
@@ -223,6 +289,7 @@ class Link
     MemberEvent<Link, &Link::onDeliver> deliverEvent{this};
     MemberEvent<Link, &Link::onSleepTimer> sleepEvent{this};
     MemberEvent<Link, &Link::onWakeDone> wakeEvent{this};
+    MemberEvent<Link, &Link::onRetrainDone> retrainEvent{this};
     MemberEvent<Link, &Link::onCheckpoint> checkpointEvent{this};
 };
 

@@ -63,6 +63,38 @@ Network::inject(Packet *pkt)
     requestLink(path[0]).enqueue(pkt);
 }
 
+Link &
+Network::linkById(int id)
+{
+    const int n = numModules();
+    memnet_assert(id >= 0 && id < 2 * n, "bad link id: ", id);
+    return id < n ? *reqLinks[id] : *respLinks[id - n];
+}
+
+void
+Network::injectRetrain(int link, Tick window)
+{
+    linkById(link).beginRetrain(window);
+}
+
+void
+Network::injectLaneFailure(int link, int surviving_lanes)
+{
+    linkById(link).setLaneLimit(surviving_lanes);
+}
+
+void
+Network::injectErrorBurst(int link, double flit_error_rate)
+{
+    linkById(link).setErrorRateOverride(flit_error_rate);
+}
+
+void
+Network::clearErrorBurst(int link)
+{
+    linkById(link).setErrorRateOverride(-1.0);
+}
+
 std::vector<Link *>
 Network::allLinks()
 {

@@ -17,6 +17,7 @@
 #include "power/hmc_power_model.hh"
 #include "power/power_breakdown.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace memnet
@@ -70,9 +71,11 @@ struct AddressMap
 
 /**
  * Owns every module and link of one memory network and injects traffic
- * from the processor channel.
+ * from the processor channel. Also the FaultTarget a FaultInjector
+ * degrades: fault domains are link ids (request links 0..n-1, response
+ * links n..2n-1, matching allLinks() order).
  */
-class Network : public TrafficTarget
+class Network : public TrafficTarget, public FaultTarget
 {
   public:
     Network(EventQueue &eq, const Topology &topo,
@@ -110,6 +113,17 @@ class Network : public TrafficTarget
 
     /** All links, request links first (ids match indices). */
     std::vector<Link *> allLinks();
+
+    /** Link with the given dense id (request 0..n-1, response n..2n-1). */
+    Link &linkById(int id);
+
+    // -- FaultTarget -------------------------------------------------------
+
+    int faultDomains() const override { return 2 * numModules(); }
+    void injectRetrain(int link, Tick window) override;
+    void injectLaneFailure(int link, int surviving_lanes) override;
+    void injectErrorBurst(int link, double flit_error_rate) override;
+    void clearErrorBurst(int link) override;
 
     const AddressMap &addressMap() const { return amap_; }
     const HmcPowerModel &powerModel() const { return pm_; }

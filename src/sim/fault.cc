@@ -1,0 +1,133 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+namespace
+{
+
+/** Stream selector base for per-link flap RNGs (arbitrary constant). */
+constexpr std::uint64_t kFlapStream = 0xfa0175ULL;
+
+} // namespace
+
+FaultInjector::FaultInjector(EventQueue &eq, FaultTarget &target,
+                             const FaultPlan &plan, std::uint64_t seed)
+    : eq(eq), target(target), plan(plan), seed(seed)
+{
+}
+
+void
+FaultInjector::start(Tick at)
+{
+    memnet_assert(!started, "fault injector started twice");
+    started = true;
+    if (plan.empty())
+        return;
+
+    const int n = target.faultDomains();
+    for (const FaultSpec &spec : plan.events) {
+        if (spec.link < -1 || spec.link >= n) {
+            memnet_fatal("fault plan targets link ", spec.link,
+                         " but the network has ", n, " links");
+        }
+        if (spec.kind == FaultKind::LaneFailure &&
+            (spec.survivingLanes < 1 || spec.survivingLanes > 16)) {
+            memnet_fatal("lane failure must leave 1..16 lanes, got ",
+                         spec.survivingLanes);
+        }
+        if (spec.kind != FaultKind::LaneFailure && spec.durationPs <= 0)
+            memnet_fatal("transient faults need a positive duration");
+        if (spec.kind == FaultKind::ErrorBurst &&
+            (spec.flitErrorRate < 0.0 || spec.flitErrorRate >= 1.0)) {
+            memnet_fatal("error burst rate must be in [0, 1), got ",
+                         spec.flitErrorRate);
+        }
+        const Tick when = std::max(at, spec.at);
+        FaultSpec s = spec;
+        eq.schedule(when, [this, s] { fire(s); });
+    }
+
+    if (plan.flapMeanPeriodPs > 0) {
+        if (plan.flapWindowPs <= 0)
+            memnet_fatal("flap retrain window must be positive");
+        flapRng.reserve(n);
+        for (int l = 0; l < n; ++l) {
+            flapRng.emplace_back(
+                seed, kFlapStream + static_cast<std::uint64_t>(l));
+            scheduleFlap(l, at);
+        }
+    }
+}
+
+void
+FaultInjector::fire(const FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case FaultKind::LinkRetrain:
+        forEachLink(spec.link, &FaultInjector::fireRetrain, spec);
+        break;
+      case FaultKind::LaneFailure:
+        forEachLink(spec.link, &FaultInjector::fireLaneFailure, spec);
+        break;
+      case FaultKind::ErrorBurst:
+        forEachLink(spec.link, &FaultInjector::fireErrorBurst, spec);
+        break;
+    }
+}
+
+void
+FaultInjector::forEachLink(int link,
+                           void (FaultInjector::*fn)(int,
+                                                     const FaultSpec &),
+                           const FaultSpec &spec)
+{
+    if (link >= 0) {
+        (this->*fn)(link, spec);
+        return;
+    }
+    for (int l = 0; l < target.faultDomains(); ++l)
+        (this->*fn)(l, spec);
+}
+
+void
+FaultInjector::fireRetrain(int link, const FaultSpec &spec)
+{
+    ++stats_.retrains;
+    target.injectRetrain(link, spec.durationPs);
+}
+
+void
+FaultInjector::fireLaneFailure(int link, const FaultSpec &spec)
+{
+    ++stats_.laneFailures;
+    target.injectLaneFailure(link, spec.survivingLanes);
+}
+
+void
+FaultInjector::fireErrorBurst(int link, const FaultSpec &spec)
+{
+    ++stats_.errorBursts;
+    target.injectErrorBurst(link, spec.flitErrorRate);
+    eq.schedule(eq.now() + spec.durationPs,
+                [this, link] { target.clearErrorBurst(link); });
+}
+
+void
+FaultInjector::scheduleFlap(int link, Tick from)
+{
+    const Tick gap = static_cast<Tick>(flapRng[link].exponential(
+        static_cast<double>(plan.flapMeanPeriodPs)));
+    const Tick when = from + std::max<Tick>(gap, 1);
+    eq.schedule(when, [this, link] {
+        ++stats_.retrains;
+        target.injectRetrain(link, plan.flapWindowPs);
+        scheduleFlap(link, eq.now());
+    });
+}
+
+} // namespace memnet

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic fault injection for link-level degradation studies.
+ *
+ * A FaultPlan describes when and how links degrade: transient retrain
+ * windows (the link goes down, queued and in-flight packets are replayed
+ * afterwards, nothing is dropped), permanent lane failures (the link's
+ * maximum usable width drops for the rest of the run), and error-rate
+ * bursts (a time-bounded override of the CRC flit error rate). The
+ * FaultInjector turns a plan into event-queue events against an abstract
+ * FaultTarget, so this layer stays independent of the network library.
+ *
+ * Determinism: explicit events fire at their configured ticks; the
+ * optional stochastic retrain flapping draws from a dedicated PCG32
+ * stream per link seeded from the run seed, so the same seed and plan
+ * always produce the same fault sequence, and an empty plan schedules
+ * nothing at all (bit-identical to a fault-free run).
+ */
+
+#ifndef MEMNET_SIM_FAULT_HH
+#define MEMNET_SIM_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+/** Kinds of injectable link faults. */
+enum class FaultKind : std::uint8_t
+{
+    LinkRetrain, ///< transient: link down for a retrain window
+    LaneFailure, ///< permanent: usable width drops to survivingLanes
+    ErrorBurst,  ///< transient: flit error rate override for a window
+};
+
+/** One scheduled fault event. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LinkRetrain;
+    /** Absolute injection tick. */
+    Tick at = 0;
+    /** Target link id (Network numbering); -1 hits every link. */
+    int link = -1;
+    /** Retrain window or error-burst duration. */
+    Tick durationPs = us(1);
+    /** LaneFailure: lanes still working afterwards (1..16). */
+    int survivingLanes = 8;
+    /** ErrorBurst: flit corruption probability during the window. */
+    double flitErrorRate = 0.0;
+};
+
+/**
+ * Everything the injector needs for one run. Default-constructed plans
+ * are empty and guarantee bit-identical behavior to a fault-free run.
+ */
+struct FaultPlan
+{
+    std::vector<FaultSpec> events;
+
+    /**
+     * Stochastic retrain flapping: every link independently retrains
+     * with exponential inter-arrival of this mean (0 disables). Draws
+     * come from per-link streams of the run seed, so the flap schedule
+     * is reproducible and independent of traffic.
+     */
+    Tick flapMeanPeriodPs = 0;
+    /** Retrain window used by stochastic flaps. */
+    Tick flapWindowPs = us(1);
+
+    bool
+    empty() const
+    {
+        return events.empty() && flapMeanPeriodPs <= 0;
+    }
+};
+
+/** What a fault plan acts upon (implemented by Network). */
+class FaultTarget
+{
+  public:
+    virtual ~FaultTarget() = default;
+
+    /** Number of addressable links (valid ids are 0..n-1). */
+    virtual int faultDomains() const = 0;
+
+    /** Take the link down for @p window; replay traffic afterwards. */
+    virtual void injectRetrain(int link, Tick window) = 0;
+
+    /** Permanently clamp the link's usable width. */
+    virtual void injectLaneFailure(int link, int surviving_lanes) = 0;
+
+    /** Override the link's flit error rate (burst start). */
+    virtual void injectErrorBurst(int link, double flit_error_rate) = 0;
+
+    /** Restore the link's baseline flit error rate (burst end). */
+    virtual void clearErrorBurst(int link) = 0;
+};
+
+/** Counters describing what the injector actually fired. */
+struct FaultInjectorStats
+{
+    std::uint64_t retrains = 0;
+    std::uint64_t laneFailures = 0;
+    std::uint64_t errorBursts = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return retrains + laneFailures + errorBursts;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * @param eq event queue driving the run.
+     * @param target link fabric to degrade.
+     * @param plan fault schedule (validated in start()).
+     * @param seed run seed; only used for stochastic flapping.
+     */
+    FaultInjector(EventQueue &eq, FaultTarget &target,
+                  const FaultPlan &plan, std::uint64_t seed);
+
+    /**
+     * Validate the plan and schedule every fault event at or after
+     * @p at. A no-op for an empty plan. Calling twice is an error.
+     */
+    void start(Tick at);
+
+    const FaultInjectorStats &stats() const { return stats_; }
+
+  private:
+    void fire(const FaultSpec &spec);
+    void forEachLink(int link, void (FaultInjector::*fn)(int,
+                                                         const FaultSpec &),
+                     const FaultSpec &spec);
+    void fireRetrain(int link, const FaultSpec &spec);
+    void fireLaneFailure(int link, const FaultSpec &spec);
+    void fireErrorBurst(int link, const FaultSpec &spec);
+    void scheduleFlap(int link, Tick from);
+
+    EventQueue &eq;
+    FaultTarget &target;
+    FaultPlan plan;
+    const std::uint64_t seed;
+    bool started = false;
+
+    /** One independent stream per link for flap inter-arrival draws. */
+    std::vector<Random> flapRng;
+
+    FaultInjectorStats stats_;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_SIM_FAULT_HH

@@ -74,6 +74,10 @@ Processor::~Processor() = default;
 void
 Processor::start(Tick at)
 {
+    if (params.watchdogTimeoutPs > 0) {
+        lastReadCompletion = at;
+        eq.schedule(&watchdogEvent, at + params.watchdogTimeoutPs);
+    }
     for (auto &c : cores) {
         // Desynchronize cores by a random fraction of the issue gap.
         const Tick jitter =
@@ -125,10 +129,12 @@ Processor::issueFrom(Core &c)
     pkt->flits = flitsFor(pkt->type);
     pkt->issued = now;
 
-    if (is_read)
+    if (is_read) {
         ++c.outstandingReads;
-    else
+        ++pendingReads;
+    } else {
         ++c.outstandingWrites;
+    }
 
     target.inject(pkt);
 
@@ -137,10 +143,32 @@ Processor::issueFrom(Core &c)
 }
 
 void
+Processor::onWatchdog()
+{
+    const Tick now = eq.now();
+    const Tick starved = now - lastReadCompletion;
+    if (pendingReads > 0 && starved >= params.watchdogTimeoutPs) {
+        memnet_fatal(
+            "read watchdog: ", pendingReads,
+            " read(s) outstanding with no completion for ", starved,
+            " ps (timeout ", params.watchdogTimeoutPs, " ps, now ", now,
+            " ps, ", nReads, " reads completed so far). A link is "
+            "likely dropping or wedging packets; if a configured fault "
+            "window legitimately exceeds the timeout, raise "
+            "watchdogTimeoutPs.");
+    }
+    // Re-check one timeout after the most recent completion.
+    const Tick base = pendingReads > 0 ? lastReadCompletion : now;
+    eq.schedule(&watchdogEvent, base + params.watchdogTimeoutPs);
+}
+
+void
 Processor::readCompleted(Packet *pkt, Tick now)
 {
     Core &c = *cores[pkt->core];
     --c.outstandingReads;
+    --pendingReads;
+    lastReadCompletion = now;
     ++nReads;
     readLat.sample(toSeconds(now - pkt->issued) * 1e9);
     delete pkt;

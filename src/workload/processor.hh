@@ -41,6 +41,13 @@ struct ProcessorParams
      * profile's utilization.
      */
     double rateScale = 1.0;
+    /**
+     * Stalled-read watchdog: if reads are outstanding and none has
+     * completed for this long, the run is aborted with a diagnostic
+     * (memnet_fatal) instead of silently starving the event loop.
+     * 0 disables. Enabled automatically by Simulator for fault runs.
+     */
+    Tick watchdogTimeoutPs = 0;
 };
 
 class Processor : public EndpointHost
@@ -72,10 +79,14 @@ class Processor : public EndpointHost
     /** Aggregate target access rate (accesses/s) for this profile. */
     double targetAccessRate() const { return targetRate; }
 
+    /** Reads in flight across all cores (watchdog/diagnostics). */
+    int outstandingReads() const { return pendingReads; }
+
   private:
     struct Core;
 
     void issueFrom(Core &c);
+    void onWatchdog();
 
     EventQueue &eq;
     TrafficTarget &target;
@@ -94,6 +105,12 @@ class Processor : public EndpointHost
     std::uint64_t nReads = 0;
     std::uint64_t nWrites = 0;
     Average readLat;
+
+    /** Watchdog state. */
+    int pendingReads = 0;
+    Tick lastReadCompletion = 0;
+
+    MemberEvent<Processor, &Processor::onWatchdog> watchdogEvent{this};
 };
 
 } // namespace memnet

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "memnet/simulator.hh"
 #include "net/link.hh"
@@ -107,6 +109,105 @@ TEST_F(LinkErrorTest, RetriesAddLatency)
     }
     ASSERT_EQ(sink2.delivered, 1);
     EXPECT_GE(sink2.last, clean);
+}
+
+/** Records every idle interval the link reports. */
+struct IdleRecorder : public LinkObserver
+{
+    std::vector<std::pair<Tick, Tick>> intervals;
+    void
+    onIdleEnd(Link &, Tick idle_start, Tick now) override
+    {
+        intervals.emplace_back(idle_start, now);
+    }
+};
+
+/**
+ * Regression: a CRC retry lands after the NAK turnaround like a fresh
+ * arrival. If the link went idle in between, the retry must close the
+ * idle interval (otherwise the ROO histogram sees the retry's own
+ * transmission as idleness). Fully deterministic: the first attempt
+ * fails at rate 1.0, then the override drops the rate to zero.
+ */
+TEST_F(LinkErrorTest, RetryLandingOnIdleLinkClosesIdleInterval)
+{
+    errors.flitErrorRate = 1.0;
+    errors.retryDelayPs = us(1);
+    IdleRecorder rec;
+    Link link2(eq, 0, LinkType::Request, 0,
+               &ModeTable::forMechanism(BwMechanism::None), &roo, 1.0,
+               &sink, &errors);
+    link2.setObserver(&rec);
+
+    link2.enqueue(makeResp()); // NAKed at t=3200
+    eq.schedule(ns(4), [&] {
+        link2.setErrorRateOverride(0.0);
+        link2.enqueue(makeResp()); // clean, done at t=7200
+    });
+    eq.run();
+
+    EXPECT_EQ(sink.delivered, 2);
+    EXPECT_EQ(link2.stats().retries, 1u);
+    EXPECT_EQ(link2.stats().packets, 2u);
+    // Interval 1 is the trivial one ending at the first enqueue; the
+    // retry landing at 3200 + retryDelay must close interval 2, which
+    // started when the clean packet finished serializing.
+    ASSERT_EQ(rec.intervals.size(), 2u);
+    EXPECT_EQ(rec.intervals[1].first, Tick{7200});
+    EXPECT_EQ(rec.intervals[1].second, us(1) + Tick{3200});
+}
+
+/**
+ * Regression: a retry landing on a link that slept during the NAK
+ * turnaround must wake it — re-queuing without the wake wedges the
+ * packet forever (tryStart returns while the link is off and nothing
+ * else will ever call it).
+ */
+TEST_F(LinkErrorTest, RetryLandingOnSleepingLinkWakesIt)
+{
+    RooConfig roo_on;
+    roo_on.enabled = true;
+    errors.flitErrorRate = 1.0;
+    errors.retryDelayPs = us(1);
+    Link link2(eq, 0, LinkType::Request, 0,
+               &ModeTable::forMechanism(BwMechanism::None), &roo_on,
+               1.0, &sink, &errors);
+    link2.power().setRooMode(0); // 32 ns idle threshold
+
+    link2.enqueue(makeResp());
+    eq.schedule(ns(4), [&] {
+        link2.setErrorRateOverride(0.0);
+        link2.enqueue(makeResp());
+    });
+    // After the clean packet the link idles and turns off well before
+    // the retry lands at ~1.003 us.
+    eq.run();
+
+    EXPECT_EQ(sink.delivered, 2);
+    EXPECT_EQ(link2.stats().retries, 1u);
+    EXPECT_GT(link2.stats().offSeconds, 0.0);
+}
+
+/** A retry landing mid-retrain waits for the window, nothing is lost. */
+TEST_F(LinkErrorTest, RetryLandingDuringRetrainWaitsForTheWindow)
+{
+    errors.flitErrorRate = 1.0;
+    errors.retryDelayPs = us(1);
+    Link link2(eq, 0, LinkType::Request, 0,
+               &ModeTable::forMechanism(BwMechanism::None), &roo, 1.0,
+               &sink, &errors);
+
+    link2.enqueue(makeResp());
+    eq.schedule(ns(4), [&] { link2.setErrorRateOverride(0.0); });
+    // Window spans the retry's landing tick (~1.003 us).
+    eq.schedule(us(1), [&] { link2.beginRetrain(ns(100)); });
+    eq.run();
+
+    EXPECT_EQ(sink.delivered, 1);
+    EXPECT_EQ(link2.stats().retrains, 1u);
+    EXPECT_EQ(link2.stats().replays, 0u); // link was quiet at injection
+    // Serialization restarts only after the retrain window closes.
+    EXPECT_GE(sink.last, us(1) + ns(100) + ns(3));
 }
 
 TEST_F(LinkErrorTest, SystemLevelErrorsInflatePowerAndLatency)
