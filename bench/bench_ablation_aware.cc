@@ -25,8 +25,10 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io("ablation_aware", argc, argv);
+
     printBanner(
         "Ablation — network-aware management ingredients",
         "Big networks, VWL+ROO, alpha = 5%; averaged over 14 workloads "
@@ -92,5 +94,5 @@ main()
         "at busy links;\ndisabling wakeup coordination exposes "
         "response-link wake latency (worse\nperformance or less ROO "
         "saving); the grant pool mainly trims the tail.\n");
-    return 0;
+    return io.finish(runner);
 }

@@ -10,10 +10,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("alpha_sweep", argc, argv);
 
     printBanner(
         "Alpha sweep — power/performance frontier",
@@ -48,5 +50,5 @@ main()
                   TextTable::pct(deg[1] / n)});
     }
     t.print();
-    return 0;
+    return io.finish(runner);
 }

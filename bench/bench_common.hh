@@ -6,16 +6,73 @@
 #ifndef MEMNET_BENCH_BENCH_COMMON_HH
 #define MEMNET_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "memnet/experiment.hh"
+#include "memnet/report.hh"
+#include "sim/log.hh"
 
 namespace memnet
 {
 namespace bench
 {
+
+/**
+ * Shared command-line handling for the bench binaries. Today that is
+ * one flag: `--json <path>` dumps every run the bench executed as
+ * machine-readable JSON (schema: ci/bench_schema.json) after the
+ * normal tables print.
+ *
+ * Usage:
+ *   int main(int argc, char **argv) {
+ *       bench::BenchIo io("fig5_power_breakdown", argc, argv);
+ *       Runner runner;
+ *       ...
+ *       return io.finish(runner);
+ *   }
+ */
+class BenchIo
+{
+  public:
+    BenchIo(const std::string &bench, int argc, char **argv)
+        : bench(bench)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                jsonPath = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--json <path>]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        }
+    }
+
+    /** Write the JSON dump (if requested); returns the exit code. */
+    int
+    finish(const Runner &runner) const
+    {
+        if (jsonPath.empty())
+            return 0;
+        std::ofstream os(jsonPath);
+        if (!os) {
+            memnet_warn("cannot open --json output file: ", jsonPath);
+            return 1;
+        }
+        writeBenchResultsJson(os, bench, runner.results());
+        return os ? 0 : 1;
+    }
+
+  private:
+    std::string bench;
+    std::string jsonPath;
+};
 
 /** Construct the standard evaluation config for one cell of a sweep. */
 inline SystemConfig

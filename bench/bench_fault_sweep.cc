@@ -43,8 +43,9 @@ num(double v, int prec = 2)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io("fault_sweep", argc, argv);
     Runner runner;
 
     printBanner(
@@ -113,5 +114,5 @@ main()
                      std::to_string(r.violations)});
     }
     lane.print();
-    return 0;
+    return io.finish(runner);
 }

@@ -10,10 +10,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig11_unaware_power", argc, argv);
 
     printBanner(
         "Figure 11 — per-HMC power under network-unaware management",
@@ -65,5 +67,5 @@ main()
                     "vs FP\n",
                     (1 - best / fp_avg) * 100);
     }
-    return 0;
+    return io.finish(runner);
 }

@@ -9,10 +9,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig12_unaware_perf", argc, argv);
 
     printBanner(
         "Figure 12 — performance overhead of network-unaware management",
@@ -52,5 +54,5 @@ main()
         }
         t.print();
     }
-    return 0;
+    return io.finish(runner);
 }

@@ -70,8 +70,10 @@ printDistribution(Runner &runner, Policy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io("fig13_link_hours", argc, argv);
+
     printBanner(
         "Figure 13 — link hours by utilization and VWL mode "
         "(big networks)",
@@ -86,5 +88,5 @@ main()
 
     std::printf("== network-AWARE management ==\n");
     printDistribution(runner, Policy::Aware);
-    return 0;
+    return io.finish(runner);
 }

@@ -10,10 +10,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig15_aware_vs_unaware", argc, argv);
 
     printBanner(
         "Figure 15 — power savings of network-aware vs. unaware",
@@ -66,5 +68,5 @@ main()
         std::printf("overall average reduction vs. unaware: %.1f%%\n",
                     overall / cells * 100);
     }
-    return 0;
+    return io.finish(runner);
 }

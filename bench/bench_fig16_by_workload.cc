@@ -10,10 +10,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig16_by_workload", argc, argv);
 
     printBanner(
         "Figure 16 — power saving by workload (big networks, alpha=5%)",
@@ -51,5 +53,5 @@ main()
         avg_row.push_back(TextTable::pct(col_sum[c] / 14.0));
     t.addRow(avg_row);
     t.print();
-    return 0;
+    return io.finish(runner);
 }

@@ -10,10 +10,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig17_aware_perf", argc, argv);
 
     printBanner(
         "Figure 17 — performance overheads of network-aware management",
@@ -92,5 +94,5 @@ main()
                     "(paper: 5.9%%)\n",
                     global_max * 100);
     }
-    return 0;
+    return io.finish(runner);
 }

@@ -29,8 +29,10 @@ sensitivityConfig(const std::string &wl, TopologyKind topo,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io("fig18_dvfs_roo20", argc, argv);
+
     printBanner(
         "Figure 18 — sensitivity: DVFS links and 20 ns ROO wakeup",
         "alpha = 5%. Paper: DVFS saves less than VWL (SERDES latency "
@@ -74,5 +76,5 @@ main()
         }
         t.print();
     }
-    return 0;
+    return io.finish(runner);
 }

@@ -10,10 +10,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig5_power_breakdown", argc, argv);
 
     printBanner("Figure 5 — average power breakdown per HMC (W)",
                 "Full-power networks, averaged over the 14 workloads.\n"
@@ -81,5 +83,5 @@ main()
                     "(paper: ~73%% average)\n",
                     io_share * 100);
     }
-    return 0;
+    return io.finish(runner);
 }

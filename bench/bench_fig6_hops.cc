@@ -9,10 +9,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig6_hops", argc, argv);
 
     printBanner(
         "Figure 6 — modules traversed per memory access",
@@ -47,5 +49,5 @@ main()
         t.addRow(row);
         t.print();
     }
-    return 0;
+    return io.finish(runner);
 }

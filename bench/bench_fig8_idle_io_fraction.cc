@@ -9,10 +9,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig8_idle_io_fraction", argc, argv);
 
     printBanner(
         "Figure 8 — idle I/O power / total network power",
@@ -43,5 +45,5 @@ main()
         std::printf("average over all cells: %.0f%%\n",
                     avg_all / (14 * 4) * 100);
     }
-    return 0;
+    return io.finish(runner);
 }

@@ -12,10 +12,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("fig9_utilization", argc, argv);
 
     printBanner(
         "Figure 9 — channel vs. average link utilization",
@@ -50,5 +52,5 @@ main()
                     chan_avg / (14 * 4) * 100,
                     link_avg / (14 * 4) * 100);
     }
-    return 0;
+    return io.finish(runner);
 }

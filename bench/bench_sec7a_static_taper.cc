@@ -17,10 +17,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace memnet;
     using namespace memnet::bench;
+
+    BenchIo io("sec7a_static_taper", argc, argv);
 
     printBanner(
         "Section VII-A — static tapering vs. network-aware (alpha=30%)",
@@ -95,5 +97,5 @@ main()
     std::printf("\nnetwork-aware power advantage over static "
                 "selection: %.1f%% (paper: 15%%)\n",
                 (1.0 - p_aware / p_static) * 100);
-    return 0;
+    return io.finish(runner);
 }

@@ -19,6 +19,14 @@
  *   --seed <n>             run seed                      [1]
  *   --fer <p>              flit error rate (CRC retry)   [0]
  *   --report <list>        summary,power,modules,links   [summary]
+ *
+ * Observability outputs (see docs/OBSERVABILITY.md; all off by default
+ * and guaranteed not to change the simulation):
+ *   --stats-json <path>    named stats dump (JSON)
+ *   --stats-csv <path>     named stats dump (CSV)
+ *   --epoch-jsonl <path>   per-epoch time-series (JSON Lines)
+ *   --chrome-trace <path>  Chrome/Perfetto trace of link power states
+ *   --debug-trace <spec>   MEMNET_TRACE filter, e.g. "LinkPM:2,ISP"
  */
 
 #include <cstdio>
@@ -129,6 +137,16 @@ main(int argc, char **argv)
             cfg.interleavePages = true;
         } else if (a == "--report") {
             report = need(i);
+        } else if (a == "--stats-json") {
+            cfg.obs.statsJsonPath = need(i);
+        } else if (a == "--stats-csv") {
+            cfg.obs.statsCsvPath = need(i);
+        } else if (a == "--epoch-jsonl") {
+            cfg.obs.epochJsonlPath = need(i);
+        } else if (a == "--chrome-trace") {
+            cfg.obs.chromeTracePath = need(i);
+        } else if (a == "--debug-trace") {
+            cfg.obs.traceSpec = need(i);
         } else if (a == "--help" || a == "-h") {
             usage("help requested");
         } else {

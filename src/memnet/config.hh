@@ -14,6 +14,7 @@
 
 #include "linkpm/modes.hh"
 #include "net/topology.hh"
+#include "obs/options.hh"
 #include "power/power_breakdown.hh"
 #include "sim/fault.hh"
 #include "sim/types.hh"
@@ -112,6 +113,12 @@ struct SystemConfig
     int maxReadsPerCore = 12;
     int maxWritesPerCore = 32;
 
+    /**
+     * Observability outputs (src/obs). All off by default; never part
+     * of Runner's memoization key and never affects simulation results.
+     */
+    ObsOptions obs;
+
     /** Bytes of address space served by one module. */
     std::uint64_t
     chunkBytes() const
@@ -173,6 +180,33 @@ struct ReliabilityStats
     }
 };
 
+/**
+ * Simulation-rate profile of one run (whole run, warmup included).
+ * wallSeconds is the only field that varies between identical runs.
+ */
+struct RunProfile
+{
+    std::uint64_t eventsFired = 0;
+    std::uint64_t eventsScheduled = 0;
+    double wallSeconds = 0.0;
+    double simSeconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(eventsFired) / wallSeconds
+                   : 0.0;
+    }
+
+    /** Simulated seconds per wall second (higher = faster). */
+    double
+    simRate() const
+    {
+        return wallSeconds > 0.0 ? simSeconds / wallSeconds : 0.0;
+    }
+};
+
 /** Measured outputs of one run. */
 struct RunResult
 {
@@ -203,6 +237,9 @@ struct RunResult
 
     /** Events fired / wall time, for the harness log. */
     std::uint64_t eventsFired = 0;
+
+    /** Wall-clock and event-throughput profile of the run. */
+    RunProfile profile;
 
     /** Per-module measurement detail. */
     std::vector<ModuleDetail> modules;

@@ -54,6 +54,15 @@ class Runner
     /** Runs executed so far (not counting cache hits). */
     int runsExecuted() const { return executed; }
 
+    /**
+     * Every cached result keyed by canonical config key (sorted map,
+     * so iteration — and bench --json output — is deterministic).
+     */
+    const std::map<std::string, RunResult> &results() const
+    {
+        return cache;
+    }
+
     /** Emit one progress line per fresh run to stderr. */
     bool verbose = false;
 

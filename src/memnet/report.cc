@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "memnet/experiment.hh"
+#include "obs/json.hh"
 
 namespace memnet
 {
@@ -36,6 +37,16 @@ printRunSummary(const RunResult &r)
                     rel.retrainSeconds * 1e6,
                     rel.degradedSeconds * 1e6,
                     static_cast<unsigned long long>(rel.faultEvents));
+    }
+    if (r.profile.eventsFired) {
+        const RunProfile &p = r.profile;
+        std::printf("  profile: %llu events (%llu scheduled) in "
+                    "%.2f s wall, %.2f M events/s, %.1f us simulated "
+                    "per wall second\n",
+                    static_cast<unsigned long long>(p.eventsFired),
+                    static_cast<unsigned long long>(p.eventsScheduled),
+                    p.wallSeconds, p.eventsPerSec() / 1e6,
+                    p.simRate() * 1e6);
     }
 }
 
@@ -97,6 +108,113 @@ printLinkHours(const RunResult &r)
         t.addRow(row);
     }
     t.print();
+}
+
+const char *
+mechanismName(BwMechanism m)
+{
+    switch (m) {
+      case BwMechanism::None:
+        return "none";
+      case BwMechanism::Vwl:
+        return "VWL";
+      case BwMechanism::Dvfs:
+        return "DVFS";
+    }
+    return "?";
+}
+
+void
+writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
+{
+    const SystemConfig &c = r.config;
+    w.beginObject();
+    w.field("num_modules", static_cast<std::int64_t>(r.numModules));
+
+    w.key("config");
+    w.beginObject();
+    w.field("workload", c.workload);
+    w.field("topology", topologyName(c.topology));
+    w.field("size_class", sizeClassName(c.sizeClass));
+    w.field("policy", policyName(c.policy));
+    w.field("mechanism", mechanismName(c.mechanism));
+    w.field("roo", c.roo);
+    w.field("alpha_pct", c.alphaPct);
+    w.field("seed", c.seed);
+    w.endObject();
+
+    w.key("power");
+    w.beginObject();
+    w.key("per_hmc_w");
+    w.beginObject();
+    w.field("idle_io", r.perHmc.idleIoW);
+    w.field("active_io", r.perHmc.activeIoW);
+    w.field("logic_leak", r.perHmc.logicLeakW);
+    w.field("logic_dyn", r.perHmc.logicDynW);
+    w.field("dram_leak", r.perHmc.dramLeakW);
+    w.field("dram_dyn", r.perHmc.dramDynW);
+    w.field("total", r.perHmc.totalW());
+    w.endObject();
+    w.field("total_network_w", r.totalNetworkPowerW);
+    w.field("idle_io_frac", r.idleIoFrac);
+    w.endObject();
+
+    w.key("perf");
+    w.beginObject();
+    w.field("reads_per_sec", r.readsPerSec);
+    w.field("avg_read_latency_ns", r.avgReadLatencyNs);
+    w.field("channel_util", r.channelUtil);
+    w.field("avg_link_util", r.avgLinkUtil);
+    w.field("avg_modules_traversed", r.avgModulesTraversed);
+    w.field("completed_reads", r.completedReads);
+    w.endObject();
+
+    w.field("violations", r.violations);
+
+    w.key("reliability");
+    w.beginObject();
+    w.field("retries", r.reliability.retries);
+    w.field("replays", r.reliability.replays);
+    w.field("retrains", r.reliability.retrains);
+    w.field("retrain_s", r.reliability.retrainSeconds);
+    w.field("degraded_s", r.reliability.degradedSeconds);
+    w.field("fault_events", r.reliability.faultEvents);
+    w.endObject();
+
+    // wall_s is the one field that varies between identical runs; tools
+    // comparing bench JSON should ignore it (see ci/bench_schema.json).
+    w.key("profile");
+    w.beginObject();
+    w.field("events_fired", r.profile.eventsFired);
+    w.field("events_scheduled", r.profile.eventsScheduled);
+    w.field("wall_s", r.profile.wallSeconds);
+    w.field("sim_s", r.profile.simSeconds);
+    w.endObject();
+
+    w.endObject();
+}
+
+void
+writeBenchResultsJson(std::ostream &os, const std::string &bench,
+                      const std::map<std::string, RunResult> &results)
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::int64_t>(kBenchJsonSchemaVersion));
+    w.field("bench", bench);
+    w.key("runs");
+    w.beginArray();
+    for (const auto &kv : results) {
+        w.beginObject();
+        w.field("key", kv.first);
+        w.key("result");
+        writeRunResultJson(w, kv.second);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
 }
 
 } // namespace memnet

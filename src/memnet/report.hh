@@ -7,12 +7,19 @@
 #ifndef MEMNET_MEMNET_REPORT_HH
 #define MEMNET_MEMNET_REPORT_HH
 
+#include <map>
+#include <ostream>
 #include <string>
 
 #include "memnet/config.hh"
 
 namespace memnet
 {
+
+namespace obs
+{
+class JsonWriter;
+}
 
 /** One-paragraph summary: power, performance, utilization. */
 void printRunSummary(const RunResult &r);
@@ -25,6 +32,24 @@ void printPowerBreakdown(const RunResult &r);
 
 /** The Figure-13-style link-hours matrix of one run. */
 void printLinkHours(const RunResult &r);
+
+/** Short name of a bandwidth mechanism ("none", "VWL", "DVFS"). */
+const char *mechanismName(BwMechanism m);
+
+/** Schema version of the bench --json format (see ci/bench_schema.json). */
+constexpr int kBenchJsonSchemaVersion = 1;
+
+/** Emit one RunResult as a JSON object (config echo + measurements). */
+void writeRunResultJson(obs::JsonWriter &w, const RunResult &r);
+
+/**
+ * Machine-readable bench output: every cached run of a Runner, keyed
+ * and ordered by its canonical config key. Used by the shared --json
+ * bench flag; validated in CI against ci/bench_schema.json.
+ */
+void writeBenchResultsJson(
+    std::ostream &os, const std::string &bench,
+    const std::map<std::string, RunResult> &results);
 
 } // namespace memnet
 

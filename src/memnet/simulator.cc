@@ -1,6 +1,7 @@
 #include "memnet/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
 
@@ -9,6 +10,8 @@
 #include "mgmt/manager.hh"
 #include "mgmt/static_taper.hh"
 #include "net/network.hh"
+#include "obs/debug_trace.hh"
+#include "obs/obs.hh"
 #include "sim/event_queue.hh"
 #include "sim/log.hh"
 #include "workload/processor.hh"
@@ -173,17 +176,40 @@ class SimulatorImpl
         if (mgr)
             mgr->start(0);
 
+        // Observability: all hooks are passive callbacks from existing
+        // events, so an instrumented run is bit-identical to a bare one;
+        // with nothing requested no hub is constructed at all.
+        if (!cfg.obs.traceSpec.empty())
+            obs::setTraceSpec(cfg.obs.traceSpec);
+        std::unique_ptr<obs::ObsHub> hub;
+        if (cfg.obs.active())
+            hub = std::make_unique<obs::ObsHub>(cfg.obs, net, mgr.get());
+
         proc.start(0);
 
+        const auto wall_start = std::chrono::steady_clock::now();
         const Tick measure = scaledMeasure(cfg.measure);
         eq.runUntil(cfg.warmup);
         net.resetStats();
         proc.resetStats();
+        if (hub)
+            hub->onMeasureStart(eq.now());
         const Tick end = cfg.warmup + measure;
         eq.runUntil(end);
+        const double wall_secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
 
-        return collect(eq, net, proc, mgr.get(), injector.get(),
-                       measure);
+        RunResult r = collect(eq, net, proc, mgr.get(), injector.get(),
+                              measure);
+        r.profile.eventsFired = eq.fired();
+        r.profile.eventsScheduled = eq.scheduledTotal();
+        r.profile.wallSeconds = wall_secs;
+        r.profile.simSeconds = toSeconds(eq.now());
+        if (hub)
+            hub->finish(eq.now());
+        return r;
     }
 
   private:

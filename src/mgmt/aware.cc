@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/debug_trace.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -218,8 +219,13 @@ AwareManager::redistribute(Tick)
         s.dsrc = 0;
     }
 
+    lastIspRounds_ = 0;
     for (int iter = 0; iter < opts.ispIterations && unused > 0.0;
          ++iter) {
+        ++lastIspRounds_;
+        ++ispRounds_;
+        MEMNET_TRACE_V(ISP, 2, "iteration ", iter, ": unused AMS ",
+                       unused, " ps");
         computeDsrc(LinkType::Request);
         computeDsrc(LinkType::Response);
 
@@ -269,6 +275,8 @@ AwareManager::redistribute(Tick)
     // Whatever is left backs mid-epoch AMS-request grants.
     grantPoolPs = unused;
     grantUnitPs = unused * kGrantFraction;
+    MEMNET_TRACE(ISP, lastIspRounds_, " rounds, grant pool ",
+                 grantPoolPs, " ps");
 }
 
 void
@@ -287,7 +295,12 @@ AwareManager::handleViolation(LinkMgmtState &s, Tick now)
         } else {
             ++nViolations;
             s.forcedFullPower = true;
+            MEMNET_TRACE(Mgmt, "link ", s.link().id(),
+                         " AMS violation at ", now,
+                         " (grant pool exhausted)");
             s.link().forceFullPower();
+            if (epochObs)
+                epochObs->onViolation(*this, s, now);
             return;
         }
     }

@@ -57,6 +57,12 @@ class AwareManager : public PowerManager
     /** Leftover AMS available for mid-epoch grants (tests). */
     double grantPool() const { return grantPoolPs; }
 
+    // -- Observability accessors (src/obs) ---------------------------------
+
+    int lastIspRounds() const override { return lastIspRounds_; }
+    std::uint64_t ispRoundsTotal() const override { return ispRounds_; }
+    double grantPoolRemaining() const override { return grantPoolPs; }
+
   protected:
     void redistribute(Tick now) override;
     void handleViolation(LinkMgmtState &s, Tick now) override;
@@ -107,6 +113,9 @@ class AwareManager : public PowerManager
     double cumOverNetPs = 0.0;
     double grantPoolPs = 0.0;
     double grantUnitPs = 0.0;
+    /** ISP iterations executed at the last epoch / in total. */
+    int lastIspRounds_ = 0;
+    std::uint64_t ispRounds_ = 0;
 };
 
 } // namespace memnet

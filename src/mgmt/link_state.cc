@@ -147,6 +147,14 @@ LinkMgmtState::epochEnd(Tick epoch_len)
     lastQdPs = queueDelayPs;
     lastQf = queuedFraction();
 
+    // Stash the ending epoch's values for the epoch recorder, which
+    // observes epoch boundaries after this reset has happened.
+    lastEpochReads = nReads;
+    lastActualPs = actualPs;
+    lastFullPowerPs = monitors[0].aggregateLatencyPs();
+    lastGrantsUsed = grantsUsed;
+    lastForcedFullPower = forcedFullPower;
+
     // Reset the in-epoch counters (running sums live in the manager).
     for (DelayMonitor &m : monitors)
         m.resetEpoch();

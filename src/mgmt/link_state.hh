@@ -149,6 +149,18 @@ class LinkMgmtState
     double lastQdPs = 0.0;
     double lastQf = 0.0;
 
+    /**
+     * In-epoch values of the epoch that just ended, stashed by
+     * epochEnd() before it resets the live counters. The epoch recorder
+     * (src/obs) reads these from its end-of-epoch callback, which runs
+     * after the reset.
+     */
+    std::uint64_t lastEpochReads = 0;
+    double lastActualPs = 0.0;
+    double lastFullPowerPs = 0.0;
+    int lastGrantsUsed = 0;
+    bool lastForcedFullPower = false;
+
     // -- Congestion statistics (response links, Section VI-C) ------------
 
     double queueDelayPs = 0.0;   ///< QD

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dram/dram_params.hh"
+#include "obs/debug_trace.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -89,7 +90,11 @@ PowerManager::handleViolation(LinkMgmtState &s, Tick now)
     // Section V: on AMS violation, run at full power until epoch end.
     ++nViolations;
     s.forcedFullPower = true;
+    MEMNET_TRACE(Mgmt, "link ", s.link().id(), " AMS violation at ",
+                 now, ", forced to full power");
     s.link().forceFullPower();
+    if (epochObs)
+        epochObs->onViolation(*this, s, now);
 }
 
 void
@@ -133,6 +138,9 @@ PowerManager::epochTick()
     applySelections(now);
 
     ++nEpochs;
+    MEMNET_TRACE_V(Mgmt, 2, "epoch ", nEpochs, " processed at ", now);
+    if (epochObs)
+        epochObs->onEpoch(*this, now);
     eq.schedule(&epochEvent, now + params.epochLen);
 }
 

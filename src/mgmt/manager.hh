@@ -41,6 +41,29 @@ struct ManagerParams
     Tick epochLen = us(100);
 };
 
+class PowerManager;
+
+/**
+ * Synchronous observer of epoch-boundary processing (src/obs epoch
+ * recorder). Callbacks run from within the manager's own event
+ * handlers; an observer must not schedule events or mutate simulation
+ * state, so attaching one never changes simulation results.
+ */
+class EpochObserver
+{
+  public:
+    virtual ~EpochObserver() = default;
+
+    /** An epoch boundary was fully processed (selections applied). */
+    virtual void onEpoch(PowerManager &pm, Tick now) = 0;
+
+    /** An AMS violation forced @p s's link to full power. */
+    virtual void onViolation(PowerManager &pm, LinkMgmtState &s,
+                             Tick now)
+    {
+    }
+};
+
 class PowerManager : public LinkObserver, public ModuleObserver
 {
   public:
@@ -73,6 +96,27 @@ class PowerManager : public LinkObserver, public ModuleObserver
     {
         return *states[numModules + m];
     }
+
+    /** Attach an epoch observer (null detaches). */
+    void setEpochObserver(EpochObserver *o) { epochObs = o; }
+
+    /** Modules under management. */
+    int modules() const { return numModules; }
+
+    /** Last epoch's full-power estimated latency for module @p m (ps). */
+    double moduleFelPs(int m) const { return mods[m].felPs; }
+
+    /** Last epoch's actual latency for module @p m (ps). */
+    double moduleAelPs(int m) const { return mods[m].aelPs; }
+
+    /** ISP iterations executed at the last epoch (aware policy only). */
+    virtual int lastIspRounds() const { return 0; }
+
+    /** ISP iterations executed across all epochs (aware policy only). */
+    virtual std::uint64_t ispRoundsTotal() const { return 0; }
+
+    /** AMS left in the mid-epoch grant pool (aware policy only). */
+    virtual double grantPoolRemaining() const { return 0.0; }
 
   protected:
     /** Per-module Equation-1 bookkeeping. */
@@ -118,6 +162,7 @@ class PowerManager : public LinkObserver, public ModuleObserver
 
     std::uint64_t nViolations = 0;
     std::uint64_t nEpochs = 0;
+    EpochObserver *epochObs = nullptr;
 
     MemberEvent<PowerManager, &PowerManager::epochTick> epochEvent{this};
 };

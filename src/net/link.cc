@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/power_trace.hh"
+#include "obs/debug_trace.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -127,6 +129,8 @@ Link::tryStart()
     }
     accrue(now);
     busy = true;
+    if (trace_)
+        txStart_ = now;
     const Tick tx_end = now + current->flits * pstate.flitTime(now);
     eq.schedule(&txDoneEvent, tx_end);
 }
@@ -140,6 +144,8 @@ Link::onTxDone()
     busy = false;
 
     stats_.flits += static_cast<std::uint64_t>(current->flits);
+    if (trace_)
+        trace_->linkTx(*this, txStart_, now, current->flits);
 
     // CRC check at the receiver: a corrupted packet is NAKed and
     // retransmitted from the retry buffer after the turnaround delay.
@@ -150,6 +156,8 @@ Link::onTxDone()
             p_ok *= 1.0 - fer;
         if (!errorRng.chance(p_ok)) {
             ++stats_.retries;
+            if (trace_)
+                trace_->linkRetry(*this, now);
             Packet *retry = current;
             current = nullptr;
             eq.schedule(now + errors_.retryDelayPs,
@@ -233,6 +241,10 @@ Link::onSleepTimer()
         return; // manager will call noteSleepOpportunity() later
     accrue(now);
     pstate.turnOff();
+    if (trace_)
+        sleepStart_ = now;
+    MEMNET_TRACE(LinkPM, "link ", id_, " off at ", now, " after ",
+                 now - idleStart, " ps idle");
     observer->onSleep(*this, now);
 }
 
@@ -253,6 +265,11 @@ Link::beginWakeInternal(Tick now)
     memnet_assert(pstate.rooState() == RooState::Off, "wake while on");
     accrue(now);
     const Tick end = pstate.beginWake(now);
+    if (trace_) {
+        trace_->linkOff(*this, sleepStart_, now);
+        wakeStart_ = now;
+    }
+    MEMNET_TRACE(LinkPM, "link ", id_, " wake at ", now, ", up at ", end);
     observer->onWakeBegin(*this, now);
     eq.schedule(&wakeEvent, end);
 }
@@ -268,6 +285,8 @@ void
 Link::onWakeDone()
 {
     pstate.finishWake();
+    if (trace_)
+        trace_->linkWake(*this, wakeStart_, eq.now());
     tryStart();
     if (readQ.empty() && writeQ.empty() && idle) {
         // Externally woken with nothing to send: restart the idle clock.
@@ -281,6 +300,13 @@ Link::applyModes(std::size_t bw_idx, std::size_t roo_idx)
 {
     const Tick now = eq.now();
     accrue(now);
+    if (trace_ && (bw_idx != lastTraceBw_ || roo_idx != lastTraceRoo_)) {
+        trace_->linkModeChange(*this, now, bw_idx, roo_idx);
+        lastTraceBw_ = bw_idx;
+        lastTraceRoo_ = roo_idx;
+    }
+    MEMNET_TRACE_V(LinkPM, 2, "link ", id_, " modes bw=", bw_idx,
+                   " roo=", roo_idx, " at ", now);
     const Tick trans_end = pstate.setMode(now, bw_idx);
     if (trans_end > now)
         eq.reschedule(&checkpointEvent, trans_end);
@@ -334,6 +360,9 @@ Link::beginRetrain(Tick window)
     if (!retraining_) {
         retraining_ = true;
         ++stats_.retrains;
+        if (trace_)
+            retrainStart_ = now;
+        MEMNET_TRACE(LinkPM, "link ", id_, " retrain begins at ", now);
         observer->onRetrainBegin(*this, now);
     }
     retrainEnd_ = std::max(retrainEnd_, now + window);
@@ -351,6 +380,8 @@ Link::onRetrainDone()
     memnet_assert(retraining_, "retrain end without retrain");
     accrue(now);
     retraining_ = false;
+    if (trace_)
+        trace_->linkRetrain(*this, retrainStart_, now);
     observer->onRetrainEnd(*this, now);
     // Resume service; with empty queues this restarts the idle clock.
     tryStart();
@@ -366,6 +397,10 @@ Link::setLaneLimit(int lanes)
     const Tick now = eq.now();
     accrue(now);
     pstate.setLaneClamp(lanes);
+    if (trace_)
+        trace_->linkDegrade(*this, now, lanes);
+    MEMNET_TRACE(LinkPM, "link ", id_, " degraded to ", lanes,
+                 " lanes at ", now);
     observer->onDegrade(*this, lanes, now);
 }
 

@@ -31,6 +31,7 @@ namespace memnet
 {
 
 class Link;
+class PowerTraceSink;
 
 /** Anything that can receive delivered packets. */
 class PacketSink
@@ -235,6 +236,12 @@ class Link
     /** Attach a management observer (nullptr restores the no-op one). */
     void setObserver(LinkObserver *obs);
 
+    /**
+     * Attach a passive power-trace sink (src/obs). Null (the default)
+     * disables tracing; every hook is gated on a single pointer check.
+     */
+    void setTraceSink(PowerTraceSink *t) { trace_ = t; }
+
   private:
     void tryStart();
     void onTxDone();
@@ -254,6 +261,15 @@ class Link
     const int id_;
     const LinkType type_;
     const int module_;
+    PowerTraceSink *trace_ = nullptr;
+    /** Span-start ticks, valid only while trace_ is attached. */
+    Tick txStart_ = 0;
+    Tick sleepStart_ = 0;
+    Tick wakeStart_ = 0;
+    Tick retrainStart_ = 0;
+    /** Last traced operating point (emit mode changes only on change). */
+    std::size_t lastTraceBw_ = static_cast<std::size_t>(-1);
+    std::size_t lastTraceRoo_ = static_cast<std::size_t>(-1);
     LinkPowerState pstate;
     const double fullPowerW;
     PacketSink *const sink;

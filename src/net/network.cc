@@ -74,24 +74,32 @@ Network::linkById(int id)
 void
 Network::injectRetrain(int link, Tick window)
 {
+    if (trace_)
+        trace_->faultEvent("retrain", link, eq.now());
     linkById(link).beginRetrain(window);
 }
 
 void
 Network::injectLaneFailure(int link, int surviving_lanes)
 {
+    if (trace_)
+        trace_->faultEvent("lane_fail", link, eq.now());
     linkById(link).setLaneLimit(surviving_lanes);
 }
 
 void
 Network::injectErrorBurst(int link, double flit_error_rate)
 {
+    if (trace_)
+        trace_->faultEvent("error_burst", link, eq.now());
     linkById(link).setErrorRateOverride(flit_error_rate);
 }
 
 void
 Network::clearErrorBurst(int link)
 {
+    if (trace_)
+        trace_->faultEvent("error_clear", link, eq.now());
     linkById(link).setErrorRateOverride(-1.0);
 }
 
@@ -149,6 +157,14 @@ Network::setObservers(LinkObserver *lo, ModuleObserver *mo)
         l->setObserver(lo);
     for (auto &m : modules_)
         m->setObserver(mo);
+}
+
+void
+Network::setTraceSink(PowerTraceSink *t)
+{
+    trace_ = t;
+    for (auto *l : allLinks())
+        l->setTraceSink(t);
 }
 
 } // namespace memnet

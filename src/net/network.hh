@@ -13,6 +13,7 @@
 #include "linkpm/modes.hh"
 #include "net/link.hh"
 #include "net/module.hh"
+#include "net/power_trace.hh"
 #include "net/topology.hh"
 #include "power/hmc_power_model.hh"
 #include "power/power_breakdown.hh"
@@ -145,6 +146,12 @@ class Network : public TrafficTarget, public FaultTarget
     /** Attach observers to every link and module. */
     void setObservers(LinkObserver *lo, ModuleObserver *mo);
 
+    /**
+     * Attach a passive power-trace sink to the network and every link
+     * (src/obs). Null disables tracing.
+     */
+    void setTraceSink(PowerTraceSink *t);
+
     EventQueue &eventQueue() { return eq; }
 
   private:
@@ -158,6 +165,8 @@ class Network : public TrafficTarget, public FaultTarget
         void
         accept(Packet *pkt, Tick now) override
         {
+            if (net.trace_)
+                net.trace_->packetLife(*pkt, pkt->issued, now);
             net.host_->readCompleted(pkt, now);
         }
 
@@ -178,6 +187,7 @@ class Network : public TrafficTarget, public FaultTarget
     std::vector<std::unique_ptr<Link>> respLinks;
     ProcessorPort port;
     EndpointHost *host_ = nullptr;
+    PowerTraceSink *trace_ = nullptr;
 
     Average hops;
     Tick measureStart = 0;

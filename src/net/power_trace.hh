@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Passive trace sink for link power-state activity.
+ *
+ * The observability layer (src/obs) implements this interface to export
+ * Chrome trace events; the net layer only knows the abstract sink so no
+ * dependency cycle forms. Links and the network call the hooks
+ * synchronously from their existing event handlers — a sink must not
+ * schedule events or otherwise perturb simulation state, so an attached
+ * sink never changes simulation results.
+ *
+ * Span hooks fire once at span end with both endpoints; a span still
+ * open when the run ends is simply not reported. All hooks are no-ops
+ * by default, and every call site is gated on a null check, so the
+ * disabled cost is one pointer compare.
+ */
+
+#ifndef MEMNET_NET_POWER_TRACE_HH
+#define MEMNET_NET_POWER_TRACE_HH
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace memnet
+{
+
+class Link;
+struct Packet;
+
+class PowerTraceSink
+{
+  public:
+    virtual ~PowerTraceSink() = default;
+
+    // -- Link spans (reported at span end) ---------------------------------
+
+    /** One packet serialization occupied the lanes over [begin, end). */
+    virtual void linkTx(const Link &, Tick begin, Tick end, int flits) {}
+
+    /** The link was off over [begin, end); end is the wake start. */
+    virtual void linkOff(const Link &, Tick begin, Tick end) {}
+
+    /** The link executed its wakeup sequence over [begin, end). */
+    virtual void linkWake(const Link &, Tick begin, Tick end) {}
+
+    /** The link was down retraining over [begin, end). */
+    virtual void linkRetrain(const Link &, Tick begin, Tick end) {}
+
+    // -- Link instants -----------------------------------------------------
+
+    /** A manager applied a new (bandwidth, ROO) operating point. */
+    virtual void linkModeChange(const Link &, Tick now, std::size_t bw_idx,
+                                std::size_t roo_idx)
+    {
+    }
+
+    /** The usable width permanently dropped to @p lanes. */
+    virtual void linkDegrade(const Link &, Tick now, int lanes) {}
+
+    /** A CRC-corrupted packet was NAKed for retransmission. */
+    virtual void linkRetry(const Link &, Tick now) {}
+
+    // -- Network-level events ----------------------------------------------
+
+    /** A packet completed its network lifetime over [inject, deliver). */
+    virtual void packetLife(const Packet &, Tick inject, Tick deliver) {}
+
+    /** The fault injector acted on @p module ("retrain", "lane_fail",
+     *  "error_burst", "error_clear"). */
+    virtual void faultEvent(const char *kind, int module, Tick now) {}
+};
+
+} // namespace memnet
+
+#endif // MEMNET_NET_POWER_TRACE_HH

@@ -1,0 +1,211 @@
+#include "obs/chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "net/link.hh"
+#include "net/packet.hh"
+#include "obs/json.hh"
+#include "sim/log.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+ChromeTraceWriter::ChromeTraceWriter(std::size_t max_events)
+    : maxEvents(max_events)
+{
+    tidNames[kMgmtTid] = "mgmt";
+    tidNames[kFaultTid] = "faults";
+    tidNames[kPacketTid] = "packets";
+}
+
+double
+ChromeTraceWriter::toUs(Tick t)
+{
+    // Tick is integer picoseconds; the trace format wants microseconds.
+    return static_cast<double>(t) * 1e-6;
+}
+
+int
+ChromeTraceWriter::tidFor(const Link &l)
+{
+    const int tid = l.id();
+    auto it = tidNames.find(tid);
+    if (it == tidNames.end()) {
+        std::ostringstream os;
+        os << "link" << l.id()
+           << (l.type() == LinkType::Request ? " req m" : " resp m")
+           << l.module();
+        tidNames.emplace(tid, os.str());
+    }
+    return tid;
+}
+
+bool
+ChromeTraceWriter::admit()
+{
+    if (buf.size() >= maxEvents) {
+        ++nDropped;
+        return false;
+    }
+    return true;
+}
+
+void
+ChromeTraceWriter::span(int tid, const char *cat, std::string name,
+                        Tick begin, Tick end, std::string args)
+{
+    if (!admit())
+        return;
+    buf.push_back(TraceEvent{toUs(begin), toUs(end - begin), 'X', tid,
+                             std::move(name), cat, std::move(args)});
+}
+
+void
+ChromeTraceWriter::instant(int tid, const char *cat, std::string name,
+                           Tick now, std::string args)
+{
+    if (!admit())
+        return;
+    buf.push_back(TraceEvent{toUs(now), 0.0, 'i', tid, std::move(name),
+                             cat, std::move(args)});
+}
+
+void
+ChromeTraceWriter::linkTx(const Link &l, Tick begin, Tick end, int flits)
+{
+    std::ostringstream args;
+    args << "{\"flits\":" << flits << "}";
+    span(tidFor(l), "link", "tx", begin, end, args.str());
+}
+
+void
+ChromeTraceWriter::linkOff(const Link &l, Tick begin, Tick end)
+{
+    span(tidFor(l), "link", "off", begin, end);
+}
+
+void
+ChromeTraceWriter::linkWake(const Link &l, Tick begin, Tick end)
+{
+    span(tidFor(l), "link", "wake", begin, end);
+}
+
+void
+ChromeTraceWriter::linkRetrain(const Link &l, Tick begin, Tick end)
+{
+    span(tidFor(l), "fault", "retrain", begin, end);
+}
+
+void
+ChromeTraceWriter::linkModeChange(const Link &l, Tick now,
+                                  std::size_t bw_idx, std::size_t roo_idx)
+{
+    std::ostringstream args;
+    args << "{\"bw\":" << bw_idx << ",\"roo\":" << roo_idx << "}";
+    instant(tidFor(l), "mgmt", "mode", now, args.str());
+}
+
+void
+ChromeTraceWriter::linkDegrade(const Link &l, Tick now, int lanes)
+{
+    std::ostringstream args;
+    args << "{\"lanes\":" << lanes << "}";
+    instant(tidFor(l), "fault", "degrade", now, args.str());
+}
+
+void
+ChromeTraceWriter::linkRetry(const Link &l, Tick now)
+{
+    instant(tidFor(l), "fault", "crc_retry", now);
+}
+
+void
+ChromeTraceWriter::packetLife(const Packet &pkt, Tick inject, Tick deliver)
+{
+    std::ostringstream args;
+    args << "{\"id\":" << pkt.id << ",\"module\":" << pkt.homeModule
+         << "}";
+    span(kPacketTid, "packet",
+         pkt.type == PacketType::WriteReq ? "write" : "read", inject,
+         deliver, args.str());
+}
+
+void
+ChromeTraceWriter::faultEvent(const char *kind, int link_id, Tick now)
+{
+    std::ostringstream args;
+    args << "{\"link\":" << link_id << "}";
+    instant(kFaultTid, "fault", kind, now, args.str());
+}
+
+void
+ChromeTraceWriter::epochMarker(Tick now, std::uint64_t epoch)
+{
+    std::ostringstream args;
+    args << "{\"epoch\":" << epoch << "}";
+    instant(kMgmtTid, "mgmt", "epoch", now, args.str());
+}
+
+void
+ChromeTraceWriter::violation(int link_id, Tick now)
+{
+    std::ostringstream args;
+    args << "{\"link\":" << link_id << "}";
+    instant(kMgmtTid, "mgmt", "ams_violation", now, args.str());
+}
+
+void
+ChromeTraceWriter::writeTo(std::ostream &os)
+{
+    if (nDropped) {
+        memnet_warn("chrome trace dropped ", nDropped,
+                    " events past the ", maxEvents, "-event cap");
+    }
+    // Span events are pushed at span end; a stable sort by start time
+    // restores chronological order (ties keep emission order).
+    std::stable_sort(buf.begin(), buf.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsUs < b.tsUs;
+                     });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    // Thread-name metadata first, one per track.
+    for (const auto &[tid, name] : tidNames) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << tid << ",\"args\":{\"name\":\"" << jsonEscape(name)
+           << "\"}}";
+    }
+    char num[40];
+    for (const TraceEvent &e : buf) {
+        sep();
+        os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+           << e.cat << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":"
+           << e.tid;
+        std::snprintf(num, sizeof num, "%.6f", e.tsUs);
+        os << ",\"ts\":" << num;
+        if (e.ph == 'X') {
+            std::snprintf(num, sizeof num, "%.6f", e.durUs);
+            os << ",\"dur\":" << num;
+        } else {
+            os << ",\"s\":\"t\"";
+        }
+        if (!e.args.empty())
+            os << ",\"args\":" << e.args;
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+} // namespace obs
+} // namespace memnet

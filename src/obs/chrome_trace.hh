@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Chrome trace-event exporter (chrome://tracing / Perfetto "JSON object
+ * format": https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+ *
+ * Implements the net layer's PowerTraceSink: link power-state spans
+ * (tx / off / wake / retrain) become complete ('X') duration events on
+ * one track per link, instants (mode changes, degrades, CRC retries,
+ * fault injections, AMS violations, epoch boundaries) become instant
+ * ('i') events. Packet lifetimes land on a shared "packets" track.
+ *
+ * Timestamps are simulated time converted to the format's microseconds.
+ * Events are buffered and stably sorted by timestamp before writing, so
+ * the emitted traceEvents array is time-ordered even though span events
+ * are reported at span end.
+ */
+
+#ifndef MEMNET_OBS_CHROME_TRACE_HH
+#define MEMNET_OBS_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/power_trace.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+class ChromeTraceWriter : public PowerTraceSink
+{
+  public:
+    /** Track ids for non-link events. */
+    static constexpr int kMgmtTid = 900;
+    static constexpr int kFaultTid = 901;
+    static constexpr int kPacketTid = 902;
+
+    /** Default event-count cap; excess events are counted, not stored. */
+    static constexpr std::size_t kDefaultMaxEvents = 2'000'000;
+
+    explicit ChromeTraceWriter(
+        std::size_t max_events = kDefaultMaxEvents);
+
+    // -- PowerTraceSink ----------------------------------------------------
+
+    void linkTx(const Link &l, Tick begin, Tick end, int flits) override;
+    void linkOff(const Link &l, Tick begin, Tick end) override;
+    void linkWake(const Link &l, Tick begin, Tick end) override;
+    void linkRetrain(const Link &l, Tick begin, Tick end) override;
+    void linkModeChange(const Link &l, Tick now, std::size_t bw_idx,
+                        std::size_t roo_idx) override;
+    void linkDegrade(const Link &l, Tick now, int lanes) override;
+    void linkRetry(const Link &l, Tick now) override;
+    void packetLife(const Packet &pkt, Tick inject, Tick deliver) override;
+    void faultEvent(const char *kind, int link_id, Tick now) override;
+
+    // -- Management instants (called by ObsHub) ----------------------------
+
+    void epochMarker(Tick now, std::uint64_t epoch);
+    void violation(int link_id, Tick now);
+
+    // -- Output ------------------------------------------------------------
+
+    std::size_t events() const { return buf.size(); }
+    std::uint64_t dropped() const { return nDropped; }
+
+    /** Sort buffered events by timestamp and write the whole trace. */
+    void writeTo(std::ostream &os);
+
+  private:
+    struct TraceEvent
+    {
+        double tsUs;
+        double durUs; ///< only for ph == 'X'
+        char ph;      ///< 'X' complete, 'i' instant
+        int tid;
+        std::string name;
+        const char *cat;
+        /** Pre-rendered args object text ("{...}"), may be empty. */
+        std::string args;
+    };
+
+    static double toUs(Tick t);
+
+    /** Register the link's track name on first use; returns its tid. */
+    int tidFor(const Link &l);
+
+    void span(int tid, const char *cat, std::string name, Tick begin,
+              Tick end, std::string args = {});
+    void instant(int tid, const char *cat, std::string name, Tick now,
+                 std::string args = {});
+    bool admit();
+
+    std::vector<TraceEvent> buf;
+    std::map<int, std::string> tidNames;
+    std::size_t maxEvents;
+    std::uint64_t nDropped = 0;
+};
+
+} // namespace obs
+} // namespace memnet
+
+#endif // MEMNET_OBS_CHROME_TRACE_HH

@@ -1,0 +1,129 @@
+#include "obs/debug_trace.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace memnet
+{
+namespace obs
+{
+
+namespace
+{
+
+const char *const kTraceCompNames[] = {
+    "Sim", "Net", "LinkPM", "Mgmt", "ISP", "Workload",
+};
+
+static_assert(sizeof(kTraceCompNames) / sizeof(kTraceCompNames[0]) ==
+                  static_cast<std::size_t>(TraceComp::NumComps),
+              "trace component names out of sync");
+
+/** Case-insensitive component lookup; -1 when unknown. */
+int
+compByName(const std::string &name)
+{
+    for (int i = 0; i < static_cast<int>(TraceComp::NumComps); ++i) {
+        const char *n = kTraceCompNames[i];
+        if (name.size() != std::strlen(n))
+            continue;
+        bool eq = true;
+        for (std::size_t k = 0; k < name.size(); ++k) {
+            if (std::tolower(static_cast<unsigned char>(name[k])) !=
+                std::tolower(static_cast<unsigned char>(n[k]))) {
+                eq = false;
+                break;
+            }
+        }
+        if (eq)
+            return i;
+    }
+    return -1;
+}
+
+} // namespace
+
+namespace detail
+{
+
+int traceLevels[static_cast<int>(TraceComp::NumComps)] = {};
+bool traceEnvApplied = false;
+
+bool
+traceEnabledSlow(TraceComp c, int level)
+{
+    // First trace point reached: apply $MEMNET_TRACE exactly once
+    // (unless setTraceSpec() already configured us explicitly).
+    traceEnvApplied = true;
+    if (const char *env = std::getenv("MEMNET_TRACE"))
+        setTraceSpec(env);
+    return traceLevels[static_cast<int>(c)] >= level;
+}
+
+void
+traceEmit(TraceComp c, const std::string &msg)
+{
+    ::memnet::detail::logLine(LogLevel::Trace,
+                              std::string(traceCompName(c)) + ": " + msg);
+}
+
+} // namespace detail
+
+const char *
+traceCompName(TraceComp c)
+{
+    return kTraceCompNames[static_cast<int>(c)];
+}
+
+int
+traceVerbosity(TraceComp c)
+{
+    return detail::traceLevels[static_cast<int>(c)];
+}
+
+void
+setTraceSpec(const std::string &spec)
+{
+    // Explicit configuration wins over (and suppresses) the env var.
+    detail::traceEnvApplied = true;
+    for (int &l : detail::traceLevels)
+        l = 0;
+
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+
+        int level = 1;
+        const std::size_t colon = item.find(':');
+        if (colon != std::string::npos) {
+            level = std::atoi(item.c_str() + colon + 1);
+            item.resize(colon);
+        }
+        if (level < 0)
+            level = 0;
+
+        if (item == "all" || item == "ALL" || item == "All") {
+            for (int &l : detail::traceLevels)
+                l = level;
+            continue;
+        }
+        const int c = compByName(item);
+        if (c < 0) {
+            memnet_warn("unknown trace component '", item,
+                        "' in trace spec (known: Sim, Net, LinkPM, "
+                        "Mgmt, ISP, Workload, all)");
+            continue;
+        }
+        detail::traceLevels[c] = level;
+    }
+}
+
+} // namespace obs
+} // namespace memnet

@@ -1,0 +1,129 @@
+#include "obs/epoch_recorder.hh"
+
+#include "mgmt/manager.hh"
+#include "obs/json.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+EpochRecorder::EpochRecorder(std::ostream &os, Network &net)
+    : os(os), net(net)
+{
+    snapshot(net.eventQueue().now());
+}
+
+void
+EpochRecorder::snapshot(Tick now)
+{
+    lastTick = now;
+    lastEnergy = net.collectEnergy(now);
+    lastLink.clear();
+    for (Link *l : net.allLinks())
+        lastLink.push_back(l->stats());
+}
+
+void
+EpochRecorder::onMeasureStart(Tick now)
+{
+    // The network's cumulative counters were just reset; any diff
+    // against pre-reset snapshots would go negative.
+    snapshot(now);
+    lastViolations = 0;
+}
+
+void
+EpochRecorder::onEpoch(PowerManager &pm, Tick now)
+{
+    const double dt = toSeconds(now - lastTick);
+    const EnergyBreakdown e = net.collectEnergy(now);
+    const std::vector<Link *> links = net.allLinks();
+    const int n = net.numModules();
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("v", static_cast<std::int64_t>(kSchemaVersion));
+    w.field("epoch", static_cast<std::uint64_t>(pm.epochs()));
+    w.field("t_ps", static_cast<std::int64_t>(now));
+
+    const double inv = dt > 0.0 ? 1.0 / dt : 0.0;
+    w.key("power_w");
+    w.beginObject();
+    w.field("idle_io", (e.idleIoJ - lastEnergy.idleIoJ) * inv);
+    w.field("active_io", (e.activeIoJ - lastEnergy.activeIoJ) * inv);
+    w.field("logic_leak", (e.logicLeakJ - lastEnergy.logicLeakJ) * inv);
+    w.field("dram_leak", (e.dramLeakJ - lastEnergy.dramLeakJ) * inv);
+    w.field("logic_dyn", (e.logicDynJ - lastEnergy.logicDynJ) * inv);
+    w.field("dram_dyn", (e.dramDynJ - lastEnergy.dramDynJ) * inv);
+    w.field("total", (e.totalJ() - lastEnergy.totalJ()) * inv);
+    w.endObject();
+
+    w.key("mgmt");
+    w.beginObject();
+    w.field("violations",
+            static_cast<std::uint64_t>(pm.violations() - lastViolations));
+    w.field("violations_total",
+            static_cast<std::uint64_t>(pm.violations()));
+    w.field("isp_rounds", static_cast<std::int64_t>(pm.lastIspRounds()));
+    w.field("grant_pool_ps", pm.grantPoolRemaining());
+    w.endObject();
+
+    std::uint64_t d_retries = 0, d_replays = 0, d_retrains = 0;
+    w.key("links");
+    w.beginArray();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        const Link &l = *links[i];
+        const LinkStats &cur = l.stats();
+        const LinkStats &prev = lastLink[i];
+        const int id = l.id();
+        const LinkMgmtState &s = id < n
+                                     ? pm.requestState(id)
+                                     : pm.responseState(id - n);
+        d_retries += cur.retries - prev.retries;
+        d_replays += cur.replays - prev.replays;
+        d_retrains += cur.retrains - prev.retrains;
+
+        w.beginObject();
+        w.field("id", static_cast<std::int64_t>(id));
+        w.field("reads", s.lastEpochReads);
+        w.field("actual_ps", s.lastActualPs);
+        w.field("full_ps", s.lastFullPowerPs);
+        w.field("ams_ps", s.amsPs);
+        w.field("flo_ps", s.flo(s.selected));
+        w.field("grants", static_cast<std::int64_t>(s.lastGrantsUsed));
+        w.field("forced_fp", s.lastForcedFullPower);
+        w.field("bw_mode", static_cast<std::uint64_t>(s.selected.bw));
+        w.field("roo_mode", static_cast<std::uint64_t>(s.selected.roo));
+        w.field("off_s", cur.offSeconds - prev.offSeconds);
+        w.field("retrain_s",
+                cur.retrainSeconds - prev.retrainSeconds);
+        w.key("mode_s");
+        w.beginArray();
+        for (std::size_t k = 0; k < cur.modeSeconds.size(); ++k)
+            w.value(cur.modeSeconds[k] - prev.modeSeconds[k]);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("faults");
+    w.beginObject();
+    w.field("retries", d_retries);
+    w.field("replays", d_replays);
+    w.field("retrains", d_retrains);
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+
+    ++nRecords;
+    lastTick = now;
+    lastEnergy = e;
+    for (std::size_t i = 0; i < links.size(); ++i)
+        lastLink[i] = links[i]->stats();
+    lastViolations = pm.violations();
+}
+
+} // namespace obs
+} // namespace memnet

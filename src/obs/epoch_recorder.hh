@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-epoch time-series recorder (JSONL).
+ *
+ * Rides the management epoch boundary (EpochObserver): at every epoch it
+ * diffs the network's cumulative energy and per-link counters against
+ * the previous boundary and appends one self-contained JSON object per
+ * line. Runs under the FullPower policy have no epoch machinery and
+ * therefore produce no records — epoch observability presumes a manager.
+ *
+ * The recorder only *reads* simulation state (energy collection is an
+ * idempotent flush of piecewise-constant integration) and never
+ * schedules events, so attaching it cannot change simulation results.
+ *
+ * Record schema (one line each, schema_version bumps on change):
+ *   {"v":1,"epoch":N,"t_ps":T,
+ *    "power_w":{"idle_io":..,"active_io":..,"logic_leak":..,
+ *               "dram_leak":..,"logic_dyn":..,"dram_dyn":..,"total":..},
+ *    "mgmt":{"violations":dN,"violations_total":N,"isp_rounds":r,
+ *            "grant_pool_ps":g},
+ *    "links":[{"id":i,"reads":n,"actual_ps":a,"full_ps":f,"ams_ps":b,
+ *              "flo_ps":o,"grants":k,"forced_fp":bool,"bw_mode":m,
+ *              "roo_mode":r,"off_s":s,"retrain_s":s,
+ *              "mode_s":[...]},...],
+ *    "faults":{"retries":dr,"replays":dp,"retrains":dt}}
+ */
+
+#ifndef MEMNET_OBS_EPOCH_RECORDER_HH
+#define MEMNET_OBS_EPOCH_RECORDER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "net/network.hh"
+#include "power/power_breakdown.hh"
+
+namespace memnet
+{
+
+class PowerManager;
+
+namespace obs
+{
+
+class EpochRecorder
+{
+  public:
+    /** Current record schema version (the "v" field). */
+    static constexpr int kSchemaVersion = 1;
+
+    EpochRecorder(std::ostream &os, Network &net);
+
+    /**
+     * Re-baseline the diffs at measurement start (the network's own
+     * counters are reset there; our snapshots must follow).
+     */
+    void onMeasureStart(Tick now);
+
+    /** Append one record for the epoch ending at @p now. */
+    void onEpoch(PowerManager &pm, Tick now);
+
+    std::uint64_t records() const { return nRecords; }
+
+  private:
+    void snapshot(Tick now);
+
+    std::ostream &os;
+    Network &net;
+
+    Tick lastTick = 0;
+    std::uint64_t lastViolations = 0;
+    EnergyBreakdown lastEnergy;
+    std::vector<LinkStats> lastLink;
+    std::uint64_t nRecords = 0;
+};
+
+} // namespace obs
+} // namespace memnet
+
+#endif // MEMNET_OBS_EPOCH_RECORDER_HH

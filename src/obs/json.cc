@@ -1,0 +1,416 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // the key already emitted the comma and ':' follows it
+    }
+    if (!hasMember.empty() && hasMember.back())
+        os << ',';
+}
+
+void
+JsonWriter::noteValue()
+{
+    if (!hasMember.empty())
+        hasMember.back() = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os << '{';
+    noteValue();
+    hasMember.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    memnet_assert(!hasMember.empty(), "endObject without beginObject");
+    hasMember.pop_back();
+    os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os << '[';
+    noteValue();
+    hasMember.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    memnet_assert(!hasMember.empty(), "endArray without beginArray");
+    hasMember.pop_back();
+    os << ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    memnet_assert(!pendingKey, "two keys in a row");
+    if (!hasMember.empty() && hasMember.back())
+        os << ',';
+    os << '"' << jsonEscape(k) << "\":";
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os << "null";
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        os << buf;
+    }
+    noteValue();
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os << v;
+    noteValue();
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os << v;
+    noteValue();
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os << (v ? "true" : "false");
+    noteValue();
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os << '"' << jsonEscape(v) << '"';
+    noteValue();
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::null()
+{
+    separate();
+    os << "null";
+    noteValue();
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace json
+{
+
+namespace
+{
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r')) {
+            ++p;
+        }
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const char *q = lit;
+        const char *s = p;
+        while (*q) {
+            if (s >= end || *s != *q)
+                return fail(std::string("expected '") + lit + "'");
+            ++s;
+            ++q;
+        }
+        p = s;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out->clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (p >= end)
+                return fail("truncated escape");
+            const char e = *p++;
+            switch (e) {
+              case '"':
+                *out += '"';
+                break;
+              case '\\':
+                *out += '\\';
+                break;
+              case '/':
+                *out += '/';
+                break;
+              case 'b':
+                *out += '\b';
+                break;
+              case 'f':
+                *out += '\f';
+                break;
+              case 'n':
+                *out += '\n';
+                break;
+              case 'r':
+                *out += '\r';
+                break;
+              case 't':
+                *out += '\t';
+                break;
+              case 'u': {
+                if (end - p < 4)
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = *p++;
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Encode as UTF-8 (surrogate pairs are not recombined;
+                // the writers never emit them).
+                if (v < 0x80) {
+                    *out += static_cast<char>(v);
+                } else if (v < 0x800) {
+                    *out += static_cast<char>(0xC0 | (v >> 6));
+                    *out += static_cast<char>(0x80 | (v & 0x3F));
+                } else {
+                    *out += static_cast<char>(0xE0 | (v >> 12));
+                    *out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+                    *out += static_cast<char>(0x80 | (v & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Value *out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            out->kind = Value::Kind::Object;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string k;
+                if (!parseString(&k))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                Value v;
+                if (!parseValue(&v))
+                    return false;
+                out->object.emplace(std::move(k), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++p;
+            out->kind = Value::Kind::Array;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(&v))
+                    return false;
+                out->array.push_back(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out->kind = Value::Kind::String;
+            return parseString(&out->string);
+          case 't':
+            out->kind = Value::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+          case 'f':
+            out->kind = Value::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+          case 'n':
+            out->kind = Value::Kind::Null;
+            return literal("null");
+          default: {
+            // Number.
+            char *num_end = nullptr;
+            const double v = std::strtod(p, &num_end);
+            if (num_end == p || num_end > end)
+                return fail("bad number");
+            out->kind = Value::Kind::Number;
+            out->number = v;
+            p = num_end;
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value *out, std::string *err)
+{
+    Parser ps{text.data(), text.data() + text.size(), {}};
+    *out = Value{};
+    bool ok = ps.parseValue(out);
+    if (ok) {
+        ps.skipWs();
+        if (ps.p != ps.end)
+            ok = ps.fail("trailing content after document");
+    }
+    if (!ok && err)
+        *err = ps.err;
+    return ok;
+}
+
+} // namespace json
+
+} // namespace obs
+} // namespace memnet

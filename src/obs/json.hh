@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer.
+ *
+ * JsonWriter is a streaming emitter used by the stats registry, the
+ * epoch recorder, the Chrome-trace exporter, and the bench --json
+ * output; it never builds a DOM, so arbitrarily long time-series stream
+ * straight to disk. The json::Value parser is the matching reader used
+ * by tests and tools to round-trip what the writers produce — it is a
+ * strict (no comments, no trailing commas) recursive-descent parser
+ * over the JSON grammar, small enough to avoid any third-party
+ * dependency.
+ */
+
+#ifndef MEMNET_OBS_JSON_HH
+#define MEMNET_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memnet
+{
+namespace obs
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON emitter. The caller provides the structure via
+ * begin/end calls; the writer tracks nesting to place commas. Doubles
+ * are written with round-trip precision; non-finite values become null
+ * (JSON has no NaN/Inf).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next value/begin call is its value. */
+    void key(const std::string &k);
+
+    void value(double v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(bool v);
+    void value(const std::string &v);
+    void value(const char *v);
+    void null();
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    void
+    field(const std::string &k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    /** Emit a comma if the current container already has a member. */
+    void separate();
+    /** A value was emitted into the current container. */
+    void noteValue();
+
+    std::ostream &os;
+    /** One entry per open container: has it seen a member yet? */
+    std::vector<bool> hasMember;
+    /** A key was just written; the next value completes the pair. */
+    bool pendingKey = false;
+};
+
+namespace json
+{
+
+/** Parsed JSON value (DOM), for tests and validators. */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &k) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        auto it = object.find(k);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+/**
+ * Parse one JSON document.
+ * @param text the document; trailing whitespace is allowed, any other
+ *        trailing content is an error.
+ * @param out parsed value (valid only on success).
+ * @param err optional: receives a one-line error description.
+ * @return true on success.
+ */
+bool parse(const std::string &text, Value *out, std::string *err = nullptr);
+
+} // namespace json
+
+} // namespace obs
+} // namespace memnet
+
+#endif // MEMNET_OBS_JSON_HH

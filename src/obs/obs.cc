@@ -1,0 +1,180 @@
+#include "obs/obs.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+ObsHub::ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr)
+    : opts(opts), net(net), mgr(mgr)
+{
+    if (!opts.chromeTracePath.empty()) {
+        trace = std::make_unique<ChromeTraceWriter>();
+        net.setTraceSink(trace.get());
+    }
+    if (!opts.epochJsonlPath.empty()) {
+        if (!mgr) {
+            memnet_warn("epoch recording requested but the ",
+                        "policy has no epoch machinery; no records "
+                        "will be produced");
+        } else {
+            epochFile.open(opts.epochJsonlPath);
+            if (!epochFile) {
+                memnet_warn("cannot open epoch JSONL path: ",
+                            opts.epochJsonlPath);
+            } else {
+                rec = std::make_unique<EpochRecorder>(epochFile, net);
+            }
+        }
+    }
+    if (mgr && (rec || trace))
+        mgr->setEpochObserver(this);
+    registerStats();
+}
+
+ObsHub::~ObsHub()
+{
+    // The hub is destroyed before the network/manager it observes;
+    // detach so no dangling sink survives it.
+    if (trace)
+        net.setTraceSink(nullptr);
+    if (mgr)
+        mgr->setEpochObserver(nullptr);
+}
+
+void
+ObsHub::onMeasureStart(Tick now)
+{
+    if (rec)
+        rec->onMeasureStart(now);
+}
+
+void
+ObsHub::onEpoch(PowerManager &pm, Tick now)
+{
+    if (rec)
+        rec->onEpoch(pm, now);
+    if (trace)
+        trace->epochMarker(now, pm.epochs());
+}
+
+void
+ObsHub::onViolation(PowerManager &pm, LinkMgmtState &s, Tick now)
+{
+    if (trace)
+        trace->violation(s.link().id(), now);
+}
+
+void
+ObsHub::registerStats()
+{
+    EventQueue &eq = net.eventQueue();
+    auto sim = reg.scope("sim.");
+    sim.addInt("events_fired", "events executed so far",
+               [&eq] { return eq.fired(); });
+    sim.addInt("events_scheduled", "schedule() calls so far",
+               [&eq] { return eq.scheduledTotal(); });
+    sim.addInt("now_ps", "current simulated time (ps)", [&eq] {
+        return static_cast<std::uint64_t>(eq.now());
+    });
+
+    auto n = reg.scope("net.");
+    n.addInt("injected_packets", "request packets injected",
+             [this] { return net.injectedPackets(); });
+    n.add("avg_modules_traversed", "mean modules per access",
+          [this] { return net.avgModulesTraversed(); });
+
+    for (Link *l : net.allLinks()) {
+        std::ostringstream pre;
+        pre << "link" << l->id() << '.';
+        auto s = reg.scope(pre.str());
+        s.add("idle_energy_j", "idle I/O energy since reset (J)",
+              [l] { return l->stats().idleIoJ; });
+        s.add("active_energy_j", "active I/O energy since reset (J)",
+              [l] { return l->stats().activeIoJ; });
+        s.addInt("flits", "flits serialized",
+                 [l] { return l->stats().flits; });
+        s.addInt("packets", "packets delivered",
+                 [l] { return l->stats().packets; });
+        s.addInt("read_packets", "read packets delivered",
+                 [l] { return l->stats().readPackets; });
+        s.addInt("retries", "CRC retransmissions",
+                 [l] { return l->stats().retries; });
+        s.addInt("replays", "serializations aborted by retrains",
+                 [l] { return l->stats().replays; });
+        s.addInt("retrains", "retrain windows entered",
+                 [l] { return l->stats().retrains; });
+        s.add("retrain_s", "seconds spent retraining",
+              [l] { return l->stats().retrainSeconds; });
+        s.add("degraded_s", "seconds at reduced width",
+              [l] { return l->stats().degradedSeconds; });
+        s.add("off_s", "seconds powered off",
+              [l] { return l->stats().offSeconds; });
+    }
+
+    for (int m = 0; m < net.numModules(); ++m) {
+        std::ostringstream pre;
+        pre << "module" << m << '.';
+        auto s = reg.scope(pre.str());
+        Module *mod = &net.module(m);
+        s.addInt("dram_accesses", "DRAM accesses serviced",
+                 [mod] { return mod->dramAccesses(); });
+        s.addInt("flits_routed", "flits routed through the module",
+                 [mod] { return mod->flitsRouted(); });
+    }
+
+    if (mgr) {
+        auto s = reg.scope("mgmt.");
+        PowerManager *pm = mgr;
+        s.addInt("epochs", "management epochs processed",
+                 [pm] { return pm->epochs(); });
+        s.addInt("violations", "AMS violations",
+                 [pm] { return pm->violations(); });
+        s.addInt("isp.rounds_total", "ISP iterations executed",
+                 [pm] { return pm->ispRoundsTotal(); });
+        s.add("isp.last_rounds", "ISP iterations at the last epoch",
+              [pm] { return static_cast<double>(pm->lastIspRounds()); });
+        s.add("grant_pool_ps", "AMS left in the grant pool (ps)",
+              [pm] { return pm->grantPoolRemaining(); });
+    }
+}
+
+void
+ObsHub::finish(Tick now)
+{
+    net.collectEnergy(now); // flush energy integration for the dumps
+
+    if (!opts.statsJsonPath.empty()) {
+        std::ofstream f(opts.statsJsonPath);
+        if (!f)
+            memnet_warn("cannot open stats JSON path: ",
+                        opts.statsJsonPath);
+        else
+            reg.dumpJson(f);
+    }
+    if (!opts.statsCsvPath.empty()) {
+        std::ofstream f(opts.statsCsvPath);
+        if (!f)
+            memnet_warn("cannot open stats CSV path: ",
+                        opts.statsCsvPath);
+        else
+            reg.dumpCsv(f);
+    }
+    if (epochFile.is_open())
+        epochFile.close();
+    if (trace) {
+        std::ofstream f(opts.chromeTracePath);
+        if (!f)
+            memnet_warn("cannot open chrome trace path: ",
+                        opts.chromeTracePath);
+        else
+            trace->writeTo(f);
+    }
+}
+
+} // namespace obs
+} // namespace memnet

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ObsHub — the assembled observability subsystem for one simulation run.
+ *
+ * Construction wires everything the options ask for:
+ *  - registers gem5-style named stats for the event queue, network,
+ *    links, modules, and manager in a StatsRegistry (dumped to JSON/CSV
+ *    at finish());
+ *  - attaches a ChromeTraceWriter to the network as the PowerTraceSink;
+ *  - attaches itself to the manager as the EpochObserver, feeding the
+ *    EpochRecorder (JSONL) and epoch/violation trace instants.
+ *
+ * Everything is passive: hooks are synchronous callbacks from existing
+ * simulation events, and the hub never schedules events of its own, so
+ * an instrumented run produces bit-identical RunResults to a bare one.
+ * When ObsOptions::active() is false the simulator does not construct a
+ * hub at all.
+ */
+
+#ifndef MEMNET_OBS_OBS_HH
+#define MEMNET_OBS_OBS_HH
+
+#include <fstream>
+#include <memory>
+
+#include "mgmt/manager.hh"
+#include "net/network.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/epoch_recorder.hh"
+#include "obs/options.hh"
+#include "obs/stats_registry.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+class ObsHub : public EpochObserver
+{
+  public:
+    /**
+     * @param opts which outputs to produce (paths may be empty).
+     * @param net the network under observation.
+     * @param mgr the power manager, or null (FullPower / StaticTaper);
+     *        without one there are no epoch records or mgmt stats.
+     */
+    ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr);
+    ~ObsHub() override;
+
+    ObsHub(const ObsHub &) = delete;
+    ObsHub &operator=(const ObsHub &) = delete;
+
+    /** Re-baseline epoch diffs after the network's stats reset. */
+    void onMeasureStart(Tick now);
+
+    /** Flush and write every requested output file. */
+    void finish(Tick now);
+
+    // -- EpochObserver -----------------------------------------------------
+
+    void onEpoch(PowerManager &pm, Tick now) override;
+    void onViolation(PowerManager &pm, LinkMgmtState &s,
+                     Tick now) override;
+
+    StatsRegistry &registry() { return reg; }
+    ChromeTraceWriter *traceWriter() { return trace.get(); }
+    EpochRecorder *recorder() { return rec.get(); }
+
+  private:
+    void registerStats();
+
+    ObsOptions opts;
+    Network &net;
+    PowerManager *mgr;
+
+    StatsRegistry reg;
+    std::unique_ptr<ChromeTraceWriter> trace;
+    std::ofstream epochFile;
+    std::unique_ptr<EpochRecorder> rec;
+};
+
+} // namespace obs
+} // namespace memnet
+
+#endif // MEMNET_OBS_OBS_HH

@@ -1,0 +1,104 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.hh"
+#include "sim/log.hh"
+
+namespace memnet
+{
+namespace obs
+{
+
+void
+StatsRegistry::add(const std::string &name, const std::string &desc,
+                   std::function<double()> get)
+{
+    memnet_assert(!find(name), "duplicate stat name: ", name);
+    entries.push_back(StatEntry{name, desc, std::move(get), false});
+}
+
+void
+StatsRegistry::addInt(const std::string &name, const std::string &desc,
+                      std::function<std::uint64_t()> get)
+{
+    memnet_assert(!find(name), "duplicate stat name: ", name);
+    entries.push_back(StatEntry{
+        name, desc,
+        [g = std::move(get)]() { return static_cast<double>(g()); },
+        true});
+}
+
+const StatEntry *
+StatsRegistry::find(const std::string &name) const
+{
+    for (const StatEntry &e : entries) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::vector<std::size_t>
+StatsRegistry::sortedOrder() const
+{
+    std::vector<std::size_t> idx(entries.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return entries[a].name < entries[b].name;
+              });
+    return idx;
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    for (std::size_t i : sortedOrder()) {
+        const StatEntry &e = entries[i];
+        const double v = e.get();
+        w.key(e.name);
+        if (e.integral)
+            w.value(static_cast<std::int64_t>(v));
+        else
+            w.value(v);
+    }
+    w.endObject();
+    os << '\n';
+}
+
+void
+StatsRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "name,value,description\n";
+    for (std::size_t i : sortedOrder()) {
+        const StatEntry &e = entries[i];
+        char buf[40];
+        if (e.integral) {
+            std::snprintf(buf, sizeof buf, "%" PRId64,
+                          static_cast<std::int64_t>(e.get()));
+        } else {
+            std::snprintf(buf, sizeof buf, "%.17g", e.get());
+        }
+        // Descriptions are quoted: they may contain commas.
+        std::string desc = e.desc;
+        std::string quoted;
+        quoted.reserve(desc.size() + 2);
+        quoted += '"';
+        for (char c : desc) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        os << e.name << ',' << buf << ',' << quoted << '\n';
+    }
+}
+
+} // namespace obs
+} // namespace memnet

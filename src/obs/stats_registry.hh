@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Named, hierarchical run statistics (gem5-style).
+ *
+ * Components (or the simulator on their behalf) register stat sources
+ * under dotted names — `link3.req.idle_energy_j`, `mgmt.isp.rounds` —
+ * each with a one-line description and a getter that reads the live
+ * component when the registry is dumped. Registration costs one
+ * std::function per stat at setup time and nothing on the simulation
+ * hot path; values are only materialized at dump time.
+ *
+ * Dumpers: a flat JSON object keyed by stat name (sorted, so dumps are
+ * byte-stable for a deterministic run) and a CSV with descriptions.
+ */
+
+#ifndef MEMNET_OBS_STATS_REGISTRY_HH
+#define MEMNET_OBS_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memnet
+{
+namespace obs
+{
+
+/** One registered statistic. */
+struct StatEntry
+{
+    std::string name; ///< dotted hierarchical name
+    std::string desc; ///< one-line description
+    /** Reads the live value at dump time. */
+    std::function<double()> get;
+    /** Integer-valued stats dump without a decimal point. */
+    bool integral = false;
+};
+
+class StatsRegistry
+{
+  public:
+    /** Register a real-valued stat. Names must be unique. */
+    void add(const std::string &name, const std::string &desc,
+             std::function<double()> get);
+
+    /** Register an integer-valued stat. */
+    void addInt(const std::string &name, const std::string &desc,
+                std::function<std::uint64_t()> get);
+
+    /**
+     * Helper for registering groups: returns a callable that prefixes
+     * names, e.g. `auto link = reg.scope("link3.req."); link("flits", ...)`.
+     */
+    class Scope
+    {
+      public:
+        Scope(StatsRegistry &reg, std::string prefix)
+            : reg(reg), prefix(std::move(prefix))
+        {
+        }
+
+        void
+        add(const std::string &name, const std::string &desc,
+            std::function<double()> get) const
+        {
+            reg.add(prefix + name, desc, std::move(get));
+        }
+
+        void
+        addInt(const std::string &name, const std::string &desc,
+               std::function<std::uint64_t()> get) const
+        {
+            reg.addInt(prefix + name, desc, std::move(get));
+        }
+
+      private:
+        StatsRegistry &reg;
+        std::string prefix;
+    };
+
+    Scope scope(const std::string &prefix) { return Scope(*this, prefix); }
+
+    std::size_t size() const { return entries.size(); }
+
+    /** Look up an entry by exact name (tests); nullptr when absent. */
+    const StatEntry *find(const std::string &name) const;
+
+    /**
+     * Dump as one flat JSON object `{"name": value, ...}`, keys sorted
+     * lexicographically.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** Dump as CSV: `name,value,description`, names sorted. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    /** Indices into entries, sorted by name (rebuilt lazily on dump). */
+    std::vector<std::size_t> sortedOrder() const;
+
+    std::vector<StatEntry> entries;
+};
+
+} // namespace obs
+} // namespace memnet
+
+#endif // MEMNET_OBS_STATS_REGISTRY_HH

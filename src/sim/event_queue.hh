@@ -114,6 +114,7 @@ class EventQueue
         ev->_seq = nextSeq++;
         heap.push(Entry{when, ev->_seq, ev});
         ++_pending;
+        ++_scheduledTotal;
     }
 
     /** Schedule a one-shot callable at an absolute tick. */
@@ -164,6 +165,9 @@ class EventQueue
     /** Total number of events ever fired. */
     std::uint64_t fired() const { return _fired; }
 
+    /** Total number of schedule() calls ever made (incl. reschedules). */
+    std::uint64_t scheduledTotal() const { return _scheduledTotal; }
+
   private:
     struct Entry
     {
@@ -184,6 +188,7 @@ class EventQueue
     std::uint64_t nextSeq = 0;
     std::uint64_t _pending = 0;
     std::uint64_t _fired = 0;
+    std::uint64_t _scheduledTotal = 0;
 };
 
 } // namespace memnet

@@ -1,9 +1,41 @@
 #include "sim/log.hh"
 
 #include <stdexcept>
+#include <utility>
 
 namespace memnet
 {
+
+namespace
+{
+
+/** Active sink for non-fatal lines; empty means "default stderr". */
+LogSink activeSink;
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace:
+        return "trace";
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+    }
+    return "log";
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = std::move(activeSink);
+    activeSink = std::move(sink);
+    return prev;
+}
+
 namespace detail
 {
 
@@ -44,15 +76,25 @@ fatalImpl(const char *file, int line, const std::string &msg)
 }
 
 void
+logLine(LogLevel level, const std::string &msg)
+{
+    if (activeSink) {
+        activeSink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", logLevelName(level), msg.c_str());
+}
+
+void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logLine(LogLevel::Warn, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logLine(LogLevel::Inform, msg);
 }
 
 } // namespace detail

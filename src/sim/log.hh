@@ -5,6 +5,10 @@
  * panic() is for internal invariant violations (simulator bugs); fatal()
  * is for user errors (bad configuration). Both terminate. warn() and
  * inform() only print.
+ *
+ * Non-fatal output (warn/inform, and the obs debug-trace lines) is
+ * routed through a replaceable LogSink so harnesses can capture and
+ * assert on it; the default sink writes to stderr.
  */
 
 #ifndef MEMNET_SIM_LOG_HH
@@ -12,11 +16,33 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace memnet
 {
+
+/** Severity of one non-fatal log line. */
+enum class LogLevel
+{
+    Trace,  ///< obs debug-trace output (MEMNET_TRACE)
+    Inform, ///< status messages
+    Warn,   ///< non-fatal warnings
+};
+
+/** Prefix used for a level by the default stderr sink ("warn", ...). */
+const char *logLevelName(LogLevel level);
+
+/** Receives every non-fatal log line (message without prefix/newline). */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the process-wide log sink; an empty function restores the
+ * default stderr sink. Returns the previous sink (empty when the
+ * default was active) so scoped captures can restore it.
+ */
+LogSink setLogSink(LogSink sink);
 
 namespace detail
 {
@@ -37,6 +63,9 @@ formatMessage(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/** Deliver one line to the active sink (used by warn/inform/trace). */
+void logLine(LogLevel level, const std::string &msg);
 
 /** Test hook: panic/fatal throw std::runtime_error instead of aborting. */
 void setThrowOnError(bool enable);

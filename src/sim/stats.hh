@@ -112,10 +112,13 @@ class TickHistogram
     void
     sample(Tick v)
     {
-        std::size_t i = 0;
-        while (i < lowerBounds.size() && v >= lowerBounds[i])
-            ++i;
-        // i is now 1 past the last bound <= v; bucket 0 is "below all".
+        // Index of the first bound > v, i.e. 1 past the last bound <= v;
+        // bucket 0 is "below all". ROO idle histograms carry tens of
+        // bounds and sample on every idle interval, so binary search
+        // instead of a linear scan.
+        const std::size_t i = static_cast<std::size_t>(
+            std::upper_bound(lowerBounds.begin(), lowerBounds.end(), v) -
+            lowerBounds.begin());
         ++counts[i];
         ++n;
     }

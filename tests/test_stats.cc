@@ -89,6 +89,40 @@ TEST(TickHistogram, CountAtLeast)
     EXPECT_EQ(h.countAtLeast(1), 2u);
 }
 
+TEST(TickHistogram, ExactBoundaryValuesLandInTheirOwnBucket)
+{
+    // The binary-search bucketing must keep lower bounds inclusive:
+    // a sample exactly at bounds[i] belongs to bucket i+1, one tick
+    // below it to bucket i.
+    TickHistogram h({ns(10), ns(100), ns(1000)});
+    h.sample(ns(10) - 1);
+    h.sample(ns(10));
+    h.sample(ns(100) - 1);
+    h.sample(ns(100));
+    h.sample(ns(1000) - 1);
+    h.sample(ns(1000));
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(TickHistogram, DegenerateShapes)
+{
+    // No bounds: everything lands in the single open bucket.
+    TickHistogram none;
+    none.sample(0);
+    none.sample(ns(1));
+    EXPECT_EQ(none.bucket(0), 2u);
+
+    // One bound: the two-bucket split around it.
+    TickHistogram one({ns(10)});
+    one.sample(0);
+    one.sample(ns(10));
+    EXPECT_EQ(one.bucket(0), 1u);
+    EXPECT_EQ(one.bucket(1), 1u);
+}
+
 TEST(TickHistogram, ResetZeroes)
 {
     TickHistogram h({ns(10)});
