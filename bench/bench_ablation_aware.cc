@@ -65,34 +65,35 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    TextTable t({"variant", "power reduction vs FP",
-                 "avg perf degradation", "max perf degradation"});
-    for (const Variant &v : variants) {
-        double pr = 0.0, deg = 0.0, mx = -1.0;
-        int n = 0;
-        for (TopologyKind topo : allTopologies()) {
-            for (const std::string &wl : workloadNames()) {
-                SystemConfig cfg =
-                    makeConfig(wl, topo, SizeClass::Big,
-                               BwMechanism::Vwl, true, Policy::Aware,
-                               5.0);
-                cfg.aware = v.features;
-                pr += runner.powerReduction(cfg);
-                const double d = runner.degradation(cfg);
-                deg += d;
-                mx = std::max(mx, d);
-                ++n;
+    return io.run(runner, [&] {
+        TextTable t({"variant", "power reduction vs FP",
+                     "avg perf degradation", "max perf degradation"});
+        for (const Variant &v : variants) {
+            double pr = 0.0, deg = 0.0, mx = -1.0;
+            int n = 0;
+            for (TopologyKind topo : allTopologies()) {
+                for (const std::string &wl : workloadNames()) {
+                    SystemConfig cfg =
+                        makeConfig(wl, topo, SizeClass::Big,
+                                   BwMechanism::Vwl, true, Policy::Aware,
+                                   5.0);
+                    cfg.aware = v.features;
+                    pr += runner.powerReduction(cfg);
+                    const double d = runner.degradation(cfg);
+                    deg += d;
+                    mx = std::max(mx, d);
+                    ++n;
+                }
             }
+            t.addRow({v.name, TextTable::pct(pr / n),
+                      TextTable::pct(deg / n), TextTable::pct(mx)});
         }
-        t.addRow({v.name, TextTable::pct(pr / n),
-                  TextTable::pct(deg / n), TextTable::pct(mx)});
-    }
-    t.print();
+        t.print();
 
-    std::printf(
-        "\nExpected reading: fewer ISP iterations leave AMS stranded "
-        "at busy links;\ndisabling wakeup coordination exposes "
-        "response-link wake latency (worse\nperformance or less ROO "
-        "saving); the grant pool mainly trims the tail.\n");
-    return io.finish(runner);
+        std::printf(
+            "\nExpected reading: fewer ISP iterations leave AMS stranded "
+            "at busy links;\ndisabling wakeup coordination exposes "
+            "response-link wake latency (worse\nperformance or less ROO "
+            "saving); the grant pool mainly trims the tail.\n");
+    });
 }

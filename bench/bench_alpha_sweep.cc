@@ -25,30 +25,31 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    TextTable t({"alpha", "unaware: power", "unaware: perf",
-                 "aware: power", "aware: perf"});
-    for (double alpha : {1.0, 2.5, 5.0, 10.0, 30.0}) {
-        double pr[2] = {0, 0}, deg[2] = {0, 0};
-        int n = 0;
-        for (TopologyKind topo : allTopologies()) {
-            for (const std::string &wl : workloadNames()) {
-                int i = 0;
-                for (Policy p : {Policy::Unaware, Policy::Aware}) {
-                    const SystemConfig cfg =
-                        makeConfig(wl, topo, SizeClass::Big,
-                                   BwMechanism::Vwl, true, p, alpha);
-                    pr[i] += runner.powerReduction(cfg);
-                    deg[i] += runner.degradation(cfg);
-                    ++i;
+    return io.run(runner, [&] {
+        TextTable t({"alpha", "unaware: power", "unaware: perf",
+                     "aware: power", "aware: perf"});
+        for (double alpha : {1.0, 2.5, 5.0, 10.0, 30.0}) {
+            double pr[2] = {0, 0}, deg[2] = {0, 0};
+            int n = 0;
+            for (TopologyKind topo : allTopologies()) {
+                for (const std::string &wl : workloadNames()) {
+                    int i = 0;
+                    for (Policy p : {Policy::Unaware, Policy::Aware}) {
+                        const SystemConfig cfg =
+                            makeConfig(wl, topo, SizeClass::Big,
+                                       BwMechanism::Vwl, true, p, alpha);
+                        pr[i] += runner.powerReduction(cfg);
+                        deg[i] += runner.degradation(cfg);
+                        ++i;
+                    }
+                    ++n;
                 }
-                ++n;
             }
+            t.addRow({TextTable::pct(alpha / 100, 1),
+                      TextTable::pct(pr[0] / n), TextTable::pct(deg[0] / n),
+                      TextTable::pct(pr[1] / n),
+                      TextTable::pct(deg[1] / n)});
         }
-        t.addRow({TextTable::pct(alpha / 100, 1),
-                  TextTable::pct(pr[0] / n), TextTable::pct(deg[0] / n),
-                  TextTable::pct(pr[1] / n),
-                  TextTable::pct(deg[1] / n)});
-    }
-    t.print();
-    return io.finish(runner);
+        t.print();
+    });
 }

@@ -6,13 +6,18 @@
 #ifndef MEMNET_BENCH_BENCH_COMMON_HH
 #define MEMNET_BENCH_BENCH_COMMON_HH
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "memnet/experiment.hh"
+#include "memnet/parallel.hh"
 #include "memnet/report.hh"
 #include "sim/log.hh"
 
@@ -22,18 +27,28 @@ namespace bench
 {
 
 /**
- * Shared command-line handling for the bench binaries. Today that is
- * one flag: `--json <path>` dumps every run the bench executed as
- * machine-readable JSON (schema: ci/bench_schema.json) after the
- * normal tables print.
+ * Shared command-line handling for the bench binaries:
+ *
+ *   --json <path>   dump every run as machine-readable JSON
+ *                   (schema: ci/bench_schema.json) after the tables
+ *   --jobs <n>      simulate the sweep on n worker threads
+ *                   (0 = all hardware threads; default 1 = serial)
  *
  * Usage:
  *   int main(int argc, char **argv) {
  *       bench::BenchIo io("fig5_power_breakdown", argc, argv);
  *       Runner runner;
- *       ...
- *       return io.finish(runner);
+ *       return io.run(runner, [&] {
+ *           ...sweep + print tables...
+ *       });
  *   }
+ *
+ * run() executes the bench body twice when --jobs > 1: a silent
+ * collect pass records every config the body requests (Runner returns
+ * zeroed placeholders), a ParallelRunner simulates them concurrently,
+ * and a replay pass re-runs the body against the warm cache to print
+ * real numbers. Results are bit-identical to serial because each run
+ * owns its EventQueue and seeded RNGs — only wall-clock differs.
  */
 class BenchIo
 {
@@ -45,13 +60,31 @@ class BenchIo
             const std::string arg = argv[i];
             if (arg == "--json" && i + 1 < argc) {
                 jsonPath = argv[++i];
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                jobs = std::atoi(argv[++i]);
             } else {
                 std::fprintf(stderr,
-                             "usage: %s [--json <path>]\n",
+                             "usage: %s [--json <path>] [--jobs <n>]\n",
                              argv[0]);
                 std::exit(2);
             }
         }
+    }
+
+    /**
+     * Execute the bench body (serially, or collect/execute/replay when
+     * --jobs > 1) and then write the JSON dump. Returns the exit code.
+     */
+    int
+    run(Runner &runner, const std::function<void()> &body) const
+    {
+        if (resolveJobs(jobs) <= 1) {
+            body();
+            return finish(runner);
+        }
+        ParallelRunner(runner, jobs).run(collectPass(runner, body));
+        body();
+        return finish(runner);
     }
 
     /** Write the JSON dump (if requested); returns the exit code. */
@@ -70,8 +103,40 @@ class BenchIo
     }
 
   private:
+    /**
+     * Run the body in collect mode with stdout pointed at /dev/null and
+     * warnings muted, so the pass that only discovers configs produces
+     * no visible output (tables full of placeholder zeros, duplicated
+     * warnings). Returns the configs the body requested.
+     */
+    static std::vector<SystemConfig>
+    collectPass(Runner &runner, const std::function<void()> &body)
+    {
+        std::fflush(stdout);
+        const int saved = ::dup(STDOUT_FILENO);
+        const int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, STDOUT_FILENO);
+            ::close(devnull);
+        }
+        LogSink prev = setLogSink([](LogLevel, const std::string &) {});
+
+        runner.beginCollect();
+        body();
+        std::vector<SystemConfig> configs = runner.endCollect();
+
+        setLogSink(std::move(prev));
+        std::fflush(stdout);
+        if (saved >= 0) {
+            ::dup2(saved, STDOUT_FILENO);
+            ::close(saved);
+        }
+        return configs;
+    }
+
     std::string bench;
     std::string jsonPath;
+    int jobs = 1;
 };
 
 /** Construct the standard evaluation config for one cell of a sweep. */

@@ -25,47 +25,48 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study (power per HMC, W) ---\n",
-                    sizeClassName(size));
-        TextTable t({"topology", "FP", "2.5% VWL", "5% VWL", "2.5% ROO",
-                     "5% ROO", "2.5% VWL+ROO", "5% VWL+ROO"});
-        const int kCols = 7;
-        double col_sum[kCols] = {};
-        for (TopologyKind topo : allTopologies()) {
-            std::vector<std::string> row = {topologyName(topo)};
-            int c = 0;
-            const double fp = avgPerHmcPower(
-                runner, topo, size, BwMechanism::None, false,
-                Policy::FullPower, 5.0);
-            row.push_back(TextTable::fmt(fp));
-            col_sum[c++] += fp;
-            for (const Scheme &s : mainSchemes()) {
-                for (double alpha : {2.5, 5.0}) {
-                    const double w = avgPerHmcPower(
-                        runner, topo, size, s.mech, s.roo,
-                        Policy::Unaware, alpha);
-                    row.push_back(TextTable::fmt(w));
-                    col_sum[c++] += w;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study (power per HMC, W) ---\n",
+                        sizeClassName(size));
+            TextTable t({"topology", "FP", "2.5% VWL", "5% VWL", "2.5% ROO",
+                         "5% ROO", "2.5% VWL+ROO", "5% VWL+ROO"});
+            const int kCols = 7;
+            double col_sum[kCols] = {};
+            for (TopologyKind topo : allTopologies()) {
+                std::vector<std::string> row = {topologyName(topo)};
+                int c = 0;
+                const double fp = avgPerHmcPower(
+                    runner, topo, size, BwMechanism::None, false,
+                    Policy::FullPower, 5.0);
+                row.push_back(TextTable::fmt(fp));
+                col_sum[c++] += fp;
+                for (const Scheme &s : mainSchemes()) {
+                    for (double alpha : {2.5, 5.0}) {
+                        const double w = avgPerHmcPower(
+                            runner, topo, size, s.mech, s.roo,
+                            Policy::Unaware, alpha);
+                        row.push_back(TextTable::fmt(w));
+                        col_sum[c++] += w;
+                    }
                 }
+                // Reorder columns: we computed VWL(2.5,5), ROO(2.5,5),
+                // VWL+ROO(2.5,5) which matches the header order.
+                t.addRow(row);
             }
-            // Reorder columns: we computed VWL(2.5,5), ROO(2.5,5),
-            // VWL+ROO(2.5,5) which matches the header order.
-            t.addRow(row);
-        }
-        std::vector<std::string> avg_row = {"avg"};
-        for (int c = 0; c < kCols; ++c)
-            avg_row.push_back(TextTable::fmt(col_sum[c] / 4.0));
-        t.addRow(avg_row);
-        t.print();
+            std::vector<std::string> avg_row = {"avg"};
+            for (int c = 0; c < kCols; ++c)
+                avg_row.push_back(TextTable::fmt(col_sum[c] / 4.0));
+            t.addRow(avg_row);
+            t.print();
 
-        const double fp_avg = col_sum[0] / 4.0;
-        double best = fp_avg;
-        for (int c = 1; c < kCols; ++c)
-            best = std::min(best, col_sum[c] / 4.0);
-        std::printf("best scheme saves %.0f%% of total network power "
-                    "vs FP\n",
-                    (1 - best / fp_avg) * 100);
-    }
-    return io.finish(runner);
+            const double fp_avg = col_sum[0] / 4.0;
+            double best = fp_avg;
+            for (int c = 1; c < kCols; ++c)
+                best = std::min(best, col_sum[c] / 4.0);
+            std::printf("best scheme saves %.0f%% of total network power "
+                        "vs FP\n",
+                        (1 - best / fp_avg) * 100);
+        }
+    });
 }

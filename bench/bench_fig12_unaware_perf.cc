@@ -24,35 +24,36 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
-                     "star", "DDRx-like", "avg", "max"});
-        for (const Scheme &s : mainSchemes()) {
-            for (double alpha : {2.5, 5.0}) {
-                std::vector<std::string> row = {
-                    s.name, TextTable::pct(alpha / 100, 1)};
-                double sum = 0.0, mx = -1.0;
-                for (TopologyKind topo : allTopologies()) {
-                    double topo_sum = 0.0;
-                    for (const std::string &wl : workloadNames()) {
-                        const double d = runner.degradation(
-                            makeConfig(wl, topo, size, s.mech, s.roo,
-                                       Policy::Unaware, alpha));
-                        topo_sum += d;
-                        mx = std::max(mx, d);
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
+                         "star", "DDRx-like", "avg", "max"});
+            for (const Scheme &s : mainSchemes()) {
+                for (double alpha : {2.5, 5.0}) {
+                    std::vector<std::string> row = {
+                        s.name, TextTable::pct(alpha / 100, 1)};
+                    double sum = 0.0, mx = -1.0;
+                    for (TopologyKind topo : allTopologies()) {
+                        double topo_sum = 0.0;
+                        for (const std::string &wl : workloadNames()) {
+                            const double d = runner.degradation(
+                                makeConfig(wl, topo, size, s.mech, s.roo,
+                                           Policy::Unaware, alpha));
+                            topo_sum += d;
+                            mx = std::max(mx, d);
+                        }
+                        const double avg = topo_sum / 14.0;
+                        row.push_back(TextTable::pct(avg));
+                        sum += avg;
                     }
-                    const double avg = topo_sum / 14.0;
-                    row.push_back(TextTable::pct(avg));
-                    sum += avg;
+                    row.push_back(TextTable::pct(sum / 4.0));
+                    row.push_back(TextTable::pct(mx));
+                    t.addRow(row);
                 }
-                row.push_back(TextTable::pct(sum / 4.0));
-                row.push_back(TextTable::pct(mx));
-                t.addRow(row);
             }
+            t.print();
         }
-        t.print();
-    }
-    return io.finish(runner);
+    });
 }

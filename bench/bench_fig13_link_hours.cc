@@ -83,10 +83,11 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    std::printf("== network-UNAWARE management ==\n");
-    printDistribution(runner, Policy::Unaware);
+    return io.run(runner, [&] {
+        std::printf("== network-UNAWARE management ==\n");
+        printDistribution(runner, Policy::Unaware);
 
-    std::printf("== network-AWARE management ==\n");
-    printDistribution(runner, Policy::Aware);
-    return io.finish(runner);
+        std::printf("== network-AWARE management ==\n");
+        printDistribution(runner, Policy::Aware);
+    });
 }

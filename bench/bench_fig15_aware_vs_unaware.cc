@@ -25,48 +25,49 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
-                     "star", "DDRx-like", "avg"});
-        double overall = 0.0;
-        int cells = 0;
-        for (const Scheme &s : mainSchemes()) {
-            for (double alpha : {2.5, 5.0}) {
-                std::vector<std::string> row = {
-                    s.name, TextTable::pct(alpha / 100, 1)};
-                double sum = 0.0;
-                for (TopologyKind topo : allTopologies()) {
-                    double topo_sum = 0.0;
-                    for (const std::string &wl : workloadNames()) {
-                        const double p_unaware =
-                            runner
-                                .get(makeConfig(wl, topo, size, s.mech,
-                                                s.roo, Policy::Unaware,
-                                                alpha))
-                                .totalNetworkPowerW;
-                        const double p_aware =
-                            runner
-                                .get(makeConfig(wl, topo, size, s.mech,
-                                                s.roo, Policy::Aware,
-                                                alpha))
-                                .totalNetworkPowerW;
-                        topo_sum += 1.0 - p_aware / p_unaware;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
+                         "star", "DDRx-like", "avg"});
+            double overall = 0.0;
+            int cells = 0;
+            for (const Scheme &s : mainSchemes()) {
+                for (double alpha : {2.5, 5.0}) {
+                    std::vector<std::string> row = {
+                        s.name, TextTable::pct(alpha / 100, 1)};
+                    double sum = 0.0;
+                    for (TopologyKind topo : allTopologies()) {
+                        double topo_sum = 0.0;
+                        for (const std::string &wl : workloadNames()) {
+                            const double p_unaware =
+                                runner
+                                    .get(makeConfig(wl, topo, size, s.mech,
+                                                    s.roo, Policy::Unaware,
+                                                    alpha))
+                                    .totalNetworkPowerW;
+                            const double p_aware =
+                                runner
+                                    .get(makeConfig(wl, topo, size, s.mech,
+                                                    s.roo, Policy::Aware,
+                                                    alpha))
+                                    .totalNetworkPowerW;
+                            topo_sum += 1.0 - p_aware / p_unaware;
+                        }
+                        const double avg = topo_sum / 14.0;
+                        row.push_back(TextTable::pct(avg));
+                        sum += avg;
+                        overall += avg;
+                        ++cells;
                     }
-                    const double avg = topo_sum / 14.0;
-                    row.push_back(TextTable::pct(avg));
-                    sum += avg;
-                    overall += avg;
-                    ++cells;
+                    row.push_back(TextTable::pct(sum / 4.0));
+                    t.addRow(row);
                 }
-                row.push_back(TextTable::pct(sum / 4.0));
-                t.addRow(row);
             }
+            t.print();
+            std::printf("overall average reduction vs. unaware: %.1f%%\n",
+                        overall / cells * 100);
         }
-        t.print();
-        std::printf("overall average reduction vs. unaware: %.1f%%\n",
-                    overall / cells * 100);
-    }
-    return io.finish(runner);
+    });
 }

@@ -25,33 +25,34 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    TextTable t({"workload", "VWL:unaware", "ROO:unaware",
-                 "VWL+ROO:unaware", "VWL:aware", "ROO:aware",
-                 "VWL+ROO:aware"});
+    return io.run(runner, [&] {
+        TextTable t({"workload", "VWL:unaware", "ROO:unaware",
+                     "VWL+ROO:unaware", "VWL:aware", "ROO:aware",
+                     "VWL+ROO:aware"});
 
-    double col_sum[6] = {};
-    for (const std::string &wl : workloadNames()) {
-        std::vector<std::string> row = {wl};
-        int c = 0;
-        for (Policy policy : {Policy::Unaware, Policy::Aware}) {
-            for (const Scheme &s : mainSchemes()) {
-                double sum = 0.0;
-                for (TopologyKind topo : allTopologies()) {
-                    sum += runner.powerReduction(
-                        makeConfig(wl, topo, SizeClass::Big, s.mech,
-                                   s.roo, policy, 5.0));
+        double col_sum[6] = {};
+        for (const std::string &wl : workloadNames()) {
+            std::vector<std::string> row = {wl};
+            int c = 0;
+            for (Policy policy : {Policy::Unaware, Policy::Aware}) {
+                for (const Scheme &s : mainSchemes()) {
+                    double sum = 0.0;
+                    for (TopologyKind topo : allTopologies()) {
+                        sum += runner.powerReduction(
+                            makeConfig(wl, topo, SizeClass::Big, s.mech,
+                                       s.roo, policy, 5.0));
+                    }
+                    const double avg = sum / 4.0;
+                    row.push_back(TextTable::pct(avg));
+                    col_sum[c++] += avg;
                 }
-                const double avg = sum / 4.0;
-                row.push_back(TextTable::pct(avg));
-                col_sum[c++] += avg;
             }
+            t.addRow(row);
         }
-        t.addRow(row);
-    }
-    std::vector<std::string> avg_row = {"avg"};
-    for (int c = 0; c < 6; ++c)
-        avg_row.push_back(TextTable::pct(col_sum[c] / 14.0));
-    t.addRow(avg_row);
-    t.print();
-    return io.finish(runner);
+        std::vector<std::string> avg_row = {"avg"};
+        for (int c = 0; c < 6; ++c)
+            avg_row.push_back(TextTable::pct(col_sum[c] / 14.0));
+        t.addRow(avg_row);
+        t.print();
+    });
 }

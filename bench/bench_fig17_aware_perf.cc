@@ -25,74 +25,75 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf(
-            "\n--- %s network study: avg overhead aware vs. unaware "
-            "---\n",
-            sizeClassName(size));
-        TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
-                     "star", "DDRx-like", "avg"});
-        for (const Scheme &s : mainSchemes()) {
-            for (double alpha : {2.5, 5.0}) {
-                std::vector<std::string> row = {
-                    s.name, TextTable::pct(alpha / 100, 1)};
-                double sum = 0.0;
-                for (TopologyKind topo : allTopologies()) {
-                    double topo_sum = 0.0;
-                    for (const std::string &wl : workloadNames()) {
-                        const double p_un =
-                            runner
-                                .get(makeConfig(wl, topo, size, s.mech,
-                                                s.roo, Policy::Unaware,
-                                                alpha))
-                                .readsPerSec;
-                        const double p_aw =
-                            runner
-                                .get(makeConfig(wl, topo, size, s.mech,
-                                                s.roo, Policy::Aware,
-                                                alpha))
-                                .readsPerSec;
-                        topo_sum += 1.0 - p_aw / p_un;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf(
+                "\n--- %s network study: avg overhead aware vs. unaware "
+                "---\n",
+                sizeClassName(size));
+            TextTable t({"scheme", "alpha", "daisychain", "ternary tree",
+                         "star", "DDRx-like", "avg"});
+            for (const Scheme &s : mainSchemes()) {
+                for (double alpha : {2.5, 5.0}) {
+                    std::vector<std::string> row = {
+                        s.name, TextTable::pct(alpha / 100, 1)};
+                    double sum = 0.0;
+                    for (TopologyKind topo : allTopologies()) {
+                        double topo_sum = 0.0;
+                        for (const std::string &wl : workloadNames()) {
+                            const double p_un =
+                                runner
+                                    .get(makeConfig(wl, topo, size, s.mech,
+                                                    s.roo, Policy::Unaware,
+                                                    alpha))
+                                    .readsPerSec;
+                            const double p_aw =
+                                runner
+                                    .get(makeConfig(wl, topo, size, s.mech,
+                                                    s.roo, Policy::Aware,
+                                                    alpha))
+                                    .readsPerSec;
+                            topo_sum += 1.0 - p_aw / p_un;
+                        }
+                        const double avg = topo_sum / 14.0;
+                        row.push_back(TextTable::pct(avg));
+                        sum += avg;
                     }
-                    const double avg = topo_sum / 14.0;
-                    row.push_back(TextTable::pct(avg));
-                    sum += avg;
+                    row.push_back(TextTable::pct(sum / 4.0));
+                    t.addRow(row);
                 }
-                row.push_back(TextTable::pct(sum / 4.0));
-                t.addRow(row);
             }
-        }
-        t.print();
+            t.print();
 
-        std::printf(
-            "\n--- %s network study: max overhead aware vs. full power "
-            "---\n",
-            sizeClassName(size));
-        TextTable m({"scheme", "alpha", "daisychain", "ternary tree",
-                     "star", "DDRx-like"});
-        double global_max = -1.0;
-        for (const Scheme &s : mainSchemes()) {
-            for (double alpha : {2.5, 5.0}) {
-                std::vector<std::string> row = {
-                    s.name, TextTable::pct(alpha / 100, 1)};
-                for (TopologyKind topo : allTopologies()) {
-                    double mx = -1.0;
-                    for (const std::string &wl : workloadNames()) {
-                        mx = std::max(
-                            mx, runner.degradation(makeConfig(
-                                    wl, topo, size, s.mech, s.roo,
-                                    Policy::Aware, alpha)));
+            std::printf(
+                "\n--- %s network study: max overhead aware vs. full power "
+                "---\n",
+                sizeClassName(size));
+            TextTable m({"scheme", "alpha", "daisychain", "ternary tree",
+                         "star", "DDRx-like"});
+            double global_max = -1.0;
+            for (const Scheme &s : mainSchemes()) {
+                for (double alpha : {2.5, 5.0}) {
+                    std::vector<std::string> row = {
+                        s.name, TextTable::pct(alpha / 100, 1)};
+                    for (TopologyKind topo : allTopologies()) {
+                        double mx = -1.0;
+                        for (const std::string &wl : workloadNames()) {
+                            mx = std::max(
+                                mx, runner.degradation(makeConfig(
+                                        wl, topo, size, s.mech, s.roo,
+                                        Policy::Aware, alpha)));
+                        }
+                        row.push_back(TextTable::pct(mx));
+                        global_max = std::max(global_max, mx);
                     }
-                    row.push_back(TextTable::pct(mx));
-                    global_max = std::max(global_max, mx);
+                    m.addRow(row);
                 }
-                m.addRow(row);
             }
+            m.print();
+            std::printf("maximum overhead vs. full power: %.1f%% "
+                        "(paper: 5.9%%)\n",
+                        global_max * 100);
         }
-        m.print();
-        std::printf("maximum overhead vs. full power: %.1f%% "
-                    "(paper: 5.9%%)\n",
-                    global_max * 100);
-    }
-    return io.finish(runner);
+    });
 }

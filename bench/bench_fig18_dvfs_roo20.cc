@@ -48,33 +48,34 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"scheme", "policy", "power reduction vs FP",
-                     "avg perf degradation", "max perf degradation"});
-        for (const Scheme &s : schemes) {
-            for (Policy policy : {Policy::Unaware, Policy::Aware}) {
-                double pr_sum = 0.0, deg_sum = 0.0, deg_max = -1.0;
-                int n = 0;
-                for (TopologyKind topo : allTopologies()) {
-                    for (const std::string &wl : workloadNames()) {
-                        const SystemConfig cfg = sensitivityConfig(
-                            wl, topo, size, s.mech, s.roo, policy);
-                        pr_sum += runner.powerReduction(cfg);
-                        const double d = runner.degradation(cfg);
-                        deg_sum += d;
-                        deg_max = std::max(deg_max, d);
-                        ++n;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"scheme", "policy", "power reduction vs FP",
+                         "avg perf degradation", "max perf degradation"});
+            for (const Scheme &s : schemes) {
+                for (Policy policy : {Policy::Unaware, Policy::Aware}) {
+                    double pr_sum = 0.0, deg_sum = 0.0, deg_max = -1.0;
+                    int n = 0;
+                    for (TopologyKind topo : allTopologies()) {
+                        for (const std::string &wl : workloadNames()) {
+                            const SystemConfig cfg = sensitivityConfig(
+                                wl, topo, size, s.mech, s.roo, policy);
+                            pr_sum += runner.powerReduction(cfg);
+                            const double d = runner.degradation(cfg);
+                            deg_sum += d;
+                            deg_max = std::max(deg_max, d);
+                            ++n;
+                        }
                     }
+                    t.addRow({s.name, policyName(policy),
+                              TextTable::pct(pr_sum / n),
+                              TextTable::pct(deg_sum / n),
+                              TextTable::pct(deg_max)});
                 }
-                t.addRow({s.name, policyName(policy),
-                          TextTable::pct(pr_sum / n),
-                          TextTable::pct(deg_sum / n),
-                          TextTable::pct(deg_max)});
             }
+            t.print();
         }
-        t.print();
-    }
-    return io.finish(runner);
+    });
 }

@@ -25,63 +25,64 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"topology", "Idle I/O", "Active I/O", "Logic leak",
-                     "Logic dyn", "DRAM leak", "DRAM dyn", "total",
-                     "idleIO/total"});
-        PowerBreakdown avg_all{};
-        double idle_frac_weighted = 0.0;
-        for (TopologyKind topo : allTopologies()) {
-            PowerBreakdown acc{};
-            double idle_over_total = 0.0;
-            for (const std::string &wl : workloadNames()) {
-                const RunResult &r = runner.get(
-                    makeConfig(wl, topo, size, BwMechanism::None, false,
-                               Policy::FullPower));
-                acc.idleIoW += r.perHmc.idleIoW;
-                acc.activeIoW += r.perHmc.activeIoW;
-                acc.logicLeakW += r.perHmc.logicLeakW;
-                acc.logicDynW += r.perHmc.logicDynW;
-                acc.dramLeakW += r.perHmc.dramLeakW;
-                acc.dramDynW += r.perHmc.dramDynW;
-                idle_over_total += r.idleIoFrac;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"topology", "Idle I/O", "Active I/O", "Logic leak",
+                         "Logic dyn", "DRAM leak", "DRAM dyn", "total",
+                         "idleIO/total"});
+            PowerBreakdown avg_all{};
+            double idle_frac_weighted = 0.0;
+            for (TopologyKind topo : allTopologies()) {
+                PowerBreakdown acc{};
+                double idle_over_total = 0.0;
+                for (const std::string &wl : workloadNames()) {
+                    const RunResult &r = runner.get(
+                        makeConfig(wl, topo, size, BwMechanism::None, false,
+                                   Policy::FullPower));
+                    acc.idleIoW += r.perHmc.idleIoW;
+                    acc.activeIoW += r.perHmc.activeIoW;
+                    acc.logicLeakW += r.perHmc.logicLeakW;
+                    acc.logicDynW += r.perHmc.logicDynW;
+                    acc.dramLeakW += r.perHmc.dramLeakW;
+                    acc.dramDynW += r.perHmc.dramDynW;
+                    idle_over_total += r.idleIoFrac;
+                }
+                const double n = workloadNames().size();
+                acc = acc.scaled(1.0 / n);
+                idle_over_total /= n;
+                t.addRow({topologyName(topo), TextTable::fmt(acc.idleIoW),
+                          TextTable::fmt(acc.activeIoW),
+                          TextTable::fmt(acc.logicLeakW),
+                          TextTable::fmt(acc.logicDynW),
+                          TextTable::fmt(acc.dramLeakW),
+                          TextTable::fmt(acc.dramDynW),
+                          TextTable::fmt(acc.totalW()),
+                          TextTable::pct(idle_over_total)});
+                avg_all.idleIoW += acc.idleIoW / 4;
+                avg_all.activeIoW += acc.activeIoW / 4;
+                avg_all.logicLeakW += acc.logicLeakW / 4;
+                avg_all.logicDynW += acc.logicDynW / 4;
+                avg_all.dramLeakW += acc.dramLeakW / 4;
+                avg_all.dramDynW += acc.dramDynW / 4;
+                idle_frac_weighted += idle_over_total / 4;
             }
-            const double n = workloadNames().size();
-            acc = acc.scaled(1.0 / n);
-            idle_over_total /= n;
-            t.addRow({topologyName(topo), TextTable::fmt(acc.idleIoW),
-                      TextTable::fmt(acc.activeIoW),
-                      TextTable::fmt(acc.logicLeakW),
-                      TextTable::fmt(acc.logicDynW),
-                      TextTable::fmt(acc.dramLeakW),
-                      TextTable::fmt(acc.dramDynW),
-                      TextTable::fmt(acc.totalW()),
-                      TextTable::pct(idle_over_total)});
-            avg_all.idleIoW += acc.idleIoW / 4;
-            avg_all.activeIoW += acc.activeIoW / 4;
-            avg_all.logicLeakW += acc.logicLeakW / 4;
-            avg_all.logicDynW += acc.logicDynW / 4;
-            avg_all.dramLeakW += acc.dramLeakW / 4;
-            avg_all.dramDynW += acc.dramDynW / 4;
-            idle_frac_weighted += idle_over_total / 4;
-        }
-        t.addRow({"avg", TextTable::fmt(avg_all.idleIoW),
-                  TextTable::fmt(avg_all.activeIoW),
-                  TextTable::fmt(avg_all.logicLeakW),
-                  TextTable::fmt(avg_all.logicDynW),
-                  TextTable::fmt(avg_all.dramLeakW),
-                  TextTable::fmt(avg_all.dramDynW),
-                  TextTable::fmt(avg_all.totalW()),
-                  TextTable::pct(idle_frac_weighted)});
-        t.print();
+            t.addRow({"avg", TextTable::fmt(avg_all.idleIoW),
+                      TextTable::fmt(avg_all.activeIoW),
+                      TextTable::fmt(avg_all.logicLeakW),
+                      TextTable::fmt(avg_all.logicDynW),
+                      TextTable::fmt(avg_all.dramLeakW),
+                      TextTable::fmt(avg_all.dramDynW),
+                      TextTable::fmt(avg_all.totalW()),
+                      TextTable::pct(idle_frac_weighted)});
+            t.print();
 
-        const double io_share =
-            (avg_all.idleIoW + avg_all.activeIoW) / avg_all.totalW();
-        std::printf("I/O share of total network power: %.0f%% "
-                    "(paper: ~73%% average)\n",
-                    io_share * 100);
-    }
-    return io.finish(runner);
+            const double io_share =
+                (avg_all.idleIoW + avg_all.activeIoW) / avg_all.totalW();
+            std::printf("I/O share of total network power: %.0f%% "
+                        "(paper: ~73%% average)\n",
+                        io_share * 100);
+        }
+    });
 }

@@ -24,30 +24,31 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"workload", "daisychain", "ternary tree", "star",
-                     "DDRx-like"});
-        double avg[4] = {0, 0, 0, 0};
-        for (const std::string &wl : workloadNames()) {
-            std::vector<std::string> row = {wl};
-            int i = 0;
-            for (TopologyKind topo : allTopologies()) {
-                const RunResult &r = runner.get(
-                    makeConfig(wl, topo, size, BwMechanism::None,
-                               false, Policy::FullPower));
-                row.push_back(
-                    TextTable::fmt(r.avgModulesTraversed, 2));
-                avg[i++] += r.avgModulesTraversed;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"workload", "daisychain", "ternary tree", "star",
+                         "DDRx-like"});
+            double avg[4] = {0, 0, 0, 0};
+            for (const std::string &wl : workloadNames()) {
+                std::vector<std::string> row = {wl};
+                int i = 0;
+                for (TopologyKind topo : allTopologies()) {
+                    const RunResult &r = runner.get(
+                        makeConfig(wl, topo, size, BwMechanism::None,
+                                   false, Policy::FullPower));
+                    row.push_back(
+                        TextTable::fmt(r.avgModulesTraversed, 2));
+                    avg[i++] += r.avgModulesTraversed;
+                }
+                t.addRow(row);
             }
+            std::vector<std::string> row = {"avg"};
+            for (int i = 0; i < 4; ++i)
+                row.push_back(TextTable::fmt(avg[i] / 14.0, 2));
             t.addRow(row);
+            t.print();
         }
-        std::vector<std::string> row = {"avg"};
-        for (int i = 0; i < 4; ++i)
-            row.push_back(TextTable::fmt(avg[i] / 14.0, 2));
-        t.addRow(row);
-        t.print();
-    }
-    return io.finish(runner);
+    });
 }

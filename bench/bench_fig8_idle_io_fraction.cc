@@ -24,26 +24,27 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"workload", "daisychain", "ternary tree", "star",
-                     "DDRx-like"});
-        double avg_all = 0.0;
-        for (const std::string &wl : workloadNames()) {
-            std::vector<std::string> row = {wl};
-            for (TopologyKind topo : allTopologies()) {
-                const RunResult &r = runner.get(
-                    makeConfig(wl, topo, size, BwMechanism::None,
-                               false, Policy::FullPower));
-                row.push_back(TextTable::pct(r.idleIoFrac));
-                avg_all += r.idleIoFrac;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"workload", "daisychain", "ternary tree", "star",
+                         "DDRx-like"});
+            double avg_all = 0.0;
+            for (const std::string &wl : workloadNames()) {
+                std::vector<std::string> row = {wl};
+                for (TopologyKind topo : allTopologies()) {
+                    const RunResult &r = runner.get(
+                        makeConfig(wl, topo, size, BwMechanism::None,
+                                   false, Policy::FullPower));
+                    row.push_back(TextTable::pct(r.idleIoFrac));
+                    avg_all += r.idleIoFrac;
+                }
+                t.addRow(row);
             }
-            t.addRow(row);
+            t.print();
+            std::printf("average over all cells: %.0f%%\n",
+                        avg_all / (14 * 4) * 100);
         }
-        t.print();
-        std::printf("average over all cells: %.0f%%\n",
-                    avg_all / (14 * 4) * 100);
-    }
-    return io.finish(runner);
+    });
 }

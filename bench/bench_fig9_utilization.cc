@@ -27,30 +27,31 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
-        std::printf("\n--- %s network study ---\n",
-                    sizeClassName(size));
-        TextTable t({"workload", "chan:daisy", "link:daisy",
-                     "chan:ternary", "link:ternary", "chan:star",
-                     "link:star", "chan:ddrx", "link:ddrx"});
-        double chan_avg = 0.0, link_avg = 0.0;
-        for (const std::string &wl : workloadNames()) {
-            std::vector<std::string> row = {wl};
-            for (TopologyKind topo : allTopologies()) {
-                const RunResult &r = runner.get(
-                    makeConfig(wl, topo, size, BwMechanism::None,
-                               false, Policy::FullPower));
-                row.push_back(TextTable::pct(r.channelUtil, 0));
-                row.push_back(TextTable::pct(r.avgLinkUtil, 0));
-                chan_avg += r.channelUtil;
-                link_avg += r.avgLinkUtil;
+    return io.run(runner, [&] {
+        for (SizeClass size : {SizeClass::Small, SizeClass::Big}) {
+            std::printf("\n--- %s network study ---\n",
+                        sizeClassName(size));
+            TextTable t({"workload", "chan:daisy", "link:daisy",
+                         "chan:ternary", "link:ternary", "chan:star",
+                         "link:star", "chan:ddrx", "link:ddrx"});
+            double chan_avg = 0.0, link_avg = 0.0;
+            for (const std::string &wl : workloadNames()) {
+                std::vector<std::string> row = {wl};
+                for (TopologyKind topo : allTopologies()) {
+                    const RunResult &r = runner.get(
+                        makeConfig(wl, topo, size, BwMechanism::None,
+                                   false, Policy::FullPower));
+                    row.push_back(TextTable::pct(r.channelUtil, 0));
+                    row.push_back(TextTable::pct(r.avgLinkUtil, 0));
+                    chan_avg += r.channelUtil;
+                    link_avg += r.avgLinkUtil;
+                }
+                t.addRow(row);
             }
-            t.addRow(row);
+            t.print();
+            std::printf("averages: channel %.0f%%, link %.0f%%\n",
+                        chan_avg / (14 * 4) * 100,
+                        link_avg / (14 * 4) * 100);
         }
-        t.print();
-        std::printf("averages: channel %.0f%%, link %.0f%%\n",
-                    chan_avg / (14 * 4) * 100,
-                    link_avg / (14 * 4) * 100);
-    }
-    return io.finish(runner);
+    });
 }

@@ -1,18 +1,28 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the simulator substrate: event
- * kernel throughput, link serialization, vault service, delay-monitor
- * and end-to-end simulation cost.
+ * kernel throughput (schedule/fire and reschedule-heavy), packet pool
+ * versus heap churn, link serialization, vault service, delay-monitor,
+ * end-to-end simulation cost, and the parallel sweep engine.
+ *
+ * BM_EndToEndSimulation reports the headline counters used by the CI
+ * perf-smoke job: events_per_s, packets_per_s, and the per-run heap
+ * allocations the packet pool avoided.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "dram/vault.hh"
+#include "memnet/experiment.hh"
+#include "memnet/parallel.hh"
 #include "memnet/simulator.hh"
 #include "mgmt/delay_monitor.hh"
 #include "net/link.hh"
+#include "net/packet_pool.hh"
 #include "sim/event_queue.hh"
 
 namespace
@@ -33,9 +43,82 @@ BM_EventQueueScheduleFire(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
+struct NopEvent : public Event
+{
+    void fire() override {}
+};
+
+/**
+ * The pattern the lazy-deletion queue handled worst: a working set of
+ * re-armable timers (link sleep timers, core issue events) that get
+ * rekeyed over and over without ever firing. The intrusive heap rekeys
+ * in place; the old queue accumulated a stale entry per move.
+ */
+void
+BM_EventQueueRescheduleHeavy(benchmark::State &state)
+{
+    constexpr int kTimers = 256;
+    constexpr int kMoves = 4000;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::vector<NopEvent> timers(kTimers);
+        for (int i = 0; i < kTimers; ++i)
+            eq.schedule(&timers[i], ns(1000 + i));
+        std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+        for (int i = 0; i < kMoves; ++i) {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            NopEvent &ev = timers[(lcg >> 33) % kTimers];
+            eq.reschedule(&ev, ns(1000 + (lcg >> 40) % 5000));
+        }
+        for (NopEvent &ev : timers)
+            eq.deschedule(&ev);
+        benchmark::DoNotOptimize(eq.pending());
+    }
+    state.SetItemsProcessed(state.iterations() * kMoves);
+}
+BENCHMARK(BM_EventQueueRescheduleHeavy);
+
+void
+BM_PacketPoolChurn(benchmark::State &state)
+{
+    constexpr int kBurst = 64;
+    PacketPool pool;
+    std::vector<Packet *> live;
+    live.reserve(kBurst);
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i)
+            live.push_back(pool.acquire());
+        for (Packet *p : live)
+            pool.release(p);
+        live.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst);
+    state.counters["allocs_avoided"] = benchmark::Counter(
+        static_cast<double>(pool.allocationsAvoided()));
+}
+BENCHMARK(BM_PacketPoolChurn);
+
+/** The new/delete baseline BM_PacketPoolChurn replaces. */
+void
+BM_PacketHeapChurn(benchmark::State &state)
+{
+    constexpr int kBurst = 64;
+    std::vector<Packet *> live;
+    live.reserve(kBurst);
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i)
+            live.push_back(new Packet);
+        for (Packet *p : live)
+            delete p;
+        live.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_PacketHeapChurn);
+
 struct SwallowSink : public PacketSink
 {
-    void accept(Packet *pkt, Tick) override { delete pkt; }
+    void accept(Packet *pkt, Tick) override { disposePacket(pkt); }
 };
 
 void
@@ -101,14 +184,50 @@ BM_EndToEndSimulation(benchmark::State &state)
     cfg.policy = Policy::Unaware;
     cfg.mechanism = BwMechanism::Vwl;
     cfg.roo = true;
+    double events = 0.0, packets = 0.0, avoided = 0.0;
     for (auto _ : state) {
         const RunResult r = runSimulation(cfg);
         benchmark::DoNotOptimize(r.totalNetworkPowerW);
-        state.counters["events"] =
-            static_cast<double>(r.eventsFired);
+        events += static_cast<double>(r.eventsFired);
+        packets += static_cast<double>(r.profile.packetsIssued);
+        avoided += static_cast<double>(r.profile.packetAllocsAvoided());
     }
+    state.counters["events_per_s"] =
+        benchmark::Counter(events, benchmark::Counter::kIsRate);
+    state.counters["packets_per_s"] =
+        benchmark::Counter(packets, benchmark::Counter::kIsRate);
+    state.counters["pool_allocs_avoided"] = benchmark::Counter(
+        avoided / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+/**
+ * The sweep engine on a small four-workload batch. Arg = worker
+ * threads; on a single hardware thread the interesting property is that
+ * jobs > 1 costs no correctness and little overhead, not speedup.
+ */
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    const int jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Runner runner;
+        std::vector<SystemConfig> cfgs;
+        for (const char *wl : {"mixA", "mixB", "mixC", "mixD"}) {
+            SystemConfig cfg;
+            cfg.workload = wl;
+            cfg.topology = TopologyKind::Star;
+            cfg.warmup = us(10);
+            cfg.measure = us(50);
+            cfgs.push_back(cfg);
+        }
+        ParallelRunner(runner, jobs).run(cfgs);
+        benchmark::DoNotOptimize(runner.runsExecuted());
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 } // namespace
 

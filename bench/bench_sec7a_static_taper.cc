@@ -31,71 +31,72 @@ main(int argc, char **argv)
 
     Runner runner;
 
-    struct Sample
-    {
-        double degradation;
-        double power;
-        double fpPower;
-    };
-    std::vector<Sample> stat, aware;
+    return io.run(runner, [&] {
+        struct Sample
+        {
+            double degradation;
+            double power;
+            double fpPower;
+        };
+        std::vector<Sample> stat, aware;
 
-    for (TopologyKind topo : allTopologies()) {
-        for (const std::string &wl : workloadNames()) {
-            SystemConfig s = makeConfig(wl, topo, SizeClass::Big,
-                                        BwMechanism::Vwl, false,
-                                        Policy::StaticTaper, 5.0);
-            s.interleavePages = true;
-            const RunResult &rs = runner.get(s);
-            const RunResult &fp =
-                runner.get(Runner::fullPowerBaseline(s));
-            stat.push_back({1.0 - rs.readsPerSec / fp.readsPerSec,
-                            rs.totalNetworkPowerW,
-                            fp.totalNetworkPowerW});
+        for (TopologyKind topo : allTopologies()) {
+            for (const std::string &wl : workloadNames()) {
+                SystemConfig s = makeConfig(wl, topo, SizeClass::Big,
+                                            BwMechanism::Vwl, false,
+                                            Policy::StaticTaper, 5.0);
+                s.interleavePages = true;
+                const RunResult &rs = runner.get(s);
+                const RunResult &fp =
+                    runner.get(Runner::fullPowerBaseline(s));
+                stat.push_back({1.0 - rs.readsPerSec / fp.readsPerSec,
+                                rs.totalNetworkPowerW,
+                                fp.totalNetworkPowerW});
 
-            const SystemConfig a =
-                makeConfig(wl, topo, SizeClass::Big, BwMechanism::Vwl,
-                           false, Policy::Aware, 30.0);
-            const RunResult &ra = runner.get(a);
-            aware.push_back({runner.degradation(a),
-                             ra.totalNetworkPowerW,
-                             fp.totalNetworkPowerW});
+                const SystemConfig a =
+                    makeConfig(wl, topo, SizeClass::Big, BwMechanism::Vwl,
+                               false, Policy::Aware, 30.0);
+                const RunResult &ra = runner.get(a);
+                aware.push_back({runner.degradation(a),
+                                 ra.totalNetworkPowerW,
+                                 fp.totalNetworkPowerW});
+            }
         }
-    }
 
-    auto summarize = [](std::vector<Sample> v, const char *name,
-                        TextTable &t) {
-        std::sort(v.begin(), v.end(),
-                  [](const Sample &a, const Sample &b) {
-                      return a.degradation > b.degradation;
-                  });
-        double avg = 0.0, pw = 0.0, fp = 0.0;
-        for (const Sample &s : v) {
-            avg += s.degradation;
-            pw += s.power;
-            fp += s.fpPower;
-        }
-        avg /= v.size();
-        double top_q = 0.0;
-        const std::size_t q = std::max<std::size_t>(1, v.size() / 4);
-        for (std::size_t i = 0; i < q; ++i)
-            top_q += v[i].degradation;
-        top_q /= q;
-        t.addRow({name, TextTable::pct(avg),
-                  TextTable::pct(v.front().degradation),
-                  TextTable::pct(top_q), TextTable::fmt(pw / v.size()),
-                  TextTable::pct(1.0 - pw / fp)});
-        return pw / v.size();
-    };
+        auto summarize = [](std::vector<Sample> v, const char *name,
+                            TextTable &t) {
+            std::sort(v.begin(), v.end(),
+                      [](const Sample &a, const Sample &b) {
+                          return a.degradation > b.degradation;
+                      });
+            double avg = 0.0, pw = 0.0, fp = 0.0;
+            for (const Sample &s : v) {
+                avg += s.degradation;
+                pw += s.power;
+                fp += s.fpPower;
+            }
+            avg /= v.size();
+            double top_q = 0.0;
+            const std::size_t q = std::max<std::size_t>(1, v.size() / 4);
+            for (std::size_t i = 0; i < q; ++i)
+                top_q += v[i].degradation;
+            top_q /= q;
+            t.addRow({name, TextTable::pct(avg),
+                      TextTable::pct(v.front().degradation),
+                      TextTable::pct(top_q), TextTable::fmt(pw / v.size()),
+                      TextTable::pct(1.0 - pw / fp)});
+            return pw / v.size();
+        };
 
-    TextTable t({"scheme", "avg overhead", "worst case",
-                 "top-quartile avg", "avg power (W)",
-                 "power reduction vs FP"});
-    const double p_static = summarize(stat, "static taper+interleave", t);
-    const double p_aware = summarize(aware, "network-aware a=30%", t);
-    t.print();
+        TextTable t({"scheme", "avg overhead", "worst case",
+                     "top-quartile avg", "avg power (W)",
+                     "power reduction vs FP"});
+        const double p_static = summarize(stat, "static taper+interleave", t);
+        const double p_aware = summarize(aware, "network-aware a=30%", t);
+        t.print();
 
-    std::printf("\nnetwork-aware power advantage over static "
-                "selection: %.1f%% (paper: 15%%)\n",
-                (1.0 - p_aware / p_static) * 100);
-    return io.finish(runner);
+        std::printf("\nnetwork-aware power advantage over static "
+                    "selection: %.1f%% (paper: 15%%)\n",
+                    (1.0 - p_aware / p_static) * 100);
+    });
 }

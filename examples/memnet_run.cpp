@@ -17,8 +17,16 @@
  *   --alpha <pct>          allowable memory slowdown     [5]
  *   --measure-us <n>       measurement window            [400]
  *   --seed <n>             run seed                      [1]
+ *   --seeds <k>            replicate over k seeds        [1]
+ *   --jobs <n>             threads for the seed sweep
+ *                          (0 = all hardware threads)    [1]
  *   --fer <p>              flit error rate (CRC retry)   [0]
  *   --report <list>        summary,power,modules,links   [summary]
+ *
+ * With --seeds k > 1 the run is replicated over seeds seed..seed+k-1
+ * (concurrently when --jobs > 1; results are identical to serial) and
+ * a per-seed summary table plus the mean replaces the single-run
+ * report.
  *
  * Observability outputs (see docs/OBSERVABILITY.md; all off by default
  * and guaranteed not to change the simulation):
@@ -34,6 +42,8 @@
 #include <cstring>
 #include <string>
 
+#include "memnet/experiment.hh"
+#include "memnet/parallel.hh"
 #include "memnet/report.hh"
 #include "memnet/simulator.hh"
 
@@ -100,6 +110,8 @@ main(int argc, char **argv)
     cfg.workload = "mixA";
     cfg.topology = TopologyKind::Star;
     std::string report = "summary";
+    int seeds = 1;
+    int jobs = 1;
 
     auto need = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -131,6 +143,10 @@ main(int argc, char **argv)
             cfg.measure = us(std::atol(need(i).c_str()));
         } else if (a == "--seed") {
             cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (a == "--seeds") {
+            seeds = std::atoi(need(i).c_str());
+        } else if (a == "--jobs") {
+            jobs = std::atoi(need(i).c_str());
         } else if (a == "--fer") {
             cfg.linkFlitErrorRate = std::atof(need(i).c_str());
         } else if (a == "--interleave") {
@@ -155,6 +171,46 @@ main(int argc, char **argv)
     }
     if (cfg.policy == Policy::StaticTaper)
         cfg.interleavePages = true;
+
+    if (seeds > 1) {
+        if (!cfg.obs.statsJsonPath.empty() ||
+            !cfg.obs.statsCsvPath.empty() ||
+            !cfg.obs.epochJsonlPath.empty() ||
+            !cfg.obs.chromeTracePath.empty()) {
+            usage("observability outputs would collide across seed "
+                  "replicas; use --seeds 1");
+        }
+        std::vector<SystemConfig> replicas;
+        for (int s = 0; s < seeds; ++s) {
+            SystemConfig c = cfg;
+            c.seed = cfg.seed + static_cast<std::uint64_t>(s);
+            replicas.push_back(c);
+        }
+        Runner runner;
+        ParallelRunner(runner, jobs).run(replicas);
+
+        TextTable t({"seed", "reads/s", "net power (W)", "per-HMC (W)"});
+        double sumReads = 0.0, sumPower = 0.0, sumHmc = 0.0;
+        for (const SystemConfig &c : replicas) {
+            const RunResult &r = runner.get(c);
+            t.addRow({std::to_string(c.seed),
+                      TextTable::fmt(r.readsPerSec, 0),
+                      TextTable::fmt(r.totalNetworkPowerW),
+                      TextTable::fmt(r.perHmc.totalW())});
+            sumReads += r.readsPerSec;
+            sumPower += r.totalNetworkPowerW;
+            sumHmc += r.perHmc.totalW();
+        }
+        const double n = seeds;
+        t.addRow({"mean", TextTable::fmt(sumReads / n, 0),
+                  TextTable::fmt(sumPower / n),
+                  TextTable::fmt(sumHmc / n)});
+        std::printf("%s x%d seeds (%d thread%s)\n", cfg.describe().c_str(),
+                    seeds, resolveJobs(jobs),
+                    resolveJobs(jobs) == 1 ? "" : "s");
+        t.print();
+        return 0;
+    }
 
     const RunResult r = runSimulation(cfg);
 

@@ -191,6 +191,20 @@ struct RunProfile
     double wallSeconds = 0.0;
     double simSeconds = 0.0;
 
+    /** Packets issued through the pool (whole run, warmup included). */
+    std::uint64_t packetsIssued = 0;
+    /** Packets actually heap-allocated (the pool's high-water mark). */
+    std::uint64_t packetHeapAllocs = 0;
+
+    /** Heap allocations the packet freelist avoided. */
+    std::uint64_t
+    packetAllocsAvoided() const
+    {
+        return packetsIssued -
+               (packetHeapAllocs < packetsIssued ? packetHeapAllocs
+                                                 : packetsIssued);
+    }
+
     double
     eventsPerSec() const
     {

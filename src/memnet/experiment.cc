@@ -1,8 +1,9 @@
 #include "memnet/experiment.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
-#include <sstream>
+#include <utility>
 
 #include "sim/log.hh"
 #include "workload/profile.hh"
@@ -34,27 +35,70 @@ workloadNames()
 std::string
 Runner::key(const SystemConfig &cfg)
 {
-    std::ostringstream os;
-    os << cfg.workload << '|' << static_cast<int>(cfg.topology) << '|'
-       << static_cast<int>(cfg.sizeClass) << '|'
-       << static_cast<int>(cfg.mechanism) << '|' << cfg.roo << '|'
-       << cfg.rooWakeupPs << '|' << static_cast<int>(cfg.policy) << '|'
-       << cfg.alphaPct << '|' << cfg.epochLen << '|'
-       << cfg.interleavePages << '|' << cfg.warmup << '|' << cfg.measure
-       << '|' << cfg.seed << '|' << cfg.cores << '|'
-       << cfg.maxReadsPerCore << '|' << cfg.maxWritesPerCore << '|'
-       << static_cast<int>(cfg.ioAttribution) << '|'
-       << cfg.linkFlitErrorRate << '|'
-       << cfg.aware.ispIterations << cfg.aware.congestionDiscount
-       << cfg.aware.wakeCoordination << cfg.aware.grantPool << '|'
-       << cfg.watchdogTimeoutPs << '|' << cfg.faults.flapMeanPeriodPs
-       << ',' << cfg.faults.flapWindowPs;
+    // Hot enough to matter at sweep scale (every get() builds a key):
+    // a plain string appender with std::to_chars instead of an
+    // ostringstream. Doubles use shortest-round-trip formatting, which
+    // is injective — two distinct values never share a spelling.
+    std::string k;
+    k.reserve(128 + cfg.workload.size() + 48 * cfg.faults.events.size());
+    char buf[32];
+    const auto num = [&k, &buf](auto v) {
+        const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+        k.append(buf, res.ptr);
+    };
+    const auto field = [&k, &num](auto v) {
+        num(v);
+        k.push_back('|');
+    };
+    k += cfg.workload;
+    k.push_back('|');
+    field(static_cast<int>(cfg.topology));
+    field(static_cast<int>(cfg.sizeClass));
+    field(static_cast<int>(cfg.mechanism));
+    field(static_cast<int>(cfg.roo));
+    field(cfg.rooWakeupPs);
+    field(static_cast<int>(cfg.policy));
+    field(cfg.alphaPct);
+    field(cfg.epochLen);
+    field(static_cast<int>(cfg.interleavePages));
+    field(cfg.warmup);
+    field(cfg.measure);
+    field(cfg.seed);
+    field(cfg.cores);
+    field(cfg.maxReadsPerCore);
+    field(cfg.maxWritesPerCore);
+    field(static_cast<int>(cfg.ioAttribution));
+    field(cfg.linkFlitErrorRate);
+    // The aware block is ','-separated: streaming the four values with
+    // no separators let lookalike neighbours collide (e.g. a two-digit
+    // ispIterations against a one-digit one absorbing a flag digit).
+    num(cfg.aware.ispIterations);
+    k.push_back(',');
+    num(static_cast<int>(cfg.aware.congestionDiscount));
+    k.push_back(',');
+    num(static_cast<int>(cfg.aware.wakeCoordination));
+    k.push_back(',');
+    num(static_cast<int>(cfg.aware.grantPool));
+    k.push_back('|');
+    field(cfg.watchdogTimeoutPs);
+    num(cfg.faults.flapMeanPeriodPs);
+    k.push_back(',');
+    num(cfg.faults.flapWindowPs);
     for (const FaultSpec &f : cfg.faults.events) {
-        os << ';' << static_cast<int>(f.kind) << ',' << f.at << ','
-           << f.link << ',' << f.durationPs << ',' << f.survivingLanes
-           << ',' << f.flitErrorRate;
+        k.push_back(';');
+        num(static_cast<int>(f.kind));
+        k.push_back(',');
+        num(f.at);
+        k.push_back(',');
+        num(f.link);
+        k.push_back(',');
+        num(f.durationPs);
+        k.push_back(',');
+        num(f.survivingLanes);
+        k.push_back(',');
+        num(f.flitErrorRate);
     }
-    return os.str();
+    return k;
 }
 
 SystemConfig
@@ -71,17 +115,66 @@ const RunResult &
 Runner::get(const SystemConfig &cfg)
 {
     const std::string k = key(cfg);
-    auto it = cache.find(k);
-    if (it != cache.end())
-        return it->second;
-    RunResult r = runSimulation(cfg);
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        auto it = cache.find(k);
+        if (it != cache.end())
+            return it->second;
+        if (collecting) {
+            // First pass of a --jobs bench run: record, don't simulate.
+            if (pendingKeys.insert(k).second)
+                pendingConfigs.push_back(cfg);
+            return placeholder;
+        }
+        if (inflight.insert(k).second)
+            break;
+        // Another thread is simulating this config; wait for it.
+        cv.wait(lock);
+    }
+    lock.unlock();
+    RunResult r;
+    try {
+        r = runSimulation(cfg);
+    } catch (...) {
+        // Release the key so waiters retry (and hit the same error)
+        // instead of deadlocking on a result that will never arrive.
+        lock.lock();
+        inflight.erase(k);
+        cv.notify_all();
+        throw;
+    }
+    lock.lock();
     ++executed;
     if (verbose) {
         std::fprintf(stderr, "  [run %3d] %-40s P=%6.2fW perf=%8.3g\n",
                      executed, cfg.describe().c_str(),
                      r.totalNetworkPowerW, r.readsPerSec);
     }
-    return cache.emplace(k, std::move(r)).first->second;
+    // References into the sorted map stay valid across later inserts.
+    const RunResult &slot = cache.emplace(k, std::move(r)).first->second;
+    inflight.erase(k);
+    cv.notify_all();
+    return slot;
+}
+
+void
+Runner::beginCollect()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    memnet_assert(inflight.empty(),
+                  "beginCollect() while runs are in flight");
+    collecting = true;
+    pendingConfigs.clear();
+    pendingKeys.clear();
+}
+
+std::vector<SystemConfig>
+Runner::endCollect()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    collecting = false;
+    pendingKeys.clear();
+    return std::exchange(pendingConfigs, {});
 }
 
 double

@@ -8,8 +8,11 @@
 #ifndef MEMNET_MEMNET_EXPERIMENT_HH
 #define MEMNET_MEMNET_EXPERIMENT_HH
 
+#include <condition_variable>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,13 @@ const std::vector<std::string> &workloadNames();
  * Memoizing simulation runner. Results are cached per canonical config
  * key for the lifetime of the process, so a bench can freely re-request
  * baselines.
+ *
+ * get() is thread-safe: the ParallelRunner (memnet/parallel.hh) calls
+ * it from worker threads, which share one cache. Concurrent requests
+ * for the same config run it once — later callers block until the
+ * first finishes. Results (and the sorted iteration order of
+ * results()) are independent of thread count because every run owns
+ * its EventQueue and seeded RNGs.
  */
 class Runner
 {
@@ -52,22 +62,51 @@ class Runner
     double powerReduction(const SystemConfig &cfg);
 
     /** Runs executed so far (not counting cache hits). */
-    int runsExecuted() const { return executed; }
+    int
+    runsExecuted() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return executed;
+    }
 
     /**
      * Every cached result keyed by canonical config key (sorted map,
      * so iteration — and bench --json output — is deterministic).
+     * Not synchronized: call only while no worker threads are active.
      */
     const std::map<std::string, RunResult> &results() const
     {
         return cache;
     }
 
+    /**
+     * Sweep collection, the first pass of a `--jobs N` bench run: while
+     * collecting, get() records each distinct uncached config instead
+     * of simulating it and returns a zeroed placeholder result. The
+     * recorded list is then executed concurrently by a ParallelRunner,
+     * after which the bench body replays against the warm cache.
+     */
+    void beginCollect();
+
+    /** Stop collecting; returns the recorded configs (first-seen order). */
+    std::vector<SystemConfig> endCollect();
+
     /** Emit one progress line per fresh run to stderr. */
     bool verbose = false;
 
   private:
+    mutable std::mutex mu;
+    std::condition_variable cv;
     std::map<std::string, RunResult> cache;
+    /** Keys being simulated right now (dedups concurrent requests). */
+    std::set<std::string> inflight;
+
+    /** Collect-mode state (single-threaded first pass). */
+    bool collecting = false;
+    std::vector<SystemConfig> pendingConfigs;
+    std::set<std::string> pendingKeys;
+    RunResult placeholder;
+
     int executed = 0;
 };
 

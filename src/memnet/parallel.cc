@@ -1,0 +1,75 @@
+#include "memnet/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace memnet
+{
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    return jobs < 1 ? 1 : jobs;
+}
+
+ParallelRunner::ParallelRunner(Runner &runner, int jobs)
+    : runner_(runner), jobs_(resolveJobs(jobs))
+{
+}
+
+void
+ParallelRunner::run(const std::vector<SystemConfig> &configs)
+{
+    if (configs.empty())
+        return;
+
+    const int workers =
+        std::min<int>(jobs_, static_cast<int>(configs.size()));
+    if (workers <= 1) {
+        for (const SystemConfig &cfg : configs)
+            runner_.get(cfg);
+        return;
+    }
+
+    // Work-stealing over a shared index: configs vary wildly in cost
+    // (size class x simulated time), so static partitioning would leave
+    // workers idle behind the slowest shard.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMu;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= configs.size())
+                return;
+            try {
+                runner_.get(configs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+                // Keep draining: other indices may still be claimed by
+                // peers blocked on this key in Runner::get().
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &th : pool)
+        th.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace memnet

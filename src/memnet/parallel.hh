@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parallel sweep engine.
+ *
+ * Every figure in the paper is a sweep over independent simulations
+ * (topologies x workloads x size classes x mechanisms), yet runs used
+ * to execute strictly serially. ParallelRunner executes a batch of
+ * SystemConfigs on a thread pool, filling a shared Runner cache with
+ * results that are bit-identical to serial execution: each run owns
+ * its EventQueue and seeded RNGs, the Runner cache and the process-wide
+ * log sink are thread-safe, and Runner::results() iterates in sorted
+ * key order regardless of completion order.
+ *
+ * Sweep benches don't use this class directly — bench::BenchIo::run()
+ * drives it from the shared `--jobs N` flag (see bench/bench_common.hh)
+ * with a collect/execute/replay pass structure. memnet_run uses it for
+ * seed-replica sweeps (`--seeds K --jobs N`).
+ */
+
+#ifndef MEMNET_MEMNET_PARALLEL_HH
+#define MEMNET_MEMNET_PARALLEL_HH
+
+#include <vector>
+
+#include "memnet/experiment.hh"
+
+namespace memnet
+{
+
+/**
+ * Resolve a --jobs style request: 0 means "all hardware threads",
+ * anything else is clamped to at least 1.
+ */
+int resolveJobs(int jobs);
+
+/**
+ * Thread-pool executor over a shared memoizing Runner.
+ */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param runner shared result cache (thread-safe).
+     * @param jobs worker threads; 0 = hardware concurrency.
+     */
+    explicit ParallelRunner(Runner &runner, int jobs = 0);
+
+    /**
+     * Execute every config in @p configs, blocking until all finish.
+     * Duplicate configs (and configs already cached) are simulated only
+     * once. Worker exceptions propagate — the first one thrown is
+     * rethrown here after the pool drains.
+     */
+    void run(const std::vector<SystemConfig> &configs);
+
+    /** Worker threads this engine uses. */
+    int jobs() const { return jobs_; }
+
+  private:
+    Runner &runner_;
+    int jobs_;
+};
+
+} // namespace memnet
+
+#endif // MEMNET_MEMNET_PARALLEL_HH

@@ -47,6 +47,15 @@ printRunSummary(const RunResult &r)
                     static_cast<unsigned long long>(p.eventsScheduled),
                     p.wallSeconds, p.eventsPerSec() / 1e6,
                     p.simRate() * 1e6);
+        if (p.packetsIssued) {
+            std::printf("  packets: %llu issued, %llu pooled "
+                        "(%llu heap allocations avoided)\n",
+                        static_cast<unsigned long long>(p.packetsIssued),
+                        static_cast<unsigned long long>(
+                            p.packetHeapAllocs),
+                        static_cast<unsigned long long>(
+                            p.packetAllocsAvoided()));
+        }
     }
 }
 
@@ -189,6 +198,8 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.field("events_scheduled", r.profile.eventsScheduled);
     w.field("wall_s", r.profile.wallSeconds);
     w.field("sim_s", r.profile.simSeconds);
+    w.field("packets_issued", r.profile.packetsIssued);
+    w.field("packet_heap_allocs", r.profile.packetHeapAllocs);
     w.endObject();
 
     w.endObject();

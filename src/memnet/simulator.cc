@@ -207,6 +207,8 @@ class SimulatorImpl
         r.profile.eventsScheduled = eq.scheduledTotal();
         r.profile.wallSeconds = wall_secs;
         r.profile.simSeconds = toSeconds(eq.now());
+        r.profile.packetsIssued = proc.packetPool().acquired();
+        r.profile.packetHeapAllocs = proc.packetPool().heapAllocated();
         if (hub)
             hub->finish(eq.now());
         return r;

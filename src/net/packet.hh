@@ -17,6 +17,8 @@
 namespace memnet
 {
 
+class PacketPool;
+
 /** Bytes per flit (minimum traffic flow unit). */
 constexpr int kFlitBytes = 16;
 
@@ -42,9 +44,10 @@ isReadPacket(PacketType t)
 }
 
 /**
- * One in-flight packet. Packets are heap-allocated at issue and freed at
- * retirement; routes are walked with an index into the precomputed
- * root-to-home module path.
+ * One in-flight packet. Packets come from the issuing side's PacketPool
+ * (net/packet_pool.hh) at issue and are recycled at retirement; routes
+ * are walked with an index into the precomputed root-to-home module
+ * path.
  */
 struct Packet
 {
@@ -65,6 +68,14 @@ struct Packet
      * the root-to-home path forward; for responses, backward.
      */
     int hop = 0;
+
+    /**
+     * Pool that issued this packet (null for plain `new` packets, e.g.
+     * in unit tests). Sinks that consume packets instead of returning
+     * them to the issuer must use disposePacket() (net/packet_pool.hh),
+     * never `delete`, so pool storage is recycled rather than freed.
+     */
+    PacketPool *origin = nullptr;
 
     int bytes() const { return flits * kFlitBytes; }
 };

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace memnet
 {
@@ -42,53 +43,20 @@ compByName(const std::string &name)
     return -1;
 }
 
-} // namespace
-
-namespace detail
+/** Guards the one-time env application and spec rewrites. */
+std::mutex &
+traceConfigMutex()
 {
-
-int traceLevels[static_cast<int>(TraceComp::NumComps)] = {};
-bool traceEnvApplied = false;
-
-bool
-traceEnabledSlow(TraceComp c, int level)
-{
-    // First trace point reached: apply $MEMNET_TRACE exactly once
-    // (unless setTraceSpec() already configured us explicitly).
-    traceEnvApplied = true;
-    if (const char *env = std::getenv("MEMNET_TRACE"))
-        setTraceSpec(env);
-    return traceLevels[static_cast<int>(c)] >= level;
+    static std::mutex m;
+    return m;
 }
 
+/** Parse and apply a spec; caller holds traceConfigMutex(). */
 void
-traceEmit(TraceComp c, const std::string &msg)
+applySpecLocked(const std::string &spec)
 {
-    ::memnet::detail::logLine(LogLevel::Trace,
-                              std::string(traceCompName(c)) + ": " + msg);
-}
-
-} // namespace detail
-
-const char *
-traceCompName(TraceComp c)
-{
-    return kTraceCompNames[static_cast<int>(c)];
-}
-
-int
-traceVerbosity(TraceComp c)
-{
-    return detail::traceLevels[static_cast<int>(c)];
-}
-
-void
-setTraceSpec(const std::string &spec)
-{
-    // Explicit configuration wins over (and suppresses) the env var.
-    detail::traceEnvApplied = true;
-    for (int &l : detail::traceLevels)
-        l = 0;
+    for (auto &l : detail::traceLevels)
+        l.store(0, std::memory_order_relaxed);
 
     std::size_t pos = 0;
     while (pos <= spec.size()) {
@@ -110,8 +78,8 @@ setTraceSpec(const std::string &spec)
             level = 0;
 
         if (item == "all" || item == "ALL" || item == "All") {
-            for (int &l : detail::traceLevels)
-                l = level;
+            for (auto &l : detail::traceLevels)
+                l.store(level, std::memory_order_relaxed);
             continue;
         }
         const int c = compByName(item);
@@ -121,8 +89,66 @@ setTraceSpec(const std::string &spec)
                         "Mgmt, ISP, Workload, all)");
             continue;
         }
-        detail::traceLevels[c] = level;
+        detail::traceLevels[c].store(level, std::memory_order_relaxed);
     }
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<int> traceLevels[static_cast<int>(TraceComp::NumComps)] = {};
+std::atomic<bool> traceEnvApplied{false};
+
+bool
+traceEnabledSlow(TraceComp c, int level)
+{
+    // First trace point reached: apply $MEMNET_TRACE exactly once
+    // (unless setTraceSpec() already configured us explicitly). The
+    // mutex makes concurrent first trace points from parallel sweep
+    // workers apply the env exactly once.
+    {
+        std::lock_guard<std::mutex> lock(traceConfigMutex());
+        if (!traceEnvApplied.load(std::memory_order_relaxed)) {
+            if (const char *env = std::getenv("MEMNET_TRACE"))
+                applySpecLocked(env);
+            traceEnvApplied.store(true, std::memory_order_release);
+        }
+    }
+    return traceLevels[static_cast<int>(c)].load(
+               std::memory_order_relaxed) >= level;
+}
+
+void
+traceEmit(TraceComp c, const std::string &msg)
+{
+    ::memnet::detail::logLine(LogLevel::Trace,
+                              std::string(traceCompName(c)) + ": " + msg);
+}
+
+} // namespace detail
+
+const char *
+traceCompName(TraceComp c)
+{
+    return kTraceCompNames[static_cast<int>(c)];
+}
+
+int
+traceVerbosity(TraceComp c)
+{
+    return detail::traceLevels[static_cast<int>(c)].load(
+        std::memory_order_relaxed);
+}
+
+void
+setTraceSpec(const std::string &spec)
+{
+    // Explicit configuration wins over (and suppresses) the env var.
+    std::lock_guard<std::mutex> lock(traceConfigMutex());
+    detail::traceEnvApplied.store(true, std::memory_order_release);
+    applySpecLocked(spec);
 }
 
 } // namespace obs

@@ -29,6 +29,8 @@
 #ifndef MEMNET_OBS_DEBUG_TRACE_HH
 #define MEMNET_OBS_DEBUG_TRACE_HH
 
+#include <atomic>
+
 #include "sim/log.hh"
 
 #ifndef MEMNET_DEBUG_TRACE
@@ -71,15 +73,22 @@ namespace detail
 /** Lazily applies $MEMNET_TRACE once, then answers the level check. */
 bool traceEnabledSlow(TraceComp c, int level);
 
-extern int traceLevels[static_cast<int>(TraceComp::NumComps)];
-extern bool traceEnvApplied;
+/**
+ * Levels are atomics so parallel sweep workers can hit trace points
+ * while another thread performs the one-time $MEMNET_TRACE application
+ * (or a harness flips a component) without a data race; the disabled
+ * fast path stays a single relaxed load.
+ */
+extern std::atomic<int> traceLevels[static_cast<int>(TraceComp::NumComps)];
+extern std::atomic<bool> traceEnvApplied;
 
 inline bool
 traceEnabled(TraceComp c, int level)
 {
-    if (!traceEnvApplied)
+    if (!traceEnvApplied.load(std::memory_order_acquire))
         return traceEnabledSlow(c, level);
-    return traceLevels[static_cast<int>(c)] >= level;
+    return traceLevels[static_cast<int>(c)].load(
+               std::memory_order_relaxed) >= level;
 }
 
 void traceEmit(TraceComp c, const std::string &msg);

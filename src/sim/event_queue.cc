@@ -5,10 +5,18 @@ namespace memnet
 
 EventQueue::~EventQueue()
 {
-    // Drain the heap, deleting any still-pending one-shot events would
-    // require ownership knowledge we don't have; components own their
-    // events, so simply drop the entries. OneShotEvents that never fired
-    // are deliberately leaked only at process teardown of failed runs.
+    // Components own their re-armable events, and nothing ties their
+    // lifetime to the queue's — an owner may already be destroyed by the
+    // time the queue goes down, so pending entries must not be
+    // dereferenced here. One-shot callables scheduled via
+    // schedule(Tick, F) are the queue's own; their flag was snapshotted
+    // into the heap entry at schedule time, so they can be reclaimed
+    // without reading any foreign Event. (The old lazy-deletion queue
+    // had to leak them.)
+    for (const Entry &e : heap) {
+        if (e.oneShot)
+            delete e.ev;
+    }
 }
 
 std::uint64_t
@@ -16,20 +24,13 @@ EventQueue::runUntil(Tick limit)
 {
     std::uint64_t n = 0;
     while (!heap.empty()) {
-        const Entry top = heap.top();
-        Event *ev = top.ev;
-        // Stale entry: descheduled or rescheduled since it was pushed.
-        if (!ev->_scheduled || ev->_seq != top.seq) {
-            heap.pop();
-            continue;
-        }
-        if (top.when > limit)
+        Event *ev = heap.front().ev;
+        if (ev->_when > limit)
             break;
-        heap.pop();
-        memnet_assert(top.when >= _now, "time went backwards");
-        _now = top.when;
+        memnet_assert(ev->_when >= _now, "time went backwards");
+        removeAt(0);
+        _now = ev->_when;
         ev->_scheduled = false;
-        --_pending;
         ++_fired;
         ++n;
         ev->fire();

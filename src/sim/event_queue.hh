@@ -8,13 +8,22 @@
  *
  * Events at the same tick fire in scheduling order (FIFO), which keeps
  * runs deterministic for a fixed seed.
+ *
+ * The queue is an intrusive indexed d-ary heap (d = 4): each scheduled
+ * Event carries its own heap slot, so deschedule() and reschedule() are
+ * true O(log n) removals/rekeys instead of lazy squashes. There are no
+ * stale heap entries — reschedule-heavy runs (link sleep timers, core
+ * issue events) no longer grow the heap with dead weight, and the pop
+ * path never filters. A 4-ary layout keeps the sift paths short and the
+ * child scans within one cache line of pointers.
  */
 
 #ifndef MEMNET_SIM_EVENT_QUEUE_HH
 #define MEMNET_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -44,12 +53,23 @@ class Event
     /** @return the tick this event is (or was last) scheduled for. */
     Tick when() const { return _when; }
 
+  protected:
+    /**
+     * See OneShotEvent. The flag is snapshotted into the heap entry at
+     * schedule time, so queue teardown can reclaim pending one-shots
+     * without dereferencing component-owned events (whose owners may be
+     * destroyed before the queue).
+     */
+    bool _oneShot = false;
+
   private:
     friend class EventQueue;
 
     bool _scheduled = false;
     Tick _when = kTickInvalid;
     std::uint64_t _seq = 0;
+    /** Slot in the owning queue's heap while scheduled. */
+    std::size_t _slot = 0;
 };
 
 /** Event wrapping an arbitrary callable; fires once then deletes itself. */
@@ -57,7 +77,7 @@ template <typename F>
 class OneShotEvent : public Event
 {
   public:
-    explicit OneShotEvent(F f) : func(std::move(f)) {}
+    explicit OneShotEvent(F f) : func(std::move(f)) { _oneShot = true; }
 
     void
     fire() override
@@ -112,8 +132,9 @@ class EventQueue
         ev->_scheduled = true;
         ev->_when = when;
         ev->_seq = nextSeq++;
-        heap.push(Entry{when, ev->_seq, ev});
-        ++_pending;
+        ev->_slot = heap.size();
+        heap.push_back({ev, ev->_oneShot});
+        siftUp(ev->_slot);
         ++_scheduledTotal;
     }
 
@@ -127,26 +148,43 @@ class EventQueue
     }
 
     /**
-     * Remove a scheduled event from the queue. The heap entry is lazily
-     * discarded (stale entries are detected by sequence number); the event
-     * object must outlive its stale entries, so components should own
-     * their events for the duration of the run.
+     * Remove a scheduled event from the queue in O(log n). The heap slot
+     * is vacated immediately; the event can be destroyed or rescheduled
+     * freely afterwards.
      */
     void
     deschedule(Event *ev)
     {
         memnet_assert(ev->_scheduled, "descheduling unscheduled event");
+        removeAt(ev->_slot);
         ev->_scheduled = false;
-        --_pending;
     }
 
-    /** Convenience: (re)schedule, descheduling first if needed. */
+    /**
+     * (Re)schedule, descheduling first if needed. A scheduled event is
+     * rekeyed in place — one sift instead of a remove plus an insert.
+     * Keeps the legacy FIFO contract: the move consumes a fresh sequence
+     * number, exactly as deschedule()+schedule() always did.
+     */
     void
     reschedule(Event *ev, Tick when)
     {
-        if (ev->_scheduled)
-            deschedule(ev);
-        schedule(ev, when);
+        if (!ev->_scheduled) {
+            schedule(ev, when);
+            return;
+        }
+        memnet_assert(when >= _now,
+                      "event scheduled in the past: ", when, " < ", _now);
+        const Tick old = ev->_when;
+        ev->_when = when;
+        ev->_seq = nextSeq++;
+        ++_scheduledTotal;
+        // The sequence number grew, so an equal-tick rekey still moves
+        // the event after its same-tick peers — sift down covers it.
+        if (when < old)
+            siftUp(ev->_slot);
+        else
+            siftDown(ev->_slot);
     }
 
     /**
@@ -159,8 +197,8 @@ class EventQueue
     /** Run everything. */
     std::uint64_t run() { return runUntil(kTickMax); }
 
-    /** Number of live (non-squashed) scheduled events. */
-    std::uint64_t pending() const { return _pending; }
+    /** Number of scheduled events. */
+    std::uint64_t pending() const { return heap.size(); }
 
     /** Total number of events ever fired. */
     std::uint64_t fired() const { return _fired; }
@@ -169,24 +207,89 @@ class EventQueue
     std::uint64_t scheduledTotal() const { return _scheduledTotal; }
 
   private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq;
-        Event *ev;
+    /** Children per heap node. */
+    static constexpr std::size_t kAry = 4;
 
-        bool
-        operator>(const Entry &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+    /**
+     * Heap entry. Carries the owning-ness flag alongside the pointer so
+     * ~EventQueue can reclaim pending one-shots without reading any
+     * Event whose component owner may already be gone.
+     */
+    struct Entry {
+        Event *ev;
+        bool oneShot;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-        heap;
+    /** Strict heap order: earlier tick first, FIFO within a tick. */
+    static bool
+    before(const Event *a, const Event *b)
+    {
+        return a->_when != b->_when ? a->_when < b->_when
+                                    : a->_seq < b->_seq;
+    }
+
+    void
+    place(const Entry &e, std::size_t slot)
+    {
+        heap[slot] = e;
+        e.ev->_slot = slot;
+    }
+
+    void
+    siftUp(std::size_t slot)
+    {
+        const Entry e = heap[slot];
+        while (slot > 0) {
+            const std::size_t parent = (slot - 1) / kAry;
+            if (!before(e.ev, heap[parent].ev))
+                break;
+            place(heap[parent], slot);
+            slot = parent;
+        }
+        place(e, slot);
+    }
+
+    void
+    siftDown(std::size_t slot)
+    {
+        const Entry e = heap[slot];
+        const std::size_t n = heap.size();
+        for (;;) {
+            const std::size_t first = slot * kAry + 1;
+            if (first >= n)
+                break;
+            std::size_t best = first;
+            const std::size_t last = std::min(first + kAry, n);
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (before(heap[c].ev, heap[best].ev))
+                    best = c;
+            }
+            if (!before(heap[best].ev, e.ev))
+                break;
+            place(heap[best], slot);
+            slot = best;
+        }
+        place(e, slot);
+    }
+
+    /** Vacate @p slot, restoring heap order around the moved filler. */
+    void
+    removeAt(std::size_t slot)
+    {
+        const Entry filler = heap.back();
+        heap.pop_back();
+        if (slot == heap.size())
+            return; // removed the tail entry
+        place(filler, slot);
+        if (slot > 0 && before(filler.ev, heap[(slot - 1) / kAry].ev))
+            siftUp(slot);
+        else
+            siftDown(slot);
+    }
+
+    std::vector<Entry> heap;
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
-    std::uint64_t _pending = 0;
     std::uint64_t _fired = 0;
     std::uint64_t _scheduledTotal = 0;
 };

@@ -1,5 +1,6 @@
 #include "sim/log.hh"
 
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +12,19 @@ namespace
 
 /** Active sink for non-fatal lines; empty means "default stderr". */
 LogSink activeSink;
+
+/**
+ * Serializes sink replacement and delivery so concurrent simulation
+ * runs (ParallelRunner workers) can't interleave lines or race a
+ * replacement mid-call. Recursive so a sink that itself warns (e.g. a
+ * capturing harness hitting an unexpected condition) doesn't deadlock.
+ */
+std::recursive_mutex &
+logMutex()
+{
+    static std::recursive_mutex m;
+    return m;
+}
 
 } // namespace
 
@@ -31,6 +45,7 @@ logLevelName(LogLevel level)
 LogSink
 setLogSink(LogSink sink)
 {
+    std::lock_guard<std::recursive_mutex> lock(logMutex());
     LogSink prev = std::move(activeSink);
     activeSink = std::move(sink);
     return prev;
@@ -78,6 +93,9 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 logLine(LogLevel level, const std::string &msg)
 {
+    // Delivery happens under the lock: a sink is never invoked
+    // concurrently with itself or with its own replacement.
+    std::lock_guard<std::recursive_mutex> lock(logMutex());
     if (activeSink) {
         activeSink(level, msg);
         return;

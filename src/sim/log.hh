@@ -9,6 +9,12 @@
  * Non-fatal output (warn/inform, and the obs debug-trace lines) is
  * routed through a replaceable LogSink so harnesses can capture and
  * assert on it; the default sink writes to stderr.
+ *
+ * Sink replacement and line delivery are serialized by one process-wide
+ * mutex, so concurrent simulation runs (see memnet/parallel.hh) neither
+ * interleave within a line nor race a setLogSink() call. A sink
+ * installed for a parallel sweep must itself tolerate being called from
+ * worker threads.
  */
 
 #ifndef MEMNET_SIM_LOG_HH

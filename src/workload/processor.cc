@@ -121,7 +121,7 @@ Processor::issueFrom(Core &c)
         frac * static_cast<double>(profile.footprintBytes()));
     addr &= ~std::uint64_t{63};
 
-    Packet *pkt = new Packet;
+    Packet *pkt = pool.acquire();
     pkt->id = nextPktId++;
     pkt->type = is_read ? PacketType::ReadReq : PacketType::WriteReq;
     pkt->addr = addr;
@@ -171,7 +171,7 @@ Processor::readCompleted(Packet *pkt, Tick now)
     lastReadCompletion = now;
     ++nReads;
     readLat.sample(toSeconds(now - pkt->issued) * 1e9);
-    delete pkt;
+    pool.release(pkt);
     if (c.stalledOnReads) {
         c.stalledOnReads = false;
         eq.reschedule(&c.issueEvent, now);
@@ -184,7 +184,7 @@ Processor::writeRetired(Packet *pkt, Tick now)
     Core &c = *cores[pkt->core];
     --c.outstandingWrites;
     ++nWrites;
-    delete pkt;
+    pool.release(pkt);
     if (c.stalledOnWrites) {
         c.stalledOnWrites = false;
         eq.reschedule(&c.issueEvent, now);

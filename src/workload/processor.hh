@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "net/packet_pool.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -82,6 +83,9 @@ class Processor : public EndpointHost
     /** Reads in flight across all cores (watchdog/diagnostics). */
     int outstandingReads() const { return pendingReads; }
 
+    /** Packet freelist (profiling: pool reuse vs heap traffic). */
+    const PacketPool &packetPool() const { return pool; }
+
   private:
     struct Core;
 
@@ -94,6 +98,9 @@ class Processor : public EndpointHost
     const ProcessorParams params;
 
     std::vector<std::unique_ptr<Core>> cores;
+
+    /** Issue-side packet freelist; completions recycle into it. */
+    PacketPool pool;
 
     double targetRate = 0.0;
     /** Mean issue gap during a burst, in ticks. */

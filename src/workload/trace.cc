@@ -133,7 +133,7 @@ TracePlayer::injectNext()
     while (next < trace_.size() &&
            origin + trace_[next].when <= now) {
         const TraceRecord &r = trace_[next];
-        Packet *pkt = new Packet;
+        Packet *pkt = pool.acquire();
         pkt->id = next;
         pkt->type =
             r.isRead ? PacketType::ReadReq : PacketType::WriteReq;
@@ -154,14 +154,14 @@ TracePlayer::readCompleted(Packet *pkt, Tick now)
 {
     ++nReads;
     readLat.sample(toSeconds(now - pkt->issued) * 1e9);
-    delete pkt;
+    pool.release(pkt);
 }
 
 void
 TracePlayer::writeRetired(Packet *pkt, Tick now)
 {
     ++nWrites;
-    delete pkt;
+    pool.release(pkt);
 }
 
 } // namespace memnet

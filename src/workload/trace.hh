@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "net/packet_pool.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "workload/profile.hh"
@@ -85,6 +86,9 @@ class TracePlayer : public EndpointHost
     std::uint64_t retiredWrites() const { return nWrites; }
     double avgReadLatencyNs() const { return readLat.mean(); }
 
+    /** Packet freelist (profiling: pool reuse vs heap traffic). */
+    const PacketPool &packetPool() const { return pool; }
+
     /** True once every trace record has been injected and retired. */
     bool
     drained() const
@@ -99,6 +103,7 @@ class TracePlayer : public EndpointHost
     EventQueue &eq;
     Network &net;
     std::vector<TraceRecord> trace_;
+    PacketPool pool;
     std::size_t next = 0;
     std::size_t injected = 0;
     Tick origin = 0;

@@ -53,6 +53,46 @@ TEST(Runner, KeyDistinguishesConfigs)
     EXPECT_NE(Runner::key(a), Runner::key(b));
 }
 
+TEST(Runner, KeySeparatesAwareFields)
+{
+    // The aware block is ','-separated so that a multi-digit
+    // ispIterations can never absorb an adjacent flag digit: with the
+    // values streamed back to back, {isp=11, cd=0} and {isp=1, cd=1}
+    // would both start "110...".
+    SystemConfig a = tinyConfig();
+    a.policy = Policy::Aware;
+    a.aware.ispIterations = 11;
+    a.aware.congestionDiscount = false;
+    a.aware.wakeCoordination = false;
+    a.aware.grantPool = false;
+
+    SystemConfig b = a;
+    b.aware.ispIterations = 1;
+    b.aware.congestionDiscount = true;
+    EXPECT_NE(Runner::key(a), Runner::key(b));
+
+    const std::string k = Runner::key(a);
+    EXPECT_NE(k.find("11,0,0,0"), std::string::npos) << k;
+
+    // Every aware field participates in the key.
+    for (auto mutate : {+[](SystemConfig &c) { c.aware.ispIterations++; },
+                        +[](SystemConfig &c) {
+                            c.aware.congestionDiscount =
+                                !c.aware.congestionDiscount;
+                        },
+                        +[](SystemConfig &c) {
+                            c.aware.wakeCoordination =
+                                !c.aware.wakeCoordination;
+                        },
+                        +[](SystemConfig &c) {
+                            c.aware.grantPool = !c.aware.grantPool;
+                        }}) {
+        SystemConfig m = a;
+        mutate(m);
+        EXPECT_NE(Runner::key(a), Runner::key(m));
+    }
+}
+
 TEST(Runner, FullPowerBaselineStripsManagement)
 {
     SystemConfig cfg = tinyConfig();

@@ -317,7 +317,7 @@ struct BlackHole : public TrafficTarget
     void
     inject(Packet *pkt) override
     {
-        delete pkt;
+        disposePacket(pkt); // pkt came from the processor's pool
     }
 };
 

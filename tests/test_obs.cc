@@ -174,12 +174,18 @@ class ObsRunTest : public ::testing::Test
     void
     SetUp() override
     {
-        const std::string dir = ::testing::TempDir();
+        // Tag paths with the test name: under `ctest -j N` each TEST_F
+        // is its own process, and fixed names in the shared TempDir
+        // would let concurrent tests clobber each other's files.
+        const std::string dir =
+            ::testing::TempDir() + "obs_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()
+                ->name() + "_";
         cfg = obsConfig();
-        cfg.obs.statsJsonPath = dir + "obs_stats.json";
-        cfg.obs.statsCsvPath = dir + "obs_stats.csv";
-        cfg.obs.epochJsonlPath = dir + "obs_epochs.jsonl";
-        cfg.obs.chromeTracePath = dir + "obs_trace.json";
+        cfg.obs.statsJsonPath = dir + "stats.json";
+        cfg.obs.statsCsvPath = dir + "stats.csv";
+        cfg.obs.epochJsonlPath = dir + "epochs.jsonl";
+        cfg.obs.chromeTracePath = dir + "trace.json";
         result = runSimulation(cfg);
     }
 

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: bit-identical results versus
+ * serial execution, concurrent cache deduplication, collect mode, and
+ * thread-safe logging under worker contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "memnet/experiment.hh"
+#include "memnet/parallel.hh"
+#include "memnet/report.hh"
+#include "sim/log.hh"
+
+namespace memnet
+{
+namespace
+{
+
+/** A small but heterogeneous sweep (3 workloads x 2 topologies). */
+std::vector<SystemConfig>
+sweepConfigs()
+{
+    std::vector<SystemConfig> v;
+    for (const char *wl : {"mixA", "mixB", "mixE"}) {
+        for (TopologyKind topo :
+             {TopologyKind::Star, TopologyKind::DaisyChain}) {
+            SystemConfig cfg;
+            cfg.workload = wl;
+            cfg.topology = topo;
+            cfg.policy = Policy::Unaware;
+            cfg.mechanism = BwMechanism::Vwl;
+            cfg.warmup = us(10);
+            cfg.measure = us(50);
+            v.push_back(cfg);
+        }
+    }
+    return v;
+}
+
+/**
+ * Full bench JSON with wall_s (the one documented nondeterministic
+ * field) masked out, so byte comparison checks everything else.
+ */
+std::string
+jsonWithoutWallClock(const Runner &runner)
+{
+    std::ostringstream os;
+    writeBenchResultsJson(os, "parallel_test", runner.results());
+    return std::regex_replace(os.str(),
+                              std::regex("\"wall_s\":[^,}]+"),
+                              "\"wall_s\":0");
+}
+
+TEST(ResolveJobs, ClampsAndExpandsZero)
+{
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_EQ(resolveJobs(-3), 1);
+    EXPECT_EQ(resolveJobs(1), 1);
+    EXPECT_EQ(resolveJobs(7), 7);
+}
+
+TEST(ParallelRunner, MatchesSerialByteForByte)
+{
+    const std::vector<SystemConfig> configs = sweepConfigs();
+
+    Runner serial;
+    for (const SystemConfig &cfg : configs)
+        serial.get(cfg);
+
+    Runner parallel;
+    ParallelRunner(parallel, 8).run(configs);
+
+    EXPECT_EQ(serial.runsExecuted(), parallel.runsExecuted());
+    EXPECT_EQ(jsonWithoutWallClock(serial),
+              jsonWithoutWallClock(parallel));
+}
+
+TEST(ParallelRunner, DeduplicatesRepeatedConfigs)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.warmup = us(10);
+    cfg.measure = us(50);
+
+    std::vector<SystemConfig> batch(16, cfg);
+    Runner runner;
+    ParallelRunner(runner, 8).run(batch);
+    EXPECT_EQ(runner.runsExecuted(), 1);
+    EXPECT_EQ(runner.results().size(), 1u);
+}
+
+TEST(Runner, ConcurrentSameConfigRunsOnce)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixA";
+    cfg.warmup = us(10);
+    cfg.measure = us(50);
+
+    Runner runner;
+    std::vector<const RunResult *> seen(8, nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back(
+            [&runner, &cfg, &seen, t] { seen[t] = &runner.get(cfg); });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(runner.runsExecuted(), 1);
+    for (const RunResult *r : seen)
+        EXPECT_EQ(r, seen[0]); // all callers share the cached slot
+}
+
+TEST(Runner, CollectModeRecordsInsteadOfRunning)
+{
+    const std::vector<SystemConfig> configs = sweepConfigs();
+
+    Runner runner;
+    runner.beginCollect();
+    for (const SystemConfig &cfg : configs) {
+        const RunResult &r = runner.get(cfg);
+        EXPECT_EQ(r.completedReads, 0u); // zeroed placeholder
+    }
+    runner.get(configs.front()); // duplicate: must not record twice
+    const std::vector<SystemConfig> pending = runner.endCollect();
+
+    EXPECT_EQ(pending.size(), configs.size());
+    EXPECT_EQ(runner.runsExecuted(), 0);
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        EXPECT_EQ(Runner::key(pending[i]), Runner::key(configs[i]));
+
+    // Replays after the parallel pass hit the warm cache.
+    ParallelRunner(runner, 4).run(pending);
+    EXPECT_EQ(runner.runsExecuted(),
+              static_cast<int>(configs.size()));
+    const RunResult &real = runner.get(configs.front());
+    EXPECT_GT(real.completedReads, 0u);
+    EXPECT_EQ(runner.runsExecuted(),
+              static_cast<int>(configs.size()));
+}
+
+TEST(Runner, CollectedConfigsAreSkippedWhenAlreadyCached)
+{
+    const std::vector<SystemConfig> configs = sweepConfigs();
+
+    Runner runner;
+    runner.get(configs.front()); // pre-warm one config
+
+    runner.beginCollect();
+    for (const SystemConfig &cfg : configs)
+        runner.get(cfg);
+    const std::vector<SystemConfig> pending = runner.endCollect();
+    EXPECT_EQ(pending.size(), configs.size() - 1);
+}
+
+TEST(LogSink, ConcurrentWarningsStayIntact)
+{
+    std::vector<std::string> lines;
+    LogSink prev = setLogSink(
+        // Deliberately unsynchronized: delivery itself must serialize.
+        [&lines](LogLevel, const std::string &msg) {
+            lines.push_back(msg);
+        });
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i)
+                memnet_warn("thread ", t, " line ", i, " end");
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    setLogSink(std::move(prev));
+
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    const std::regex shape("thread [0-7] line [0-9]+ end");
+    for (const std::string &l : lines)
+        EXPECT_TRUE(std::regex_match(l, shape)) << "mangled: " << l;
+}
+
+} // namespace
+} // namespace memnet
