@@ -21,6 +21,7 @@
  *   --jobs <n>             threads for the seed sweep
  *                          (0 = all hardware threads)    [1]
  *   --fer <p>              flit error rate (CRC retry)   [0]
+ *   --audit                run the invariant auditor     [Debug: always]
  *   --report <list>        summary,power,modules,links   [summary]
  *
  * With --seeds k > 1 the run is replicated over seeds seed..seed+k-1
@@ -151,6 +152,8 @@ main(int argc, char **argv)
             cfg.linkFlitErrorRate = std::atof(need(i).c_str());
         } else if (a == "--interleave") {
             cfg.interleavePages = true;
+        } else if (a == "--audit") {
+            cfg.audit = true;
         } else if (a == "--report") {
             report = need(i);
         } else if (a == "--stats-json") {

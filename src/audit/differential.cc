@@ -1,0 +1,160 @@
+#include "audit/differential.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace memnet
+{
+namespace audit
+{
+
+namespace
+{
+
+class Differ
+{
+  public:
+    explicit Differ(const DiffOptions &opts) : opts(opts) {}
+
+    void
+    field(const std::string &name, double a, double b)
+    {
+        if (opts.relTol <= 0.0) {
+            if (a == b)
+                return;
+        } else {
+            const double scale =
+                std::max(std::fabs(a), std::fabs(b));
+            if (std::fabs(a - b) <= opts.relTol * scale)
+                return;
+        }
+        out.push_back(DiffEntry{name, a, b});
+    }
+
+    void
+    field(const std::string &name, std::uint64_t a, std::uint64_t b)
+    {
+        if (a != b)
+            out.push_back(DiffEntry{name, static_cast<double>(a),
+                                    static_cast<double>(b)});
+    }
+
+    std::vector<DiffEntry> take() { return std::move(out); }
+
+  private:
+    const DiffOptions opts;
+    std::vector<DiffEntry> out;
+};
+
+void
+diffPower(Differ &d, const std::string &prefix, const PowerBreakdown &a,
+          const PowerBreakdown &b)
+{
+    d.field(prefix + ".idleIoW", a.idleIoW, b.idleIoW);
+    d.field(prefix + ".activeIoW", a.activeIoW, b.activeIoW);
+    d.field(prefix + ".logicLeakW", a.logicLeakW, b.logicLeakW);
+    d.field(prefix + ".logicDynW", a.logicDynW, b.logicDynW);
+    d.field(prefix + ".dramLeakW", a.dramLeakW, b.dramLeakW);
+    d.field(prefix + ".dramDynW", a.dramDynW, b.dramDynW);
+}
+
+} // namespace
+
+std::vector<DiffEntry>
+diffRunResults(const RunResult &a, const RunResult &b,
+               const DiffOptions &opts)
+{
+    Differ d(opts);
+    d.field("numModules", static_cast<std::uint64_t>(a.numModules),
+            static_cast<std::uint64_t>(b.numModules));
+    diffPower(d, "perHmc", a.perHmc, b.perHmc);
+    d.field("totalNetworkPowerW", a.totalNetworkPowerW,
+            b.totalNetworkPowerW);
+    d.field("idleIoFrac", a.idleIoFrac, b.idleIoFrac);
+    d.field("readsPerSec", a.readsPerSec, b.readsPerSec);
+    d.field("avgReadLatencyNs", a.avgReadLatencyNs, b.avgReadLatencyNs);
+    d.field("channelUtil", a.channelUtil, b.channelUtil);
+    d.field("avgLinkUtil", a.avgLinkUtil, b.avgLinkUtil);
+    d.field("avgModulesTraversed", a.avgModulesTraversed,
+            b.avgModulesTraversed);
+    d.field("completedReads", a.completedReads, b.completedReads);
+    d.field("violations", a.violations, b.violations);
+    d.field("eventsFired", a.eventsFired, b.eventsFired);
+
+    d.field("reliability.retries", a.reliability.retries,
+            b.reliability.retries);
+    d.field("reliability.replays", a.reliability.replays,
+            b.reliability.replays);
+    d.field("reliability.retrains", a.reliability.retrains,
+            b.reliability.retrains);
+    d.field("reliability.retrainSeconds", a.reliability.retrainSeconds,
+            b.reliability.retrainSeconds);
+    d.field("reliability.degradedSeconds",
+            a.reliability.degradedSeconds,
+            b.reliability.degradedSeconds);
+    d.field("reliability.faultEvents", a.reliability.faultEvents,
+            b.reliability.faultEvents);
+
+    for (int u = 0; u < kUtilBuckets; ++u) {
+        for (int l = 0; l < kLaneModes; ++l) {
+            std::ostringstream name;
+            name << "linkHours[" << u << "][" << l << "]";
+            d.field(name.str(), a.linkHours[u][l], b.linkHours[u][l]);
+        }
+    }
+
+    d.field("modules.size",
+            static_cast<std::uint64_t>(a.modules.size()),
+            static_cast<std::uint64_t>(b.modules.size()));
+    const std::size_t n = std::min(a.modules.size(), b.modules.size());
+    for (std::size_t m = 0; m < n; ++m) {
+        const ModuleDetail &ma = a.modules[m];
+        const ModuleDetail &mb = b.modules[m];
+        std::ostringstream p;
+        p << "modules[" << m << "]";
+        d.field(p.str() + ".dramAccesses", ma.dramAccesses,
+                mb.dramAccesses);
+        d.field(p.str() + ".flitsRouted", ma.flitsRouted,
+                mb.flitsRouted);
+        d.field(p.str() + ".requestLinkUtil", ma.requestLinkUtil,
+                mb.requestLinkUtil);
+        d.field(p.str() + ".responseLinkUtil", ma.responseLinkUtil,
+                mb.responseLinkUtil);
+        d.field(p.str() + ".requestLinkPowerFrac",
+                ma.requestLinkPowerFrac, mb.requestLinkPowerFrac);
+        d.field(p.str() + ".responseLinkPowerFrac",
+                ma.responseLinkPowerFrac, mb.responseLinkPowerFrac);
+    }
+    return d.take();
+}
+
+std::vector<DiffEntry>
+diffMultiVsSingle(const MultiChannelResult &mc, const RunResult &r,
+                  const DiffOptions &opts)
+{
+    Differ d(opts);
+    d.field("totalModules",
+            static_cast<std::uint64_t>(mc.totalModules),
+            static_cast<std::uint64_t>(r.numModules));
+    d.field("totalPowerW", mc.totalPowerW, r.totalNetworkPowerW);
+    d.field("readsPerSec", mc.readsPerSec, r.readsPerSec);
+    d.field("idleIoFrac", mc.idleIoFrac, r.idleIoFrac);
+    if (!mc.channelUtil.empty())
+        d.field("channelUtil", mc.channelUtil[0], r.channelUtil);
+    return d.take();
+}
+
+std::string
+describeDiffs(const std::vector<DiffEntry> &diffs)
+{
+    if (diffs.empty())
+        return "";
+    std::ostringstream os;
+    os.precision(17);
+    for (const DiffEntry &e : diffs)
+        os << e.field << ": " << e.a << " != " << e.b << "\n";
+    return os.str();
+}
+
+} // namespace audit
+} // namespace memnet

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Differential consistency helpers: field-by-field comparison of runs
+ * that must agree (the "bit-identical" claims the repo makes in prose,
+ * turned into checks).
+ *
+ * Equivalences enforced by tests/test_differential.cc and the CI
+ * differential job:
+ *  - runMultiChannel(channels=1) vs the single-network Simulator;
+ *  - obs-on vs obs-off;
+ *  - audit-on vs audit-off;
+ *  - parallel (--jobs N) vs serial sweeps.
+ *
+ * Only simulation-determined outputs are compared; the wall-clock /
+ * event-throughput profile legitimately differs between equivalent
+ * runs and is excluded.
+ */
+
+#ifndef MEMNET_AUDIT_DIFFERENTIAL_HH
+#define MEMNET_AUDIT_DIFFERENTIAL_HH
+
+#include <string>
+#include <vector>
+
+#include "memnet/config.hh"
+#include "memnet/multichannel.hh"
+
+namespace memnet
+{
+namespace audit
+{
+
+/** One mismatching field between two runs expected to agree. */
+struct DiffEntry
+{
+    std::string field;
+    double a = 0.0;
+    double b = 0.0;
+};
+
+struct DiffOptions
+{
+    /** 0 = exact equality expected (the default: bit-identical runs). */
+    double relTol = 0.0;
+};
+
+/**
+ * Compare every simulation-determined field of two RunResults.
+ * @return the mismatches (empty when the runs agree).
+ */
+std::vector<DiffEntry> diffRunResults(const RunResult &a,
+                                      const RunResult &b,
+                                      const DiffOptions &opts = {});
+
+/**
+ * Compare a 1-channel multi-channel result against the single-network
+ * simulator result for the same SystemConfig.
+ */
+std::vector<DiffEntry> diffMultiVsSingle(const MultiChannelResult &mc,
+                                         const RunResult &r,
+                                         const DiffOptions &opts = {});
+
+/** Render a diff list for assertion messages ("" when empty). */
+std::string describeDiffs(const std::vector<DiffEntry> &diffs);
+
+} // namespace audit
+} // namespace memnet
+
+#endif // MEMNET_AUDIT_DIFFERENTIAL_HH

@@ -119,6 +119,15 @@ struct SystemConfig
      */
     ObsOptions obs;
 
+    /**
+     * Run the runtime invariant auditor (src/audit) even in Release
+     * builds. Debug builds always audit; the MEMNET_AUDIT environment
+     * variable is a third opt-in path. Auditing is purely observational
+     * — results are bit-identical with it on or off — so, like obs, it
+     * is never part of Runner's memoization key.
+     */
+    bool audit = false;
+
     /** Bytes of address space served by one module. */
     std::uint64_t
     chunkBytes() const
@@ -195,6 +204,9 @@ struct RunProfile
     std::uint64_t packetsIssued = 0;
     /** Packets actually heap-allocated (the pool's high-water mark). */
     std::uint64_t packetHeapAllocs = 0;
+
+    /** Invariant checks the runtime auditor ran (0 = auditing off). */
+    std::uint64_t auditChecksRun = 0;
 
     /** Heap allocations the packet freelist avoided. */
     std::uint64_t

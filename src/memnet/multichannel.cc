@@ -1,9 +1,10 @@
 #include "memnet/multichannel.hh"
 
-#include <algorithm>
 #include <memory>
 
+#include "audit/audit.hh"
 #include "dram/dram_params.hh"
+#include "memnet/simulator.hh"
 #include "mgmt/aware.hh"
 #include "mgmt/manager.hh"
 #include "mgmt/static_taper.hh"
@@ -22,6 +23,49 @@ channelSpreadName(ChannelSpread s)
                                                : "partition";
 }
 
+ChannelRemap::ChannelRemap(int channels, ChannelSpread spread,
+                           std::uint64_t total_bytes)
+    : channels(channels), spread(spread), totalBytes(total_bytes)
+{
+    memnet_assert(channels >= 1, "need at least one channel");
+    partBytes = (total_bytes + channels - 1) / channels;
+    // Keep partitions line-aligned. partBytes * channels >= totalBytes
+    // holds before and after rounding up, so every in-range address
+    // lands in a valid channel without clamping.
+    partBytes = (partBytes + 63) & ~std::uint64_t{63};
+}
+
+ChannelRemap::Target
+ChannelRemap::map(std::uint64_t addr) const
+{
+    memnet_assert(addr < totalBytes, "address ", addr,
+                  " outside the ", totalBytes, "-byte footprint");
+    Target t;
+    if (spread == ChannelSpread::InterleaveLines) {
+        const std::uint64_t line = addr / 64;
+        t.channel = static_cast<int>(line % channels);
+        t.local = (line / channels) * 64 + addr % 64;
+    } else {
+        t.channel = static_cast<int>(addr / partBytes);
+        t.local = addr - static_cast<std::uint64_t>(t.channel) *
+                             partBytes;
+    }
+    return t;
+}
+
+std::uint64_t
+ChannelRemap::unmap(int channel, std::uint64_t local) const
+{
+    memnet_assert(channel >= 0 && channel < channels,
+                  "channel ", channel, " out of range");
+    if (spread == ChannelSpread::InterleaveLines) {
+        const std::uint64_t line =
+            (local / 64) * channels + channel;
+        return line * 64 + local % 64;
+    }
+    return static_cast<std::uint64_t>(channel) * partBytes + local;
+}
+
 namespace
 {
 
@@ -32,35 +76,23 @@ class ChannelSwitch : public TrafficTarget
   public:
     ChannelSwitch(std::vector<Network *> nets, ChannelSpread spread,
                   std::uint64_t total_bytes)
-        : nets(std::move(nets)), spread(spread)
+        : nets(std::move(nets)),
+          remap(static_cast<int>(this->nets.size()), spread,
+                total_bytes)
     {
-        partBytes =
-            (total_bytes + this->nets.size() - 1) / this->nets.size();
-        // Keep partitions line-aligned.
-        partBytes = (partBytes + 63) & ~std::uint64_t{63};
     }
 
     void
     inject(Packet *pkt) override
     {
-        const std::uint64_t c_count = nets.size();
-        std::uint64_t c, local;
-        if (spread == ChannelSpread::InterleaveLines) {
-            const std::uint64_t line = pkt->addr / 64;
-            c = line % c_count;
-            local = (line / c_count) * 64;
-        } else {
-            c = std::min(pkt->addr / partBytes, c_count - 1);
-            local = pkt->addr - c * partBytes;
-        }
-        pkt->addr = local;
-        nets[c]->inject(pkt);
+        const ChannelRemap::Target t = remap.map(pkt->addr);
+        pkt->addr = t.local;
+        nets[t.channel]->inject(pkt);
     }
 
   private:
     std::vector<Network *> nets;
-    ChannelSpread spread;
-    std::uint64_t partBytes;
+    ChannelRemap remap;
 };
 
 } // namespace
@@ -84,7 +116,12 @@ runMultiChannel(const MultiChannelConfig &mcfg)
     RooConfig roo;
     roo.enabled = cfg.roo;
     roo.wakeupPs = cfg.rooWakeupPs;
-    HmcPowerModel pm;
+    // Same power attribution and link error model as the single-network
+    // simulator — runMultiChannel(channels=1) must be bit-identical to
+    // Simulator (enforced by tests/test_differential.cc).
+    HmcPowerModel pm(cfg.ioAttribution);
+    LinkErrorModel errors;
+    errors.flitErrorRate = cfg.linkFlitErrorRate;
     EventQueue eq;
 
     std::vector<std::unique_ptr<Network>> nets;
@@ -102,7 +139,7 @@ runMultiChannel(const MultiChannelConfig &mcfg)
         amap.interleavePages = cfg.interleavePages;
         amap.modules = modules_per_channel;
         nets.push_back(std::make_unique<Network>(
-            eq, topo, dram, cfg.mechanism, roo, pm, amap));
+            eq, topo, dram, cfg.mechanism, roo, pm, amap, errors));
         net_ptrs.push_back(nets.back().get());
     }
 
@@ -165,17 +202,38 @@ runMultiChannel(const MultiChannelConfig &mcfg)
     for (auto &m : mgrs)
         m->start(0);
 
+    // One auditor per channel network; the processor's packet census is
+    // global, so only channel 0's auditor checks it (the pool does not
+    // split by channel).
+    std::vector<std::unique_ptr<audit::Auditor>> auditors;
+    if (audit::enabledFor(cfg.audit)) {
+        for (int c = 0; c < mcfg.channels; ++c) {
+            auditors.push_back(
+                std::make_unique<audit::Auditor>(*nets[c]));
+            if (c == 0)
+                auditors.back()->setProcessor(&proc);
+            auditors.back()->attach(
+                c < static_cast<int>(mgrs.size()) ? mgrs[c].get()
+                                                  : nullptr);
+        }
+    }
+
     proc.start(0);
+    const Tick measure = effectiveMeasure(cfg);
     eq.runUntil(cfg.warmup);
     for (auto &n : nets)
         n->resetStats();
     proc.resetStats();
-    const Tick end = cfg.warmup + cfg.measure;
+    for (auto &a : auditors)
+        a->onMeasureStart(eq.now());
+    const Tick end = cfg.warmup + measure;
     eq.runUntil(end);
+    for (auto &a : auditors)
+        a->finalCheck(eq.now());
 
     MultiChannelResult r;
     r.config = mcfg;
-    const double secs = toSeconds(cfg.measure);
+    const double secs = toSeconds(measure);
     for (auto &n : nets) {
         const EnergyBreakdown e = n->collectEnergy(end);
         const PowerBreakdown p = PowerBreakdown::fromEnergy(e, secs);

@@ -15,6 +15,7 @@
 #ifndef MEMNET_MEMNET_MULTICHANNEL_HH
 #define MEMNET_MEMNET_MULTICHANNEL_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "memnet/config.hh"
@@ -38,6 +39,42 @@ struct MultiChannelConfig
     SystemConfig base;
     int channels = 4;
     ChannelSpread spread = ChannelSpread::InterleaveLines;
+};
+
+/**
+ * Global-address -> (channel, channel-local address) mapping.
+ *
+ * Both spreads are exact bijections over [0, totalBytes): interleaving
+ * keeps the sub-line offset bits (a remapped access still lands at the
+ * right bytes within its 64 B line), and partitioning range-checks
+ * instead of silently clamping out-of-range addresses into the last
+ * channel. unmap() inverts map() — the round trip is the property the
+ * multichannel tests assert.
+ */
+struct ChannelRemap
+{
+    ChannelRemap(int channels, ChannelSpread spread,
+                 std::uint64_t total_bytes);
+
+    struct Target
+    {
+        int channel = 0;
+        std::uint64_t local = 0;
+    };
+
+    /** Remap a global address (must be < totalBytes). */
+    Target map(std::uint64_t addr) const;
+
+    /** Invert map(): reconstruct the global address. */
+    std::uint64_t unmap(int channel, std::uint64_t local) const;
+
+    /** Bytes of one contiguous partition (line-aligned, >= total/C). */
+    std::uint64_t partitionBytes() const { return partBytes; }
+
+    int channels;
+    ChannelSpread spread;
+    std::uint64_t totalBytes;
+    std::uint64_t partBytes;
 };
 
 /** Aggregate and per-channel results. */

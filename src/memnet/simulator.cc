@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "audit/audit.hh"
 #include "dram/dram_params.hh"
 #include "mgmt/aware.hh"
 #include "mgmt/manager.hh"
@@ -82,19 +83,18 @@ laneGroup(BwMechanism mech, std::size_t mode_idx)
     return static_cast<int>(std::min<std::size_t>(mode_idx, 3));
 }
 
-/** Scale the default simulated window via MEMNET_SIM_US if set. */
+} // namespace
+
 Tick
-scaledMeasure(Tick configured)
+effectiveMeasure(const SystemConfig &cfg)
 {
     if (const char *env = std::getenv("MEMNET_SIM_US")) {
         const long v = std::atol(env);
         if (v > 0)
             return us(v);
     }
-    return configured;
+    return cfg.measure;
 }
-
-} // namespace
 
 class SimulatorImpl
 {
@@ -185,17 +185,32 @@ class SimulatorImpl
         if (cfg.obs.active())
             hub = std::make_unique<obs::ObsHub>(cfg.obs, net, mgr.get());
 
+        // Runtime invariant auditor (src/audit): passive like obs, so
+        // an audited run stays bit-identical to a bare one. Debug
+        // builds always audit; Release opts in via cfg.audit or
+        // MEMNET_AUDIT.
+        std::unique_ptr<audit::Auditor> auditor;
+        if (audit::enabledFor(cfg.audit)) {
+            auditor = std::make_unique<audit::Auditor>(net);
+            auditor->setProcessor(&proc);
+            auditor->attach(mgr.get());
+        }
+
         proc.start(0);
 
         const auto wall_start = std::chrono::steady_clock::now();
-        const Tick measure = scaledMeasure(cfg.measure);
+        const Tick measure = effectiveMeasure(cfg);
         eq.runUntil(cfg.warmup);
         net.resetStats();
         proc.resetStats();
         if (hub)
             hub->onMeasureStart(eq.now());
+        if (auditor)
+            auditor->onMeasureStart(eq.now());
         const Tick end = cfg.warmup + measure;
         eq.runUntil(end);
+        if (auditor)
+            auditor->finalCheck(eq.now());
         const double wall_secs =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - wall_start)
@@ -209,6 +224,7 @@ class SimulatorImpl
         r.profile.simSeconds = toSeconds(eq.now());
         r.profile.packetsIssued = proc.packetPool().acquired();
         r.profile.packetHeapAllocs = proc.packetPool().heapAllocated();
+        r.profile.auditChecksRun = auditor ? auditor->checksRun() : 0;
         if (hub)
             hub->finish(eq.now());
         return r;

@@ -299,8 +299,7 @@ AwareManager::handleViolation(LinkMgmtState &s, Tick now)
                          " AMS violation at ", now,
                          " (grant pool exhausted)");
             s.link().forceFullPower();
-            if (epochObs)
-                epochObs->onViolation(*this, s, now);
+            notifyViolation(s, now);
             return;
         }
     }

@@ -29,12 +29,27 @@ class DelayMonitor
 
     /**
      * Configure for one operating point.
+     *
+     * A virtual backlog extending past @p now was serialized at the old
+     * flit time; left untouched, a horizon built at a slow mode would
+     * keep penalizing FLO estimates long after the monitor models a
+     * faster operating point (and vice versa). The pending portion is
+     * rebased: the queued flits are re-serialized at the new speed.
+     *
      * @param flit_ps serialization time per flit at this mode.
      * @param fixed_ps per-packet fixed latency (SERDES + router).
+     * @param now current tick (backlog before it is already history).
      */
     void
-    configure(Tick flit_ps, Tick fixed_ps)
+    configure(Tick flit_ps, Tick fixed_ps, Tick now = 0)
     {
+        if (vFree > now && flitPs > 0 && flit_ps != flitPs) {
+            const double ratio = static_cast<double>(flit_ps) /
+                                 static_cast<double>(flitPs);
+            vFree = now +
+                    static_cast<Tick>(
+                        static_cast<double>(vFree - now) * ratio + 0.5);
+        }
         flitPs = flit_ps;
         fixedPs = fixed_ps;
     }

@@ -24,7 +24,7 @@ LinkMgmtState::LinkMgmtState(Link &link, const ModeTable &table,
 }
 
 void
-LinkMgmtState::configureMonitors()
+LinkMgmtState::configureMonitors(Tick now)
 {
     for (std::size_t k = 0; k < table_.size(); ++k) {
         const LinkMode &m = table_.mode(k);
@@ -39,12 +39,13 @@ LinkMgmtState::configureMonitors()
             static_cast<double>(LinkTiming::kFullFlitPs) /
                 (m.bwFrac * bw_mult) +
             0.5);
-        monitors[k].configure(flit, m.serdesPs + LinkTiming::kRouterPs);
+        monitors[k].configure(flit, m.serdesPs + LinkTiming::kRouterPs,
+                              now);
     }
 }
 
 void
-LinkMgmtState::setLaneClamp(int lanes)
+LinkMgmtState::setLaneClamp(int lanes, Tick now)
 {
     if (lanes >= laneClamp_)
         return;
@@ -55,7 +56,7 @@ LinkMgmtState::setLaneClamp(int lanes)
         if (table_.mode(k).lanes <= laneClamp_)
             break;
     }
-    configureMonitors();
+    configureMonitors(now);
     rebuildOrder();
     // A previous selection may now be out of range; snap it up.
     selected.bw = std::max(selected.bw, minUsableBw_);

@@ -64,9 +64,11 @@ class LinkMgmtState
      * per-mode delay monitors at the derated serialization speeds (so
      * FEL/FLO estimates track the achievable — degraded — full power
      * instead of a baseline the hardware can no longer reach), and
-     * re-sorts the combo order by the derated powers.
+     * re-sorts the combo order by the derated powers. Each monitor's
+     * pending virtual backlog is rebased to its new serialization
+     * speed at @p now (see DelayMonitor::configure).
      */
-    void setLaneClamp(int lanes);
+    void setLaneClamp(int lanes, Tick now = 0);
 
     /** Widest selectable bandwidth-mode index under the clamp. */
     std::size_t minUsableBw() const { return minUsableBw_; }
@@ -206,7 +208,7 @@ class LinkMgmtState
     std::vector<Combo> ordered;    ///< combos by ascending power
     Tick lastEpochLen = us(100);
 
-    void configureMonitors();
+    void configureMonitors(Tick now = 0);
     /** Mode power fraction including the lane-clamp derate. */
     double deratedPowerFrac(std::size_t bw) const;
     bool usable(const Combo &c) const { return c.bw >= minUsableBw_; }

@@ -71,7 +71,7 @@ PowerManager::onDegrade(Link &l, int lanes, Tick now)
     // Mirror the surviving-lane clamp into the management state so
     // mode selection, FEL estimation, and FLO tables all work against
     // the degraded link's real capabilities from this instant on.
-    stateOf(l).setLaneClamp(lanes);
+    stateOf(l).setLaneClamp(lanes, now);
 }
 
 void
@@ -93,8 +93,7 @@ PowerManager::handleViolation(LinkMgmtState &s, Tick now)
     MEMNET_TRACE(Mgmt, "link ", s.link().id(), " AMS violation at ",
                  now, ", forced to full power");
     s.link().forceFullPower();
-    if (epochObs)
-        epochObs->onViolation(*this, s, now);
+    notifyViolation(s, now);
 }
 
 void
@@ -139,8 +138,7 @@ PowerManager::epochTick()
 
     ++nEpochs;
     MEMNET_TRACE_V(Mgmt, 2, "epoch ", nEpochs, " processed at ", now);
-    if (epochObs)
-        epochObs->onEpoch(*this, now);
+    notifyEpoch(now);
     eq.schedule(&epochEvent, now + params.epochLen);
 }
 

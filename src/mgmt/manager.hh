@@ -22,6 +22,7 @@
 #ifndef MEMNET_MGMT_MANAGER_HH
 #define MEMNET_MGMT_MANAGER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -97,8 +98,25 @@ class PowerManager : public LinkObserver, public ModuleObserver
         return *states[numModules + m];
     }
 
-    /** Attach an epoch observer (null detaches). */
-    void setEpochObserver(EpochObserver *o) { epochObs = o; }
+    /**
+     * Attach an epoch observer. Several may coexist (the obs hub and
+     * the runtime auditor both listen); callbacks run in attach order.
+     */
+    void
+    addEpochObserver(EpochObserver *o)
+    {
+        if (o)
+            epochObservers.push_back(o);
+    }
+
+    /** Detach a previously attached epoch observer (no-op if absent). */
+    void
+    removeEpochObserver(EpochObserver *o)
+    {
+        epochObservers.erase(std::remove(epochObservers.begin(),
+                                         epochObservers.end(), o),
+                             epochObservers.end());
+    }
 
     /** Modules under management. */
     int modules() const { return numModules; }
@@ -160,9 +178,25 @@ class PowerManager : public LinkObserver, public ModuleObserver
 
     Tick dramReadLatencyPs; ///< fixed 30 ns DRAM latency estimate
 
+    /** Notify every attached observer of a processed epoch boundary. */
+    void
+    notifyEpoch(Tick now)
+    {
+        for (EpochObserver *o : epochObservers)
+            o->onEpoch(*this, now);
+    }
+
+    /** Notify every attached observer of an AMS violation. */
+    void
+    notifyViolation(LinkMgmtState &s, Tick now)
+    {
+        for (EpochObserver *o : epochObservers)
+            o->onViolation(*this, s, now);
+    }
+
     std::uint64_t nViolations = 0;
     std::uint64_t nEpochs = 0;
-    EpochObserver *epochObs = nullptr;
+    std::vector<EpochObserver *> epochObservers;
 
     MemberEvent<PowerManager, &PowerManager::epochTick> epochEvent{this};
 };

@@ -52,7 +52,9 @@ Link::accrue(Tick now)
     const double dt = toSeconds(now - lastAccrue);
     // State is constant over [lastAccrue, now): every state change calls
     // accrue() first, and a checkpoint event fires at transition ends.
-    const double w = fullPowerW * pstate.powerFrac(lastAccrue);
+    const double pf = pstate.powerFrac(lastAccrue);
+    const double w = fullPowerW * pf;
+    stats_.powerFracSeconds += pf * dt;
     if (busy) {
         stats_.activeIoJ += w * dt;
     } else if (retraining_) {

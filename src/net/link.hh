@@ -106,6 +106,13 @@ struct LinkStats
     /** Residency seconds per bandwidth-mode index. */
     std::array<double, 8> modeSeconds{};
     double offSeconds = 0.0;
+    /**
+     * Time integral of the instantaneous power fraction (mode residency
+     * weighted by mode power). Multiplied by the link's full power this
+     * must equal idleIoJ + activeIoJ — the energy-conservation
+     * invariant the runtime auditor (src/audit) enforces.
+     */
+    double powerFracSeconds = 0.0;
 };
 
 class Link
@@ -209,6 +216,16 @@ class Link
     int module() const { return module_; }
 
     const LinkStats &stats() const { return stats_; }
+
+    /** Electrical power at full bandwidth, both ends (W). */
+    double fullPowerWatts() const { return fullPowerW; }
+
+    /**
+     * Deliberately corrupt the energy accumulators by @p joules. Exists
+     * solely so the audit mutation tests can prove the
+     * energy-conservation check fires; never called by simulation code.
+     */
+    void auditPerturbEnergy(double joules) { stats_.activeIoJ += joules; }
 
     /** Reset measurement statistics (start of measurement window). */
     void resetStats();

@@ -56,6 +56,8 @@ Network::~Network() = default;
 void
 Network::inject(Packet *pkt)
 {
+    if (audit_)
+        audit_->onInject(*pkt, eq.now());
     pkt->homeModule = amap_.moduleOf(pkt->addr);
     pkt->hop = 0;
     const auto &path = topo_.path(pkt->homeModule);

@@ -45,6 +45,19 @@ class TrafficTarget
     virtual void inject(Packet *pkt) = 0;
 };
 
+/**
+ * Passive per-inject audit hook (src/audit). Called synchronously from
+ * Network::inject before routing; an implementation must not mutate
+ * the packet or schedule events, so attaching one never changes
+ * simulation results.
+ */
+class NetworkAuditHook
+{
+  public:
+    virtual ~NetworkAuditHook() = default;
+    virtual void onInject(const Packet &pkt, Tick now) = 0;
+};
+
 /** How addresses map onto modules. */
 struct AddressMap
 {
@@ -152,6 +165,9 @@ class Network : public TrafficTarget, public FaultTarget
      */
     void setTraceSink(PowerTraceSink *t);
 
+    /** Attach the runtime invariant auditor's inject hook (null detaches). */
+    void setAuditHook(NetworkAuditHook *h) { audit_ = h; }
+
     EventQueue &eventQueue() { return eq; }
 
   private:
@@ -188,6 +204,7 @@ class Network : public TrafficTarget, public FaultTarget
     ProcessorPort port;
     EndpointHost *host_ = nullptr;
     PowerTraceSink *trace_ = nullptr;
+    NetworkAuditHook *audit_ = nullptr;
 
     Average hops;
     Tick measureStart = 0;

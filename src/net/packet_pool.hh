@@ -53,10 +53,17 @@ class PacketPool
     release(Packet *p)
     {
         free_.push_back(p);
+        ++released_;
     }
 
     /** Total acquire() calls — packets issued through the pool. */
     std::uint64_t acquired() const { return acquired_; }
+
+    /** Total release() calls — packets retired back into the pool. */
+    std::uint64_t released() const { return released_; }
+
+    /** Packets currently out of the pool (issued and not yet retired). */
+    std::uint64_t inFlight() const { return acquired_ - released_; }
 
     /** Packets ever heap-allocated (chunked; the pool's high-water). */
     std::uint64_t
@@ -88,6 +95,7 @@ class PacketPool
     std::vector<std::unique_ptr<Packet[]>> chunks_;
     std::vector<Packet *> free_;
     std::uint64_t acquired_ = 0;
+    std::uint64_t released_ = 0;
 };
 
 /**

@@ -32,7 +32,7 @@ ObsHub::ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr)
         }
     }
     if (mgr && (rec || trace))
-        mgr->setEpochObserver(this);
+        mgr->addEpochObserver(this);
     registerStats();
 }
 
@@ -43,7 +43,7 @@ ObsHub::~ObsHub()
     if (trace)
         net.setTraceSink(nullptr);
     if (mgr)
-        mgr->setEpochObserver(nullptr);
+        mgr->removeEpochObserver(this);
 }
 
 void

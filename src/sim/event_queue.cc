@@ -5,14 +5,13 @@ namespace memnet
 
 EventQueue::~EventQueue()
 {
-    // Components own their re-armable events, and nothing ties their
-    // lifetime to the queue's — an owner may already be destroyed by the
-    // time the queue goes down, so pending entries must not be
-    // dereferenced here. One-shot callables scheduled via
-    // schedule(Tick, F) are the queue's own; their flag was snapshotted
-    // into the heap entry at schedule time, so they can be reclaimed
-    // without reading any foreign Event. (The old lazy-deletion queue
-    // had to leak them.)
+    // Events deschedule themselves on destruction, so every pointer
+    // still in the heap here is a live event and safe to touch. Unhook
+    // them all first (their later destruction must not come back to the
+    // dead queue), then reclaim the pending one-shot callables scheduled
+    // via schedule(Tick, F), which are the queue's own.
+    for (const Entry &e : heap)
+        e.ev->_scheduled = false;
     for (const Entry &e : heap) {
         if (e.oneShot)
             delete e.ev;

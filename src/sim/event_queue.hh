@@ -42,7 +42,13 @@ class EventQueue;
 class Event
 {
   public:
-    virtual ~Event() = default;
+    /**
+     * An event still sitting in a queue removes itself on destruction,
+     * so tearing down a component mid-run (a Network rebuilt on a live
+     * queue, a manager destroyed before its EventQueue) never leaves a
+     * dangling pointer in the heap.
+     */
+    virtual ~Event();
 
     /** Invoked when simulated time reaches the scheduled tick. */
     virtual void fire() = 0;
@@ -56,9 +62,8 @@ class Event
   protected:
     /**
      * See OneShotEvent. The flag is snapshotted into the heap entry at
-     * schedule time, so queue teardown can reclaim pending one-shots
-     * without dereferencing component-owned events (whose owners may be
-     * destroyed before the queue).
+     * schedule time so queue teardown can tell its own pending
+     * one-shots apart from component-owned re-armable events.
      */
     bool _oneShot = false;
 
@@ -70,6 +75,8 @@ class Event
     std::uint64_t _seq = 0;
     /** Slot in the owning queue's heap while scheduled. */
     std::size_t _slot = 0;
+    /** The queue holding this event while scheduled. */
+    EventQueue *_queue = nullptr;
 };
 
 /** Event wrapping an arbitrary callable; fires once then deletes itself. */
@@ -132,6 +139,7 @@ class EventQueue
         ev->_scheduled = true;
         ev->_when = when;
         ev->_seq = nextSeq++;
+        ev->_queue = this;
         ev->_slot = heap.size();
         heap.push_back({ev, ev->_oneShot});
         siftUp(ev->_slot);
@@ -293,6 +301,12 @@ class EventQueue
     std::uint64_t _fired = 0;
     std::uint64_t _scheduledTotal = 0;
 };
+
+inline Event::~Event()
+{
+    if (_scheduled)
+        _queue->deschedule(this);
+}
 
 } // namespace memnet
 

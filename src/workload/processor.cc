@@ -134,6 +134,7 @@ Processor::issueFrom(Core &c)
         ++pendingReads;
     } else {
         ++c.outstandingWrites;
+        ++pendingWrites;
     }
 
     target.inject(pkt);
@@ -183,6 +184,7 @@ Processor::writeRetired(Packet *pkt, Tick now)
 {
     Core &c = *cores[pkt->core];
     --c.outstandingWrites;
+    --pendingWrites;
     ++nWrites;
     pool.release(pkt);
     if (c.stalledOnWrites) {

@@ -83,6 +83,9 @@ class Processor : public EndpointHost
     /** Reads in flight across all cores (watchdog/diagnostics). */
     int outstandingReads() const { return pendingReads; }
 
+    /** Posted writes in flight across all cores (audit census). */
+    int outstandingWrites() const { return pendingWrites; }
+
     /** Packet freelist (profiling: pool reuse vs heap traffic). */
     const PacketPool &packetPool() const { return pool; }
 
@@ -115,6 +118,7 @@ class Processor : public EndpointHost
 
     /** Watchdog state. */
     int pendingReads = 0;
+    int pendingWrites = 0;
     Tick lastReadCompletion = 0;
 
     MemberEvent<Processor, &Processor::onWatchdog> watchdogEvent{this};

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the runtime invariant auditor (src/audit).
+ *
+ * The clean-run tests prove every check holds over real simulations of
+ * all four policies; the mutation tests prove the checks actually fire
+ * when an invariant is deliberately broken (an auditor that never
+ * trips is worthless).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "audit/audit.hh"
+#include "dram/dram_params.hh"
+#include "memnet/simulator.hh"
+#include "mgmt/aware.hh"
+#include "net/packet_pool.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+SystemConfig
+auditedConfig(Policy p)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = TopologyKind::Star;
+    cfg.policy = p;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.warmup = us(50);
+    cfg.measure = us(150);
+    cfg.epochLen = us(30);
+    cfg.audit = true; // explicit, so Release test builds audit too
+    return cfg;
+}
+
+TEST(Audit, CleanRunsPassEveryCheckAllPolicies)
+{
+    for (Policy p : {Policy::FullPower, Policy::Unaware, Policy::Aware,
+                     Policy::StaticTaper}) {
+        // failFast is on: any failed invariant aborts the run, so
+        // completing the run *is* the assertion.
+        const RunResult r = runSimulation(auditedConfig(p));
+        EXPECT_GT(r.profile.auditChecksRun, 0u) << policyName(p);
+    }
+}
+
+TEST(Audit, AuditedRunIsBitIdenticalToBareRun)
+{
+    // The auditor promises to be purely observational. Release builds
+    // can run bare; in Debug both runs audit and the comparison is
+    // trivially true — either way nothing diverges.
+    SystemConfig on = auditedConfig(Policy::Aware);
+    SystemConfig off = on;
+    off.audit = false;
+    const RunResult a = runSimulation(on);
+    const RunResult b = runSimulation(off);
+    EXPECT_EQ(a.completedReads, b.completedReads);
+    EXPECT_DOUBLE_EQ(a.totalNetworkPowerW, b.totalNetworkPowerW);
+    EXPECT_DOUBLE_EQ(a.avgReadLatencyNs, b.avgReadLatencyNs);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+}
+
+class AuditMutation : public ::testing::Test
+{
+  protected:
+    AuditMutation()
+        : topo(Topology::build(TopologyKind::TernaryTree, 7))
+    {
+        amap.chunkBytes = 1ULL << 30;
+        amap.modules = 7;
+        net = std::make_unique<Network>(eq, topo, dram,
+                                        BwMechanism::Vwl, roo, pm,
+                                        amap);
+    }
+
+    audit::AuditOptions
+    recording() const
+    {
+        audit::AuditOptions o;
+        o.failFast = false;
+        return o;
+    }
+
+    EventQueue eq;
+    Topology topo;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo;
+    AddressMap amap;
+    std::unique_ptr<Network> net;
+};
+
+TEST_F(AuditMutation, PerturbedLinkEnergyTripsConservationCheck)
+{
+    eq.runUntil(us(10)); // accrue some idle time on every link
+    audit::Auditor a(*net, recording());
+    a.onMeasureStart(0);
+
+    a.checkEnergyConservation(eq.now());
+    ASSERT_TRUE(a.failures().empty());
+
+    net->requestLink(2).auditPerturbEnergy(1e-3);
+    a.checkEnergyConservation(eq.now());
+    ASSERT_FALSE(a.failures().empty());
+    EXPECT_EQ(a.failures().front().check, "energy-conservation");
+}
+
+TEST_F(AuditMutation, PerturbedLinkEnergyIsFatalWhenFailFast)
+{
+    eq.runUntil(us(10));
+    audit::Auditor a(*net); // default options: failFast
+    a.onMeasureStart(0);
+    net->requestLink(1).auditPerturbEnergy(1e-3);
+    EXPECT_DEATH(a.checkEnergyConservation(eq.now()),
+                 "energy-conservation");
+}
+
+TEST_F(AuditMutation, OutOfRangeInjectTripsAddressMapCheck)
+{
+    audit::Auditor a(*net, recording());
+    Packet pkt;
+    pkt.addr = amap.modules * amap.chunkBytes; // first invalid byte
+    a.onInject(pkt, 0);
+    ASSERT_FALSE(a.failures().empty());
+    EXPECT_EQ(a.failures().front().check, "address-map");
+
+    audit::Auditor ok(*net, recording());
+    pkt.addr = amap.modules * amap.chunkBytes - 1;
+    ok.onInject(pkt, 0);
+    EXPECT_TRUE(ok.failures().empty());
+}
+
+TEST_F(AuditMutation, TamperedIspSelectionTripsMonotonicityCheck)
+{
+    ManagerParams mp;
+    AwareManager mgr(*net, BwMechanism::Vwl, roo, mp, AwareOptions{});
+
+    audit::Auditor a(*net, recording());
+    a.checkManagerInvariants(mgr);
+    ASSERT_TRUE(a.failures().empty());
+
+    // Root narrower than its child: the ISP gather step forbids this
+    // (Section VI-A); forging the state must trip the check.
+    mgr.requestState(0).selected.bw = 2;
+    a.checkManagerInvariants(mgr);
+    bool found = false;
+    for (const audit::AuditFailure &f : a.failures())
+        found = found || f.check == "isp-monotonicity";
+    EXPECT_TRUE(found);
+}
+
+TEST(AuditCensus, PoolCensusPredicate)
+{
+    PacketPool pool;
+    EXPECT_TRUE(audit::Auditor::packetCensusOk(pool, 0));
+
+    Packet *p = pool.acquire();
+    EXPECT_TRUE(audit::Auditor::packetCensusOk(pool, 1));
+    // A leaked (or double-counted) packet breaks the census both ways.
+    EXPECT_FALSE(audit::Auditor::packetCensusOk(pool, 0));
+    EXPECT_FALSE(audit::Auditor::packetCensusOk(pool, 2));
+
+    pool.release(p);
+    EXPECT_TRUE(audit::Auditor::packetCensusOk(pool, 0));
+    EXPECT_EQ(pool.acquired(), 1u);
+    EXPECT_EQ(pool.released(), 1u);
+    EXPECT_EQ(pool.inFlight(), 0u);
+}
+
+} // namespace
+} // namespace memnet

@@ -77,6 +77,40 @@ TEST(DelayMonitor, DvfsSerdesPenaltyCounted)
                      800.0 + 4000.0 + LinkTiming::kRouterPs);
 }
 
+TEST(DelayMonitor, ReconfigureRebasesPendingBacklog)
+{
+    DelayMonitor m;
+    m.configure(640, kFixed);
+    m.arrival(0, 10); // backlog until 6400 ps
+    ASSERT_EQ(m.virtualFree(), 6400);
+
+    // At t = 1600, 4800 ps of backlog remain. Dropping to quarter speed
+    // re-serializes those queued flits 4x slower.
+    m.configure(640 * 4, kFixed, 1600);
+    EXPECT_EQ(m.virtualFree(), 1600 + 4 * 4800);
+
+    // Speeding back up shrinks the (new) pending portion again.
+    const Tick pending = m.virtualFree() - 1600;
+    m.configure(640, kFixed, 1600);
+    EXPECT_EQ(m.virtualFree(), 1600 + pending / 4);
+}
+
+TEST(DelayMonitor, ReconfigureLeavesDrainedQueueAlone)
+{
+    DelayMonitor m;
+    m.configure(640, kFixed);
+    m.arrival(0, 5); // backlog until 3200 ps
+    // By t = 3200 the virtual queue is empty: a reconfigure must not
+    // invent a backlog (the stale-vFree bug — the horizon used to be
+    // kept verbatim across configure()).
+    m.configure(640 * 4, kFixed, 3200);
+    EXPECT_EQ(m.virtualFree(), 3200);
+    m.arrival(3200, 1);
+    EXPECT_DOUBLE_EQ(m.aggregateLatencyPs(),
+                     static_cast<double>((3200 + kFixed) +
+                                         (4 * 640 + kFixed)));
+}
+
 TEST(DelayMonitor, EpochResetKeepsBacklog)
 {
     DelayMonitor m;

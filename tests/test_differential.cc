@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Differential consistency harness: pairs of runs the repo claims are
+ * equivalent really are, field by field.
+ *
+ *  - runMultiChannel(channels=1) vs the single-network Simulator;
+ *  - obs-on vs obs-off;
+ *  - audit-on vs audit-off;
+ *  - parallel sweep (--jobs style) vs serial execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "audit/differential.hh"
+#include "memnet/parallel.hh"
+#include "memnet/simulator.hh"
+
+namespace memnet
+{
+namespace
+{
+
+SystemConfig
+shortConfig(TopologyKind topo, Policy p)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = topo;
+    cfg.policy = p;
+    cfg.mechanism = p == Policy::FullPower ? BwMechanism::None
+                                           : BwMechanism::Vwl;
+    cfg.roo = p != Policy::FullPower;
+    cfg.warmup = us(50);
+    cfg.measure = us(150);
+    cfg.epochLen = us(30);
+    if (p == Policy::StaticTaper)
+        cfg.interleavePages = true;
+    return cfg;
+}
+
+constexpr TopologyKind kTopologies[] = {
+    TopologyKind::DaisyChain, TopologyKind::TernaryTree,
+    TopologyKind::Star, TopologyKind::DdrxLike};
+constexpr Policy kPolicies[] = {Policy::FullPower, Policy::Unaware,
+                                Policy::Aware, Policy::StaticTaper};
+
+TEST(Differential, OneChannelEqualsSingleNetworkEverywhere)
+{
+    // The strongest multichannel claim: with one channel the switch is
+    // a pass-through and the run must match the plain Simulator on
+    // every aggregate output, for every topology x policy pair.
+    for (TopologyKind t : kTopologies) {
+        for (Policy p : kPolicies) {
+            const SystemConfig cfg = shortConfig(t, p);
+            MultiChannelConfig mc;
+            mc.base = cfg;
+            mc.channels = 1;
+            mc.spread = ChannelSpread::InterleaveLines;
+
+            const MultiChannelResult m = runMultiChannel(mc);
+            const RunResult s = runSimulation(cfg);
+            const auto diffs = audit::diffMultiVsSingle(m, s);
+            EXPECT_TRUE(diffs.empty())
+                << topologyName(t) << "/" << policyName(p) << "\n"
+                << audit::describeDiffs(diffs);
+        }
+    }
+}
+
+TEST(Differential, PartitionSpreadAlsoEqualsSingleNetwork)
+{
+    const SystemConfig cfg =
+        shortConfig(TopologyKind::Star, Policy::Aware);
+    MultiChannelConfig mc;
+    mc.base = cfg;
+    mc.channels = 1;
+    mc.spread = ChannelSpread::Partition;
+    const auto diffs =
+        audit::diffMultiVsSingle(runMultiChannel(mc),
+                                 runSimulation(cfg));
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(Differential, ObservabilityOnEqualsOff)
+{
+    SystemConfig bare = shortConfig(TopologyKind::Star, Policy::Aware);
+    SystemConfig obs = bare;
+    obs.obs.statsJsonPath = "diff_obs_stats.json";
+    obs.obs.epochJsonlPath = "diff_obs_epochs.jsonl";
+
+    const auto diffs =
+        audit::diffRunResults(runSimulation(bare), runSimulation(obs));
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+    std::remove("diff_obs_stats.json");
+    std::remove("diff_obs_epochs.jsonl");
+}
+
+TEST(Differential, AuditOnEqualsOff)
+{
+    SystemConfig bare = shortConfig(TopologyKind::Star, Policy::Aware);
+    SystemConfig audited = bare;
+    audited.audit = true;
+
+    const auto diffs = audit::diffRunResults(runSimulation(bare),
+                                             runSimulation(audited));
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(Differential, ParallelSweepEqualsSerial)
+{
+    std::vector<SystemConfig> configs;
+    for (TopologyKind t : kTopologies) {
+        SystemConfig cfg = shortConfig(t, Policy::Aware);
+        for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+            cfg.seed = seed;
+            configs.push_back(cfg);
+        }
+    }
+
+    Runner serial;
+    for (const SystemConfig &cfg : configs)
+        serial.get(cfg);
+
+    Runner parallel_cache;
+    ParallelRunner pool(parallel_cache, 4);
+    pool.run(configs);
+
+    for (const SystemConfig &cfg : configs) {
+        const auto diffs = audit::diffRunResults(
+            serial.get(cfg), parallel_cache.get(cfg));
+        EXPECT_TRUE(diffs.empty())
+            << cfg.describe() << " seed " << cfg.seed << "\n"
+            << audit::describeDiffs(diffs);
+    }
+}
+
+TEST(ChannelRemap, InterleavePreservesSubLineOffset)
+{
+    const ChannelRemap remap(4, ChannelSpread::InterleaveLines,
+                             1ULL << 30);
+    // Regression: the old remap dropped addr % 64, folding every access
+    // onto its line base.
+    const ChannelRemap::Target t = remap.map(64 * 7 + 13);
+    EXPECT_EQ(t.channel, 3);      // line 7 -> channel 7 % 4
+    EXPECT_EQ(t.local % 64, 13u); // offset must survive
+    EXPECT_EQ(t.local, (7u / 4) * 64 + 13);
+}
+
+TEST(ChannelRemap, RoundTripsBothSpreadsNonDividingFootprint)
+{
+    // 13 GB over 4 channels: footprint divides by neither the channel
+    // count nor the partition size — the regression case for the old
+    // clamped partition remap.
+    const std::uint64_t total = 13ULL << 30;
+    for (ChannelSpread s :
+         {ChannelSpread::InterleaveLines, ChannelSpread::Partition}) {
+        const ChannelRemap remap(4, s, total);
+        const std::vector<std::uint64_t> addrs = {
+            0, 63, 64, 64 * 4 - 1, (3ULL << 30) + 177,
+            remap.partitionBytes() - 1, remap.partitionBytes(),
+            remap.partitionBytes() * 3 + 12345, total - 64, total - 1};
+        for (std::uint64_t addr : addrs) {
+            const ChannelRemap::Target t = remap.map(addr);
+            ASSERT_GE(t.channel, 0);
+            ASSERT_LT(t.channel, 4);
+            if (s == ChannelSpread::Partition) {
+                EXPECT_LT(t.local, remap.partitionBytes());
+            }
+            EXPECT_EQ(remap.unmap(t.channel, t.local), addr)
+                << channelSpreadName(s) << " addr " << addr;
+        }
+    }
+}
+
+TEST(ChannelRemap, PartitionNeverClampsInRangeAddresses)
+{
+    // partBytes * channels >= total, so the last in-range address maps
+    // into the last channel *by division*, not by a clamp; the old code
+    // could fold out-of-range addresses into channel C-1 with
+    // local >= partBytes.
+    const std::uint64_t total = (13ULL << 30) + 4096; // odd tail
+    const ChannelRemap remap(4, ChannelSpread::Partition, total);
+    const ChannelRemap::Target last = remap.map(total - 1);
+    EXPECT_LT(last.local, remap.partitionBytes());
+    EXPECT_EQ(last.channel, static_cast<int>(
+                                (total - 1) / remap.partitionBytes()));
+}
+
+TEST(ChannelRemapDeath, OutOfRangeAddressDies)
+{
+    const ChannelRemap remap(4, ChannelSpread::Partition, 1ULL << 30);
+    EXPECT_DEATH(remap.map(1ULL << 30), "outside");
+}
+
+} // namespace
+} // namespace memnet

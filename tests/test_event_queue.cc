@@ -277,10 +277,10 @@ TEST(EventQueueStress, RandomOpsMatchReferenceModel)
 
 TEST(EventQueueStress, DestructorReleasesPendingOneShots)
 {
-    // Pending component-owned events are simply dropped (the queue never
-    // dereferences them at teardown); pending lambda one-shots are owned
-    // by the queue and freed (ASan would flag a leak or double-free
-    // here).
+    // Pending component-owned events are unhooked but left alive at
+    // teardown; pending lambda one-shots are owned by the queue and
+    // freed (ASan would flag a leak or double-free here). An unhooked
+    // survivor must be safely destructible after its queue is gone.
     CountingEvent survivor;
     {
         EventQueue eq;
@@ -295,13 +295,33 @@ TEST(EventQueueStress, DestructorToleratesOwnerDyingFirst)
 {
     // Components and the queue have independent lifetimes: a Network and
     // its Links can be destroyed while their events still sit in the
-    // queue. Teardown must not touch those events — under ASan/TSan this
-    // test catches any use-after-free.
+    // queue. Under ASan/TSan this test catches any use-after-free.
     auto *orphan = new CountingEvent;
     EventQueue eq;
     eq.schedule(orphan, ns(10));
     eq.schedule(ns(5), [] {});
     delete orphan;
+}
+
+TEST(EventQueueStress, DyingOwnerRemovesItsPendingEvents)
+{
+    // Regression: a component destroyed while its events were still
+    // scheduled used to leave dangling heap entries, and the next
+    // schedule() dereferenced them while sifting (segfaulted when a
+    // test fixture rebuilt a Network on a live queue). A scheduled
+    // event now removes itself on destruction.
+    EventQueue eq;
+    auto *doomed = new CountingEvent;
+    eq.schedule(doomed, ns(10));
+    EXPECT_EQ(eq.pending(), 1u);
+    delete doomed;
+    EXPECT_EQ(eq.pending(), 0u);
+
+    CountingEvent later;
+    eq.schedule(&later, ns(20));
+    eq.run();
+    EXPECT_EQ(later.fired, 1);
+    EXPECT_EQ(eq.fired(), 1u);
 }
 
 } // namespace

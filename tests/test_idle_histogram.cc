@@ -75,6 +75,28 @@ TEST(IdleHistogram, ResetClears)
     EXPECT_EQ(h.offTime(0), 0);
 }
 
+TEST(IdleHistogram, OffTimePropertyNonNegativeAndMonotone)
+{
+    // Property over a pseudo-random interval mix: predicted off time is
+    // never negative (each recorded interval is at least its bucket's
+    // threshold, hence at least threshold r for every r <= bucket), and
+    // it can only shrink as the threshold index grows — a deeper ROO
+    // mode waits longer before sleeping, so it never sleeps more.
+    IdleHistogram h(paperThresholds());
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 500; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.interval(static_cast<Tick>(x % us(5)));
+        for (std::size_t r = 0; r < h.modes(); ++r)
+            ASSERT_GE(h.offTime(r), 0) << "after interval " << i;
+        for (std::size_t r = 1; r < h.modes(); ++r)
+            ASSERT_LE(h.offTime(r), h.offTime(r - 1))
+                << "after interval " << i;
+    }
+}
+
 TEST(IdleHistogram, EmptyThresholdListIsInert)
 {
     IdleHistogram h({});
