@@ -19,6 +19,7 @@
 #include "memnet/experiment.hh"
 #include "memnet/parallel.hh"
 #include "memnet/report.hh"
+#include "obs/prof.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -29,10 +30,13 @@ namespace bench
 /**
  * Shared command-line handling for the bench binaries:
  *
- *   --json <path>   dump every run as machine-readable JSON
- *                   (schema: ci/bench_schema.json) after the tables
- *   --jobs <n>      simulate the sweep on n worker threads
- *                   (0 = all hardware threads; default 1 = serial)
+ *   --json <path>      dump every run as machine-readable JSON
+ *                      (schema: ci/bench_schema.json) after the tables
+ *   --jobs <n>         simulate the sweep on n worker threads
+ *                      (0 = all hardware threads; default 1 = serial)
+ *   --profile <path>   enable the host-side profiler and dump the
+ *                      merged phase tree of the whole sweep (".json"
+ *                      = JSON tree, else FlameGraph collapsed stacks)
  *
  * Usage:
  *   int main(int argc, char **argv) {
@@ -62,9 +66,12 @@ class BenchIo
                 jsonPath = argv[++i];
             } else if (arg == "--jobs" && i + 1 < argc) {
                 jobs = std::atoi(argv[++i]);
+            } else if (arg == "--profile" && i + 1 < argc) {
+                profilePath = argv[++i];
             } else {
                 std::fprintf(stderr,
-                             "usage: %s [--json <path>] [--jobs <n>]\n",
+                             "usage: %s [--json <path>] [--jobs <n>] "
+                             "[--profile <path>]\n",
                              argv[0]);
                 std::exit(2);
             }
@@ -78,6 +85,8 @@ class BenchIo
     int
     run(Runner &runner, const std::function<void()> &body) const
     {
+        if (!profilePath.empty())
+            prof::setEnabled(true);
         if (resolveJobs(jobs) <= 1) {
             body();
             return finish(runner);
@@ -91,6 +100,10 @@ class BenchIo
     int
     finish(const Runner &runner) const
     {
+        // The profiler snapshot merges the whole sweep — worker
+        // threads included, their trees are retained past the join.
+        if (!profilePath.empty() && !prof::writeSnapshotFile(profilePath))
+            return 1;
         if (jsonPath.empty())
             return 0;
         std::ofstream os(jsonPath);
@@ -136,6 +149,7 @@ class BenchIo
 
     std::string bench;
     std::string jsonPath;
+    std::string profilePath;
     int jobs = 1;
 };
 

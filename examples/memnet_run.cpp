@@ -23,6 +23,9 @@
  *   --fer <p>              flit error rate (CRC retry)   [0]
  *   --audit                run the invariant auditor     [Debug: always]
  *   --report <list>        summary,power,modules,links   [summary]
+ *   --profile <path>       host-side profiler dump; ".json" gets the
+ *                          phase tree, anything else FlameGraph
+ *                          collapsed stacks (docs/PERFORMANCE.md)
  *
  * With --seeds k > 1 the run is replicated over seeds seed..seed+k-1
  * (concurrently when --jobs > 1; results are identical to serial) and
@@ -47,6 +50,7 @@
 #include "memnet/parallel.hh"
 #include "memnet/report.hh"
 #include "memnet/simulator.hh"
+#include "obs/prof.hh"
 
 namespace
 {
@@ -111,6 +115,7 @@ main(int argc, char **argv)
     cfg.workload = "mixA";
     cfg.topology = TopologyKind::Star;
     std::string report = "summary";
+    std::string profilePath;
     int seeds = 1;
     int jobs = 1;
 
@@ -156,6 +161,8 @@ main(int argc, char **argv)
             cfg.audit = true;
         } else if (a == "--report") {
             report = need(i);
+        } else if (a == "--profile") {
+            profilePath = need(i);
         } else if (a == "--stats-json") {
             cfg.obs.statsJsonPath = need(i);
         } else if (a == "--stats-csv") {
@@ -174,6 +181,9 @@ main(int argc, char **argv)
     }
     if (cfg.policy == Policy::StaticTaper)
         cfg.interleavePages = true;
+
+    if (!profilePath.empty())
+        prof::setEnabled(true);
 
     if (seeds > 1) {
         if (!cfg.obs.statsJsonPath.empty() ||
@@ -194,8 +204,10 @@ main(int argc, char **argv)
 
         TextTable t({"seed", "reads/s", "net power (W)", "per-HMC (W)"});
         double sumReads = 0.0, sumPower = 0.0, sumHmc = 0.0;
+        std::vector<const RunResult *> runs;
         for (const SystemConfig &c : replicas) {
             const RunResult &r = runner.get(c);
+            runs.push_back(&r);
             t.addRow({std::to_string(c.seed),
                       TextTable::fmt(r.readsPerSec, 0),
                       TextTable::fmt(r.totalNetworkPowerW),
@@ -212,10 +224,17 @@ main(int argc, char **argv)
                     seeds, resolveJobs(jobs),
                     resolveJobs(jobs) == 1 ? "" : "s");
         t.print();
+        printSeedProfileSummary(summarizeSeedProfiles(runs));
+        // The snapshot merges every seed replica's phases, including
+        // worker threads already joined (their trees are retained).
+        if (!profilePath.empty() && !prof::writeSnapshotFile(profilePath))
+            return 1;
         return 0;
     }
 
     const RunResult r = runSimulation(cfg);
+    if (!profilePath.empty() && !prof::writeSnapshotFile(profilePath))
+        return 1;
 
     const bool all = report.find("all") != std::string::npos;
     if (all || report.find("summary") != std::string::npos)

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Continuous benchmarking: record and check bench baselines.
+
+Replaces the old hard-coded events/s floor in CI with a checked-in
+baseline (ci/bench_baseline.json) carrying per-counter tolerance
+bands. Two input formats are understood:
+
+  * memnet bench --json output (ci/bench_schema.json): the runs'
+    simulation-determined counters are aggregated per bench. These are
+    exact by construction — the same binary must reproduce them bit
+    for bit — so they get a tight two-sided tolerance. The aggregate
+    events/s is also recorded as a loose one-sided rate.
+  * google-benchmark --benchmark_format=json output (bench_micro_kernel):
+    the user counters (events_per_s, ...) are wall-clock rates, so they
+    get a loose one-sided tolerance that only fails on regression.
+    real_time/cpu_time are never compared.
+
+Counters are classified by name: anything matching *_per_s / *_per_sec /
+*_per_second (google-benchmark's items/bytes counters) / *_rate is a rate (one-sided: fail only when current < (1 - tol) *
+baseline); everything else is exact (two-sided relative comparison).
+Raw wall-clock fields (wall_s, real_time, cpu_time) are excluded
+entirely.
+
+Usage:
+    bench_compare.py record --baseline ci/bench_baseline.json BENCH_*.json
+    bench_compare.py check  --baseline ci/bench_baseline.json BENCH_*.json
+
+record overwrites the baseline entries for the given files (keeping
+other entries); check compares and exits 1 on any failure:
+  * a file's label missing from the baseline,
+  * a baseline counter missing from the current results,
+  * an exact counter outside the band,
+  * a rate counter below the one-sided band.
+Rate improvements and new counters are reported but never fail.
+
+Per-label tolerance overrides live in the baseline's "tolerances" map
+(regex over "label:counter" -> relative tolerance). Nothing beyond the
+python3 standard library, so CI needs no pip installs.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+BASELINE_SCHEMA_VERSION = 1
+DEFAULT_EXACT_REL_TOL = 1e-6
+DEFAULT_RATE_REL_TOL = 0.8  # fail below 20% of baseline rate
+
+_RATE_NAME = re.compile(r"(_per_s$|_per_sec$|_per_second$|_rate$)")
+_EXCLUDED = {"wall_s", "real_time", "cpu_time"}
+
+
+def is_rate(counter):
+    return bool(_RATE_NAME.search(counter))
+
+
+def extract_memnet(doc):
+    """Aggregate a memnet bench --json document into one entry."""
+    runs = [r["result"] for r in doc.get("runs", [])]
+    counters = {
+        "runs": len(runs),
+        "events_fired_total": 0,
+        "events_scheduled_total": 0,
+        "events_descheduled_total": 0,
+        "peak_queue_depth_max": 0,
+        "packets_issued_total": 0,
+        "completed_reads_total": 0,
+        "violations_total": 0,
+    }
+    wall = 0.0
+    for r in runs:
+        prof = r.get("profile", {})
+        counters["events_fired_total"] += prof.get("events_fired", 0)
+        counters["events_scheduled_total"] += prof.get("events_scheduled", 0)
+        counters["events_descheduled_total"] += prof.get(
+            "events_descheduled", 0)
+        counters["peak_queue_depth_max"] = max(
+            counters["peak_queue_depth_max"],
+            prof.get("peak_queue_depth", 0))
+        counters["packets_issued_total"] += prof.get("packets_issued", 0)
+        counters["completed_reads_total"] += r.get("perf", {}).get(
+            "completed_reads", 0)
+        counters["violations_total"] += r.get("violations", 0)
+        wall += prof.get("wall_s", 0.0)
+    if wall > 0:
+        counters["events_per_s"] = counters["events_fired_total"] / wall
+    return {doc.get("bench", "?"): {"kind": "memnet", "counters": counters}}
+
+
+def extract_gbench(doc):
+    """One entry per google-benchmark case, user counters only."""
+    entries = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        counters = {}
+        for k, v in b.items():
+            if k in _EXCLUDED or not isinstance(v, (int, float)) \
+                    or isinstance(v, bool):
+                continue
+            if k in ("iterations", "repetitions", "repetition_index",
+                     "family_index", "per_family_instance_index",
+                     "threads"):
+                continue
+            counters[k] = v
+        if counters:
+            entries[b["name"]] = {"kind": "gbench", "counters": counters}
+    return entries
+
+
+def extract(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" in doc:
+        return extract_gbench(doc)
+    if "runs" in doc:
+        return extract_memnet(doc)
+    raise ValueError(f"{path}: neither memnet bench JSON nor "
+                     "google-benchmark JSON")
+
+
+def tolerance_for(baseline, label, counter):
+    """Resolve the relative tolerance for one label:counter pair."""
+    key = f"{label}:{counter}"
+    for pattern, tol in baseline.get("tolerances", {}).items():
+        if re.search(pattern, key):
+            return float(tol)
+    defaults = baseline.get("defaults", {})
+    if is_rate(counter):
+        return float(defaults.get("rate_rel_tol", DEFAULT_RATE_REL_TOL))
+    return float(defaults.get("exact_rel_tol", DEFAULT_EXACT_REL_TOL))
+
+
+def check_entry(baseline, label, base_counters, cur_counters, report):
+    """Compare one label's counters; append report lines.
+
+    Returns the number of failures.
+    """
+    failures = 0
+    for counter, base in sorted(base_counters.items()):
+        key = f"{label}:{counter}"
+        if counter not in cur_counters:
+            report.append(f"FAIL {key}: missing from current results")
+            failures += 1
+            continue
+        cur = cur_counters[counter]
+        tol = tolerance_for(baseline, label, counter)
+        if is_rate(counter):
+            floor = (1.0 - tol) * base
+            if cur < floor:
+                report.append(
+                    f"FAIL {key}: {cur:.4g} < {floor:.4g} "
+                    f"(baseline {base:.4g}, tol {tol})")
+                failures += 1
+            elif base > 0 and cur > (1.0 + tol) * base:
+                report.append(
+                    f"note {key}: improved {base:.4g} -> {cur:.4g}; "
+                    "consider re-recording the baseline")
+            else:
+                report.append(f"ok   {key}: {cur:.4g} "
+                              f"(baseline {base:.4g}, one-sided)")
+        else:
+            scale = max(abs(base), abs(cur))
+            if abs(cur - base) > tol * scale:
+                report.append(
+                    f"FAIL {key}: {cur!r} != baseline {base!r} "
+                    f"(rel tol {tol})")
+                failures += 1
+            else:
+                report.append(f"ok   {key}: {cur!r}")
+    for counter in sorted(set(cur_counters) - set(base_counters)):
+        report.append(f"note {label}:{counter}: not in baseline "
+                      "(re-record to start tracking it)")
+    return failures
+
+
+def cmd_record(args):
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        baseline = {}
+    baseline.setdefault("schema_version", BASELINE_SCHEMA_VERSION)
+    baseline.setdefault("defaults", {
+        "exact_rel_tol": DEFAULT_EXACT_REL_TOL,
+        "rate_rel_tol": DEFAULT_RATE_REL_TOL,
+    })
+    baseline.setdefault("tolerances", {})
+    entries = baseline.setdefault("entries", {})
+    for path in args.files:
+        for label, entry in extract(path).items():
+            entries[label] = entry
+            print(f"recorded {label}: "
+                  f"{len(entry['counters'])} counters")
+    entries = dict(sorted(entries.items()))
+    baseline["entries"] = entries
+    with open(args.baseline, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.baseline} ({len(entries)} entries)")
+    return 0
+
+
+def cmd_check(args):
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load baseline: {e}", file=sys.stderr)
+        return 2
+
+    entries = baseline.get("entries", {})
+    failures = 0
+    report = []
+    for path in args.files:
+        for label, entry in extract(path).items():
+            if label not in entries:
+                report.append(
+                    f"FAIL {label}: no baseline entry (run "
+                    f"'bench_compare.py record' and commit the result)")
+                failures += 1
+                continue
+            failures += check_entry(baseline, label,
+                                    entries[label]["counters"],
+                                    entry["counters"], report)
+    for line in report:
+        print(line)
+    if failures:
+        print(f"{failures} failure(s) against {args.baseline}")
+        return 1
+    print(f"all checks passed against {args.baseline}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="record/check bench baselines for CI")
+    sub = ap.add_subparsers(dest="mode", required=True)
+    for name, fn in (("record", cmd_record), ("check", cmd_check)):
+        p = sub.add_parser(name)
+        p.add_argument("--baseline", required=True,
+                       help="baseline JSON path (ci/bench_baseline.json)")
+        p.add_argument("files", nargs="+",
+                       help="BENCH_*.json files to record/check")
+        p.set_defaults(fn=fn)
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

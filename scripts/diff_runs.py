@@ -26,7 +26,9 @@ import json
 import re
 import sys
 
-DEFAULT_IGNORE = r"(wall|per_s|per_sec|_rate|elapsed)"
+# prof_phases (and any prof* key) carries host-side profiler wall-clock
+# data, so a profiled run still diffs clean against an unprofiled one.
+DEFAULT_IGNORE = r"(wall|per_s|per_sec|_rate|elapsed|prof)"
 
 
 def walk(a, b, path, ignore, rtol, diffs):

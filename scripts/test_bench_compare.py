@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py (stdlib unittest only).
+
+Run directly or via ctest (test_bench_compare). Exercises the
+record -> check round trip for both input formats, the one-sided rate
+band, the two-sided exact band, tolerance overrides, and the failure
+modes check is supposed to catch.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare as bc
+
+
+def memnet_doc(events_fired=1000, wall=0.5, completed=40, violations=0):
+    return {
+        "schema_version": 2,
+        "bench": "bench_fig5",
+        "runs": [
+            {
+                "key": "star/aware",
+                "result": {
+                    "perf": {"completed_reads": completed},
+                    "violations": violations,
+                    "profile": {
+                        "events_fired": events_fired,
+                        "events_scheduled": events_fired + 10,
+                        "events_descheduled": 3,
+                        "peak_queue_depth": 52,
+                        "packets_issued": 200,
+                        "wall_s": wall,
+                    },
+                },
+            }
+        ],
+    }
+
+
+def gbench_doc(rate=2.0e6):
+    return {
+        "context": {"date": "x"},
+        "benchmarks": [
+            {
+                "name": "BM_EventQueue",
+                "run_type": "iteration",
+                "iterations": 100,
+                "real_time": 12.5,
+                "cpu_time": 12.4,
+                "events_per_s": rate,
+                "events_total": 4096,
+            },
+            {
+                "name": "BM_EventQueue_mean",
+                "run_type": "aggregate",
+                "events_per_s": rate,
+            },
+        ],
+    }
+
+
+class ExtractTest(unittest.TestCase):
+    def test_memnet_aggregation(self):
+        entries = bc.extract_memnet(memnet_doc())
+        counters = entries["bench_fig5"]["counters"]
+        self.assertEqual(counters["events_fired_total"], 1000)
+        self.assertEqual(counters["events_scheduled_total"], 1010)
+        self.assertEqual(counters["peak_queue_depth_max"], 52)
+        self.assertEqual(counters["completed_reads_total"], 40)
+        self.assertAlmostEqual(counters["events_per_s"], 2000.0)
+        self.assertNotIn("wall_s", counters)
+
+    def test_gbench_skips_aggregates_and_time_fields(self):
+        entries = bc.extract_gbench(gbench_doc())
+        self.assertEqual(list(entries), ["BM_EventQueue"])
+        counters = entries["BM_EventQueue"]["counters"]
+        self.assertNotIn("real_time", counters)
+        self.assertNotIn("cpu_time", counters)
+        self.assertNotIn("iterations", counters)
+        self.assertEqual(counters["events_per_s"], 2.0e6)
+        self.assertEqual(counters["events_total"], 4096)
+
+    def test_rate_classification(self):
+        self.assertTrue(bc.is_rate("events_per_s"))
+        self.assertTrue(bc.is_rate("reads_per_sec"))
+        self.assertTrue(bc.is_rate("miss_rate"))
+        self.assertTrue(bc.is_rate("items_per_second"))
+        self.assertTrue(bc.is_rate("bytes_per_second"))
+        self.assertFalse(bc.is_rate("events_fired_total"))
+
+
+class RoundTripTest(unittest.TestCase):
+    """record then check through the real CLI entry points."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self.dir.name, "baseline.json")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_cli(self, *argv):
+        old = sys.argv
+        sys.argv = ["bench_compare.py"] + list(argv)
+        try:
+            return bc.main()
+        finally:
+            sys.argv = old
+
+    def record(self, *files):
+        self.assertEqual(
+            self.run_cli("record", "--baseline", self.baseline, *files), 0)
+
+    def test_identical_results_pass(self):
+        f1 = self.write("m.json", memnet_doc())
+        f2 = self.write("g.json", gbench_doc())
+        self.record(f1, f2)
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, f1, f2), 0)
+
+    def test_exact_counter_regression_fails(self):
+        f1 = self.write("m.json", memnet_doc())
+        self.record(f1)
+        f2 = self.write("m2.json", memnet_doc(completed=39))
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, f2), 1)
+
+    def test_rate_regression_fails_only_below_band(self):
+        f1 = self.write("g.json", gbench_doc(rate=1.0e6))
+        self.record(f1)
+        # 30% slower: inside the default 0.8 one-sided band.
+        ok = self.write("ok.json", gbench_doc(rate=0.7e6))
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, ok), 0)
+        # 90% slower: below the band.
+        bad = self.write("bad.json", gbench_doc(rate=0.1e6))
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, bad), 1)
+
+    def test_rate_improvement_passes(self):
+        f1 = self.write("g.json", gbench_doc(rate=1.0e6))
+        self.record(f1)
+        fast = self.write("fast.json", gbench_doc(rate=5.0e6))
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, fast), 0)
+
+    def test_missing_label_fails(self):
+        f1 = self.write("m.json", memnet_doc())
+        self.record(f1)
+        other = memnet_doc()
+        other["bench"] = "bench_fig15"
+        f2 = self.write("other.json", other)
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, f2), 1)
+
+    def test_missing_counter_fails_extra_counter_does_not(self):
+        f1 = self.write("g.json", gbench_doc())
+        self.record(f1)
+        doc = gbench_doc()
+        del doc["benchmarks"][0]["events_total"]
+        doc["benchmarks"][0]["new_metric"] = 7
+        f2 = self.write("g2.json", doc)
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, f2), 1)
+
+    def test_tolerance_override_applies(self):
+        f1 = self.write("m.json", memnet_doc())
+        self.record(f1)
+        with open(self.baseline) as f:
+            baseline = json.load(f)
+        # Loosen completed_reads_total to a 10% band via the regex map.
+        baseline["tolerances"][r"bench_fig5:completed_reads_total"] = 0.1
+        with open(self.baseline, "w") as f:
+            json.dump(baseline, f)
+        f2 = self.write("m2.json", memnet_doc(completed=38))  # -5%
+        self.assertEqual(
+            self.run_cli("check", "--baseline", self.baseline, f2), 0)
+
+    def test_record_merges_and_keeps_other_entries(self):
+        f1 = self.write("m.json", memnet_doc())
+        self.record(f1)
+        other = memnet_doc(events_fired=777)
+        other["bench"] = "bench_fig15"
+        f2 = self.write("other.json", other)
+        self.record(f2)
+        with open(self.baseline) as f:
+            baseline = json.load(f)
+        self.assertEqual(sorted(baseline["entries"]),
+                         ["bench_fig15", "bench_fig5"])
+        # Re-recording one bench must not clobber the other.
+        self.assertEqual(
+            baseline["entries"]["bench_fig15"]["counters"]
+            ["events_fired_total"], 777)
+
+    def test_unknown_format_raises(self):
+        path = self.write("odd.json", {"neither": True})
+        with self.assertRaises(ValueError):
+            bc.extract(path)
+
+    def test_missing_baseline_is_error_not_crash(self):
+        f1 = self.write("m.json", memnet_doc())
+        self.assertEqual(
+            self.run_cli("check", "--baseline",
+                         os.path.join(self.dir.name, "absent.json"), f1),
+            2)
+
+
+class CheckEntryTest(unittest.TestCase):
+    def test_exact_band_is_two_sided(self):
+        baseline = {"defaults": {"exact_rel_tol": 1e-6}}
+        report = []
+        # Exactly equal: ok in both directions.
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"x": 100}, {"x": 100}, report),
+            0)
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"x": 100}, {"x": 101}, report),
+            1)
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"x": 100}, {"x": 99}, report),
+            1)
+
+    def test_zero_baseline_rate_never_divides(self):
+        baseline = {"defaults": {"rate_rel_tol": 0.8}}
+        report = []
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"x_per_s": 0.0},
+                           {"x_per_s": 0.0}, report), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -96,8 +96,16 @@ def main(argv):
             if len(errors) > 20:
                 print(f"  ... and {len(errors) - 20} more")
         else:
-            runs = len(doc.get("runs", []))
-            print(f"{path}: OK ({doc.get('bench', '?')}, {runs} runs)")
+            runs = doc.get("runs", [])
+            # schema_version 2: note how many runs carry host-profiler
+            # phases so a --profile smoke run is visible in the CI log.
+            profiled = sum(
+                1 for r in runs
+                if r.get("result", {}).get("profile", {}).get("prof_phases")
+            )
+            note = f", {profiled} profiled" if profiled else ""
+            print(f"{path}: OK ({doc.get('bench', '?')}, "
+                  f"{len(runs)} runs{note})")
     return 1 if failed else 0
 
 

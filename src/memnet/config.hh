@@ -15,6 +15,7 @@
 #include "linkpm/modes.hh"
 #include "net/topology.hh"
 #include "obs/options.hh"
+#include "obs/prof.hh"
 #include "power/power_breakdown.hh"
 #include "sim/fault.hh"
 #include "sim/types.hh"
@@ -191,7 +192,8 @@ struct ReliabilityStats
 
 /**
  * Simulation-rate profile of one run (whole run, warmup included).
- * wallSeconds is the only field that varies between identical runs.
+ * wallSeconds and profPhases are the only fields that vary between
+ * identical runs; everything else is simulation-determined.
  */
 struct RunProfile
 {
@@ -207,6 +209,23 @@ struct RunProfile
 
     /** Invariant checks the runtime auditor ran (0 = auditing off). */
     std::uint64_t auditChecksRun = 0;
+
+    /** Explicit event removals (link sleep timers, watchdog rearms). */
+    std::uint64_t eventsDescheduled = 0;
+    /** High-water mark of the event queue over the whole run. */
+    std::uint64_t peakQueueDepth = 0;
+    /** Events fired per dispatchWindowPs of sim time (closed windows). */
+    std::vector<std::uint64_t> dispatchWindows;
+    /** Sim-time length of one dispatchWindows entry. */
+    Tick dispatchWindowPs = 0;
+
+    /**
+     * Host-side profiler phases attributed to this run (empty unless
+     * prof::setEnabled(true)). Wall-clock data: like wallSeconds, it
+     * varies between identical runs and is excluded from differential
+     * comparison (audit::diffRunResults) and diff_runs.py.
+     */
+    std::vector<prof::ProfPhase> profPhases;
 
     /** Heap allocations the packet freelist avoided. */
     std::uint64_t

@@ -9,6 +9,7 @@
 #include "mgmt/manager.hh"
 #include "mgmt/static_taper.hh"
 #include "net/network.hh"
+#include "obs/prof.hh"
 #include "sim/event_queue.hh"
 #include "sim/log.hh"
 #include "workload/processor.hh"
@@ -85,6 +86,7 @@ class ChannelSwitch : public TrafficTarget
     void
     inject(Packet *pkt) override
     {
+        MEMNET_PROF_SCOPE("mc/fanout");
         const ChannelRemap::Target t = remap.map(pkt->addr);
         pkt->addr = t.local;
         nets[t.channel]->inject(pkt);

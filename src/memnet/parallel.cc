@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/prof.hh"
+
 namespace memnet
 {
 
@@ -44,12 +46,14 @@ ParallelRunner::run(const std::vector<SystemConfig> &configs)
     std::mutex errorMu;
 
     auto worker = [&]() {
+        MEMNET_PROF_SCOPE("parallel/worker");
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= configs.size())
                 return;
             try {
+                MEMNET_PROF_SCOPE("parallel/job");
                 runner_.get(configs[i]);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(errorMu);

@@ -1,5 +1,6 @@
 #include "memnet/report.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "memnet/experiment.hh"
@@ -56,7 +57,91 @@ printRunSummary(const RunResult &r)
                         static_cast<unsigned long long>(
                             p.packetAllocsAvoided()));
         }
+        if (p.peakQueueDepth) {
+            std::printf("  event queue: peak depth %llu, %llu "
+                        "descheduled, %zu dispatch windows of %lld us\n",
+                        static_cast<unsigned long long>(p.peakQueueDepth),
+                        static_cast<unsigned long long>(
+                            p.eventsDescheduled),
+                        p.dispatchWindows.size(),
+                        static_cast<long long>(p.dispatchWindowPs /
+                                               us(1)));
+        }
+        if (!p.profPhases.empty()) {
+            // Rank by self time (inclusive minus direct children), so
+            // a parent whose time is all in one child doesn't shadow
+            // it.
+            std::vector<prof::ProfPhase> rows = p.profPhases;
+            for (prof::ProfPhase &ph : rows) {
+                std::uint64_t kids = 0;
+                for (const prof::ProfPhase &c : p.profPhases) {
+                    if (c.path.size() > ph.path.size() + 1 &&
+                        c.path.compare(0, ph.path.size(), ph.path) ==
+                            0 &&
+                        c.path[ph.path.size()] == ';' &&
+                        c.path.find(';', ph.path.size() + 1) ==
+                            std::string::npos)
+                        kids += c.ns;
+                }
+                ph.ns = ph.ns > kids ? ph.ns - kids : 0;
+            }
+            std::sort(rows.begin(), rows.end(),
+                      [](const prof::ProfPhase &a,
+                         const prof::ProfPhase &b) {
+                          return a.ns > b.ns;
+                      });
+            std::printf("  host phases (self time):");
+            int shown = 0;
+            for (const prof::ProfPhase &ph : rows) {
+                if (!ph.ns)
+                    break;
+                std::printf("%s %s %.2f ms", shown ? "," : "",
+                            ph.path.c_str(),
+                            static_cast<double>(ph.ns) / 1e6);
+                if (++shown == 4)
+                    break;
+            }
+            std::printf("\n");
+        }
     }
+}
+
+SeedProfileSummary
+summarizeSeedProfiles(const std::vector<const RunResult *> &runs)
+{
+    SeedProfileSummary s;
+    std::vector<double> rates;
+    for (const RunResult *r : runs) {
+        if (!r)
+            continue;
+        ++s.runs;
+        rates.push_back(r->profile.eventsPerSec());
+        s.totalWallSeconds += r->profile.wallSeconds;
+        s.totalEventsFired += r->profile.eventsFired;
+    }
+    if (rates.empty())
+        return s;
+    std::sort(rates.begin(), rates.end());
+    s.minEventsPerSec = rates.front();
+    s.maxEventsPerSec = rates.back();
+    const std::size_t n = rates.size();
+    s.medianEventsPerSec = n % 2 ? rates[n / 2]
+                                 : 0.5 * (rates[n / 2 - 1] +
+                                          rates[n / 2]);
+    return s;
+}
+
+void
+printSeedProfileSummary(const SeedProfileSummary &s)
+{
+    if (!s.runs)
+        return;
+    std::printf("profile over %d runs: %.2f/%.2f/%.2f M events/s "
+                "(min/median/max), %llu events in %.2f s wall total\n",
+                s.runs, s.minEventsPerSec / 1e6,
+                s.medianEventsPerSec / 1e6, s.maxEventsPerSec / 1e6,
+                static_cast<unsigned long long>(s.totalEventsFired),
+                s.totalWallSeconds);
 }
 
 void
@@ -190,16 +275,36 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.field("fault_events", r.reliability.faultEvents);
     w.endObject();
 
-    // wall_s is the one field that varies between identical runs; tools
-    // comparing bench JSON should ignore it (see ci/bench_schema.json).
+    // wall_s and prof_phases vary between identical runs; tools
+    // comparing bench JSON ignore them (scripts/bench_compare.py,
+    // scripts/diff_runs.py — see ci/bench_schema.json).
     w.key("profile");
     w.beginObject();
     w.field("events_fired", r.profile.eventsFired);
     w.field("events_scheduled", r.profile.eventsScheduled);
+    w.field("events_descheduled", r.profile.eventsDescheduled);
+    w.field("peak_queue_depth", r.profile.peakQueueDepth);
     w.field("wall_s", r.profile.wallSeconds);
     w.field("sim_s", r.profile.simSeconds);
     w.field("packets_issued", r.profile.packetsIssued);
     w.field("packet_heap_allocs", r.profile.packetHeapAllocs);
+    w.field("dispatch_window_ps",
+            static_cast<std::uint64_t>(r.profile.dispatchWindowPs));
+    w.key("dispatch_windows");
+    w.beginArray();
+    for (std::uint64_t v : r.profile.dispatchWindows)
+        w.value(v);
+    w.endArray();
+    w.key("prof_phases");
+    w.beginArray();
+    for (const prof::ProfPhase &p : r.profile.profPhases) {
+        w.beginObject();
+        w.field("path", p.path);
+        w.field("ns", p.ns);
+        w.field("count", p.count);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 
     w.endObject();

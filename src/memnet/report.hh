@@ -10,6 +10,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "memnet/config.hh"
 
@@ -36,8 +37,29 @@ void printLinkHours(const RunResult &r);
 /** Short name of a bandwidth mechanism ("none", "VWL", "DVFS"). */
 const char *mechanismName(BwMechanism m);
 
+/**
+ * Wall-clock profile aggregated over seed replicas: the spread of the
+ * per-run event rates plus the totals, so a --seeds sweep reports all
+ * of its runs instead of just the last one.
+ */
+struct SeedProfileSummary
+{
+    int runs = 0;
+    double minEventsPerSec = 0.0;
+    double medianEventsPerSec = 0.0;
+    double maxEventsPerSec = 0.0;
+    double totalWallSeconds = 0.0;
+    std::uint64_t totalEventsFired = 0;
+};
+
+SeedProfileSummary
+summarizeSeedProfiles(const std::vector<const RunResult *> &runs);
+
+/** One-line rendering of a SeedProfileSummary. */
+void printSeedProfileSummary(const SeedProfileSummary &s);
+
 /** Schema version of the bench --json format (see ci/bench_schema.json). */
-constexpr int kBenchJsonSchemaVersion = 1;
+constexpr int kBenchJsonSchemaVersion = 2;
 
 /** Emit one RunResult as a JSON object (config echo + measurements). */
 void writeRunResultJson(obs::JsonWriter &w, const RunResult &r);

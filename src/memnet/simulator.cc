@@ -104,6 +104,16 @@ class SimulatorImpl
     RunResult
     run()
     {
+        // Per-run profiler capture: attributes every phase recorded on
+        // this thread between here and the end of run() to this
+        // RunResult, which stays correct when Runner reuses a thread
+        // or ParallelRunner runs several sims concurrently.
+        prof::ScopedCapture capture("sim/run");
+        // The construction phase can't sit in its own block (everything
+        // built here outlives it), so the scope is closed by hand right
+        // before the warmup dispatch.
+        prof::Scope build{"sim/build"};
+
         const WorkloadProfile &profile = workloadByName(cfg.workload);
         const int n = profile.modulesFor(cfg.chunkBytes());
 
@@ -198,9 +208,13 @@ class SimulatorImpl
 
         proc.start(0);
 
+        build.close();
         const auto wall_start = std::chrono::steady_clock::now();
         const Tick measure = effectiveMeasure(cfg);
-        eq.runUntil(cfg.warmup);
+        {
+            MEMNET_PROF_SCOPE("sim/warmup");
+            eq.runUntil(cfg.warmup);
+        }
         net.resetStats();
         proc.resetStats();
         if (hub)
@@ -208,7 +222,10 @@ class SimulatorImpl
         if (auditor)
             auditor->onMeasureStart(eq.now());
         const Tick end = cfg.warmup + measure;
-        eq.runUntil(end);
+        {
+            MEMNET_PROF_SCOPE("sim/measure");
+            eq.runUntil(end);
+        }
         if (auditor)
             auditor->finalCheck(eq.now());
         const double wall_secs =
@@ -216,8 +233,12 @@ class SimulatorImpl
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
 
-        RunResult r = collect(eq, net, proc, mgr.get(), injector.get(),
-                              measure);
+        RunResult r;
+        {
+            MEMNET_PROF_SCOPE("sim/collect");
+            r = collect(eq, net, proc, mgr.get(), injector.get(),
+                        measure);
+        }
         r.profile.eventsFired = eq.fired();
         r.profile.eventsScheduled = eq.scheduledTotal();
         r.profile.wallSeconds = wall_secs;
@@ -225,8 +246,15 @@ class SimulatorImpl
         r.profile.packetsIssued = proc.packetPool().acquired();
         r.profile.packetHeapAllocs = proc.packetPool().heapAllocated();
         r.profile.auditChecksRun = auditor ? auditor->checksRun() : 0;
+        r.profile.eventsDescheduled = eq.descheduledTotal();
+        r.profile.peakQueueDepth = eq.peakPending();
+        r.profile.dispatchWindows = eq.dispatchWindows();
+        r.profile.dispatchWindowPs = eq.dispatchWindowPs();
         if (hub)
             hub->finish(eq.now());
+        // Close the capture last so the phase rows cover collect() and
+        // the obs flush as well as the dispatch loops.
+        r.profile.profPhases = capture.finish();
         return r;
     }
 

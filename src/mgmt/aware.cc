@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/debug_trace.hh"
+#include "obs/prof.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -222,6 +223,7 @@ AwareManager::redistribute(Tick)
     lastIspRounds_ = 0;
     for (int iter = 0; iter < opts.ispIterations && unused > 0.0;
          ++iter) {
+        MEMNET_PROF_SCOPE("mgmt/isp_round");
         ++lastIspRounds_;
         ++ispRounds_;
         MEMNET_TRACE_V(ISP, 2, "iteration ", iter, ": unused AMS ",

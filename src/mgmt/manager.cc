@@ -4,6 +4,7 @@
 
 #include "dram/dram_params.hh"
 #include "obs/debug_trace.hh"
+#include "obs/prof.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -106,6 +107,7 @@ PowerManager::applySelections(Tick now)
 void
 PowerManager::epochTick()
 {
+    MEMNET_PROF_SCOPE("mgmt/epoch");
     const Tick now = eq.now();
 
     // 1. Per-module FEL/AEL for the epoch that just ended (Section V-A):

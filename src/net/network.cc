@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include "obs/prof.hh"
 #include "sim/log.hh"
 
 namespace memnet
@@ -56,6 +57,7 @@ Network::~Network() = default;
 void
 Network::inject(Packet *pkt)
 {
+    MEMNET_PROF_SCOPE("net/inject");
     if (audit_)
         audit_->onInject(*pkt, eq.now());
     pkt->homeModule = amap_.moduleOf(pkt->addr);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "obs/prof.hh"
 
 namespace memnet
 {
@@ -38,6 +39,7 @@ class PacketPool
     Packet *
     acquire()
     {
+        MEMNET_PROF_SCOPE("net/pkt_alloc");
         if (free_.empty())
             grow();
         Packet *p = free_.back();
@@ -52,6 +54,7 @@ class PacketPool
     void
     release(Packet *p)
     {
+        MEMNET_PROF_SCOPE("net/pkt_dispose");
         free_.push_back(p);
         ++released_;
     }

@@ -1,5 +1,6 @@
 #include "obs/obs.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -81,6 +82,39 @@ ObsHub::registerStats()
     sim.addInt("now_ps", "current simulated time (ps)", [&eq] {
         return static_cast<std::uint64_t>(eq.now());
     });
+
+    // Event-queue health: how deep the heap gets and how dispatch load
+    // spreads over sim time. All simulation-determined (no wall clock).
+    auto eqh = reg.scope("sim.eq.");
+    eqh.addInt("events_descheduled", "deschedule() calls so far",
+               [&eq] { return eq.descheduledTotal(); });
+    eqh.addInt("peak_depth", "pending-event high-water mark",
+               [&eq] { return eq.peakPending(); });
+    eqh.addInt("pending", "events pending right now",
+               [&eq] { return eq.pending(); });
+    eqh.addInt("dispatch_window_ps", "dispatch-rate window length (ps)",
+               [&eq] {
+                   return static_cast<std::uint64_t>(
+                       eq.dispatchWindowPs());
+               });
+    eqh.addInt("dispatch_windows", "closed dispatch-rate windows",
+               [&eq] { return eq.dispatchWindows().size(); });
+    eqh.addInt("dispatch_window_max", "busiest window's event count",
+               [&eq] {
+                   const auto &w = eq.dispatchWindows();
+                   return w.empty()
+                              ? std::uint64_t{0}
+                              : *std::max_element(w.begin(), w.end());
+               });
+    // Depth histogram, one stat per occupied power-of-two bucket.
+    for (std::size_t b = 0; b < EventQueue::kDepthBuckets; ++b) {
+        std::ostringstream nm;
+        nm << "depth_hist_p2_" << b;
+        eqh.addInt(nm.str(),
+                   "dispatches with bit_width(pending) == " +
+                       std::to_string(b),
+                   [&eq, b] { return eq.depthHistogram()[b]; });
+    }
 
     auto n = reg.scope("net.");
     n.addInt("injected_packets", "request packets injected",

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include "obs/prof.hh"
+
 namespace memnet
 {
 
@@ -21,12 +23,42 @@ EventQueue::~EventQueue()
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
+    // One scope per runUntil call, not per event: the per-dispatch cost
+    // of two clock reads would distort the very loop being measured.
+    MEMNET_PROF_SCOPE("eq/dispatch");
     std::uint64_t n = 0;
     while (!heap.empty()) {
         Event *ev = heap.front().ev;
         if (ev->_when > limit)
             break;
         memnet_assert(ev->_when >= _now, "time went backwards");
+
+        // Depth histogram: sample pending() as the dispatch finds it.
+        const std::size_t bucket = std::min<std::size_t>(
+            std::bit_width(heap.size()), kDepthBuckets - 1);
+        ++_depthHist[bucket];
+
+        // Close every dispatch-rate window the queue jumped over. A
+        // sparse tail (one event eons ahead) would fill unbounded zero
+        // windows, so past a generous cap the window grid realigns to
+        // the event instead of recording the gap.
+        if (ev->_when - _windowStart >= _dispatchWindowPs) {
+            std::uint64_t gap =
+                static_cast<std::uint64_t>(ev->_when - _windowStart) /
+                static_cast<std::uint64_t>(_dispatchWindowPs);
+            if (gap > 1u << 16) {
+                _windowStart = ev->_when - ev->_when % _dispatchWindowPs;
+                _windowFired = 0;
+            } else {
+                while (gap--) {
+                    _dispatchWindows.push_back(_windowFired);
+                    _windowFired = 0;
+                    _windowStart += _dispatchWindowPs;
+                }
+            }
+        }
+        ++_windowFired;
+
         removeAt(0);
         _now = ev->_when;
         ev->_scheduled = false;

@@ -6,6 +6,7 @@
  *  - runMultiChannel(channels=1) vs the single-network Simulator;
  *  - obs-on vs obs-off;
  *  - audit-on vs audit-off;
+ *  - host profiler enabled vs disabled;
  *  - parallel sweep (--jobs style) vs serial execution.
  */
 
@@ -17,6 +18,7 @@
 #include "audit/differential.hh"
 #include "memnet/parallel.hh"
 #include "memnet/simulator.hh"
+#include "obs/prof.hh"
 
 namespace memnet
 {
@@ -107,6 +109,32 @@ TEST(Differential, AuditOnEqualsOff)
     const auto diffs = audit::diffRunResults(runSimulation(bare),
                                              runSimulation(audited));
     EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(Differential, ProfilingOnEqualsOff)
+{
+    // The host-side profiler reads clocks and writes thread_local
+    // memory only, so every simulation-determined field — including
+    // the new event-queue health counters — must be bit-identical
+    // with it on or off. Only wallSeconds/profPhases (excluded from
+    // diffRunResults) may differ.
+    const SystemConfig cfg =
+        shortConfig(TopologyKind::Star, Policy::Aware);
+    const RunResult off = runSimulation(cfg);
+
+    prof::reset();
+    prof::setEnabled(true);
+    const RunResult on = runSimulation(cfg);
+    prof::setEnabled(false);
+
+    const auto diffs = audit::diffRunResults(off, on);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+
+#if MEMNET_PROFILE
+    // And the profiled run actually carried phase data.
+    EXPECT_FALSE(on.profile.profPhases.empty());
+    EXPECT_TRUE(off.profile.profPhases.empty());
+#endif
 }
 
 TEST(Differential, ParallelSweepEqualsSerial)

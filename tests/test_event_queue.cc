@@ -166,6 +166,79 @@ TEST(EventQueue, PendingTracksLiveEvents)
 }
 
 // ---------------------------------------------------------------------
+// Queue-health counters (peak depth, deschedules, depth histogram,
+// dispatch-rate windows) — surfaced through RunProfile and the stats
+// registry, so their semantics are pinned down here.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueHealth, PeakDepthIsHighWaterNotCurrent)
+{
+    EventQueue eq;
+    CountingEvent a, b, c;
+    eq.schedule(&a, ns(1));
+    eq.schedule(&b, ns(2));
+    eq.schedule(&c, ns(3));
+    EXPECT_EQ(eq.peakPending(), 3u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.peakPending(), 3u); // high-water survives the drain
+    EXPECT_EQ(eq.scheduledTotal(), 3u);
+}
+
+TEST(EventQueueHealth, DescheduledCountsExplicitCancelsOnly)
+{
+    EventQueue eq;
+    CountingEvent a, b;
+    eq.schedule(&a, ns(1));
+    eq.schedule(&b, ns(2));
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.descheduledTotal(), 1u);
+    // Dispatch pops and reschedules are not deschedules.
+    eq.schedule(&a, ns(3));
+    eq.reschedule(&a, ns(4));
+    eq.run();
+    EXPECT_EQ(eq.descheduledTotal(), 1u);
+}
+
+TEST(EventQueueHealth, DepthHistogramCountsEveryDispatch)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(ns(i + 1), [] {});
+    eq.run();
+    std::uint64_t total = 0;
+    for (std::uint64_t v : eq.depthHistogram())
+        total += v;
+    EXPECT_EQ(total, eq.fired());
+    // First dispatch saw all 10 pending: bucket bit_width(10) = 4.
+    EXPECT_GE(eq.depthHistogram()[4], 1u);
+}
+
+TEST(EventQueueHealth, DispatchWindowsCloseOnSimTimeBoundaries)
+{
+    EventQueue eq;
+    eq.setDispatchWindow(ns(100));
+    EXPECT_EQ(eq.dispatchWindowPs(), ns(100));
+    for (Tick t : {ns(10), ns(50), ns(120), ns(350)})
+        eq.schedule(t, [] {});
+    eq.run();
+    // [0,100): 2 events; [100,200): 1; [200,300): 0. The window holding
+    // the final event stays open and is not reported.
+    EXPECT_EQ(eq.dispatchWindows(),
+              (std::vector<std::uint64_t>{2, 1, 0}));
+}
+
+TEST(EventQueueHealth, HugeIdleGapRealignsInsteadOfZeroFilling)
+{
+    EventQueue eq;
+    eq.setDispatchWindow(ns(1));
+    eq.schedule(us(100), [] {}); // 1e5 windows ahead: over the cap
+    eq.run();
+    EXPECT_TRUE(eq.dispatchWindows().empty());
+    EXPECT_EQ(eq.fired(), 1u);
+}
+
+// ---------------------------------------------------------------------
 // Randomized stress test against a reference model
 // ---------------------------------------------------------------------
 

@@ -89,5 +89,65 @@ TEST(Report, ModuleDetailsAreConsistent)
     }
 }
 
+RunResult
+fakeProfiledRun(std::uint64_t events, double wall)
+{
+    RunResult r;
+    r.profile.eventsFired = events;
+    r.profile.wallSeconds = wall;
+    return r;
+}
+
+TEST(SeedProfileSummary, OddCountPicksMiddleRate)
+{
+    // Rates: 100/1=100, 300/1=300, 200/1=200 events/s.
+    const RunResult a = fakeProfiledRun(100, 1.0);
+    const RunResult b = fakeProfiledRun(300, 1.0);
+    const RunResult c = fakeProfiledRun(200, 1.0);
+    const SeedProfileSummary s =
+        summarizeSeedProfiles({&a, &b, &c});
+    EXPECT_EQ(s.runs, 3);
+    EXPECT_DOUBLE_EQ(s.minEventsPerSec, 100.0);
+    EXPECT_DOUBLE_EQ(s.medianEventsPerSec, 200.0);
+    EXPECT_DOUBLE_EQ(s.maxEventsPerSec, 300.0);
+    EXPECT_EQ(s.totalEventsFired, 600u);
+    EXPECT_DOUBLE_EQ(s.totalWallSeconds, 3.0);
+}
+
+TEST(SeedProfileSummary, EvenCountAveragesTheMiddlePair)
+{
+    const RunResult a = fakeProfiledRun(100, 1.0);
+    const RunResult b = fakeProfiledRun(400, 1.0);
+    const RunResult c = fakeProfiledRun(200, 1.0);
+    const RunResult d = fakeProfiledRun(300, 1.0);
+    const SeedProfileSummary s =
+        summarizeSeedProfiles({&a, &b, &c, &d});
+    EXPECT_DOUBLE_EQ(s.medianEventsPerSec, 250.0);
+}
+
+TEST(SeedProfileSummary, EmptyAndNullInputsAreHarmless)
+{
+    const SeedProfileSummary empty = summarizeSeedProfiles({});
+    EXPECT_EQ(empty.runs, 0);
+    const SeedProfileSummary nulls =
+        summarizeSeedProfiles({nullptr, nullptr});
+    EXPECT_EQ(nulls.runs, 0);
+    // Printing an empty summary emits nothing.
+    ::testing::internal::CaptureStdout();
+    printSeedProfileSummary(empty);
+    EXPECT_TRUE(::testing::internal::GetCapturedStdout().empty());
+}
+
+TEST(SeedProfileSummary, PrintMentionsMinMedianMax)
+{
+    const RunResult a = fakeProfiledRun(1000000, 1.0);
+    const SeedProfileSummary s = summarizeSeedProfiles({&a});
+    ::testing::internal::CaptureStdout();
+    printSeedProfileSummary(s);
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("min/median/max"), std::string::npos);
+    EXPECT_NE(out.find("1 runs"), std::string::npos);
+}
+
 } // namespace
 } // namespace memnet
