@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "memnet/experiment.hh"
+#include "memnet/journal.hh"
 #include "memnet/parallel.hh"
 #include "memnet/report.hh"
 #include "obs/prof.hh"
@@ -37,6 +38,29 @@ namespace bench
  *   --profile <path>   enable the host-side profiler and dump the
  *                      merged phase tree of the whole sweep (".json"
  *                      = JSON tree, else FlameGraph collapsed stacks)
+ *
+ * Crash-safety flags (docs/ROBUSTNESS.md):
+ *
+ *   --journal <path>   append every freshly executed run to a
+ *                      checksummed JSONL journal, flushed per record
+ *                      (schema: ci/journal_schema.json)
+ *   --resume <path>    pre-load results from a journal; only configs
+ *                      without a valid record re-simulate, and the
+ *                      final output is byte-identical to an
+ *                      uninterrupted run
+ *   --failure-policy <abort|isolate>
+ *                      abort (default): rethrow the first sweep
+ *                      failure after the pool drains; isolate: record
+ *                      failing configs, finish the sweep, exit 1 with
+ *                      partial results
+ *   --config-timeout <seconds>
+ *                      hang watchdog: per-config wall-clock budget,
+ *                      enforced by cooperative cancellation; expiry is
+ *                      routed through the failure policy
+ *   --failure-manifest <path>
+ *                      where the isolate policy writes its
+ *                      machine-readable failure report (schema:
+ *                      ci/failure_manifest_schema.json)
  *
  * Usage:
  *   int main(int argc, char **argv) {
@@ -68,11 +92,32 @@ class BenchIo
                 jobs = std::atoi(argv[++i]);
             } else if (arg == "--profile" && i + 1 < argc) {
                 profilePath = argv[++i];
+            } else if (arg == "--journal" && i + 1 < argc) {
+                journalPath = argv[++i];
+            } else if (arg == "--resume" && i + 1 < argc) {
+                resumePath = argv[++i];
+            } else if (arg == "--failure-policy" && i + 1 < argc) {
+                if (!parseFailurePolicy(argv[++i], &policy)) {
+                    std::fprintf(stderr,
+                                 "%s: --failure-policy must be "
+                                 "'abort' or 'isolate' (got '%s')\n",
+                                 argv[0], argv[i]);
+                    std::exit(2);
+                }
+            } else if (arg == "--config-timeout" && i + 1 < argc) {
+                configTimeoutSec = std::atof(argv[++i]);
+            } else if (arg == "--failure-manifest" && i + 1 < argc) {
+                manifestPath = argv[++i];
             } else {
-                std::fprintf(stderr,
-                             "usage: %s [--json <path>] [--jobs <n>] "
-                             "[--profile <path>]\n",
-                             argv[0]);
+                std::fprintf(
+                    stderr,
+                    "usage: %s [--json <path>] [--jobs <n>] "
+                    "[--profile <path>] [--journal <path>] "
+                    "[--resume <path>] "
+                    "[--failure-policy <abort|isolate>] "
+                    "[--config-timeout <seconds>] "
+                    "[--failure-manifest <path>]\n",
+                    argv[0]);
                 std::exit(2);
             }
         }
@@ -87,13 +132,51 @@ class BenchIo
     {
         if (!profilePath.empty())
             prof::setEnabled(true);
-        if (resolveJobs(jobs) <= 1) {
-            body();
-            return finish(runner);
+
+        if (!resumePath.empty()) {
+            std::map<std::string, RunResult> pool;
+            JournalLoadStats stats;
+            std::string err;
+            if (!loadJournal(resumePath, &pool, &stats, &err)) {
+                memnet_warn("--resume failed: ", err);
+                return 1;
+            }
+            memnet_inform("resume: loaded ", stats.loaded,
+                          " result(s) from ", resumePath, " (",
+                          stats.corrupt, " damaged record(s) skipped)");
+            runner.addResumePool(std::move(pool));
         }
-        ParallelRunner(runner, jobs).run(collectPass(runner, body));
-        body();
-        return finish(runner);
+
+        RunJournal journal(journalPath);
+        if (!journalPath.empty()) {
+            if (!journal.open())
+                return 1;
+            runner.setJournal(&journal);
+        }
+
+        int rc = 0;
+        // Journal/resume work through Runner hooks alone; the engine
+        // (collect/execute/replay) is needed for parallelism, failure
+        // isolation, and the watchdog's monitor thread.
+        const bool needEngine = resolveJobs(jobs) > 1 ||
+                                policy == FailurePolicy::Isolate ||
+                                configTimeoutSec > 0.0;
+        if (!needEngine) {
+            body();
+        } else {
+            ParallelRunner engine(runner, jobs);
+            engine.setFailurePolicy(policy);
+            engine.setConfigTimeout(configTimeoutSec);
+            engine.run(collectPass(runner, body));
+            body();
+            rc = reportFailures(engine);
+        }
+        runner.setJournal(nullptr);
+        if (!journalPath.empty())
+            memnet_inform("journal: appended ", journal.appended(),
+                          " record(s) to ", journal.path());
+        const int frc = finish(runner);
+        return rc != 0 ? rc : frc;
     }
 
     /** Write the JSON dump (if requested); returns the exit code. */
@@ -116,6 +199,40 @@ class BenchIo
     }
 
   private:
+    /**
+     * Isolate-policy epilogue: summarize the casualties and write the
+     * failure manifest when a path was given. Returns 1 when anything
+     * failed, so the sweep exits non-zero alongside partial results.
+     */
+    int
+    reportFailures(const ParallelRunner &engine) const
+    {
+        const std::vector<RunFailure> &failures = engine.failures();
+        if (failures.empty())
+            return 0;
+        memnet_warn("sweep finished with ", failures.size(),
+                    " failed config(s); their rows report zeros and "
+                    "they are absent from --json output");
+        for (const RunFailure &f : failures)
+            memnet_warn("  failed: ", f.config.describe(),
+                        f.timeout ? " [watchdog]" : "", ": ",
+                        f.message);
+        if (!manifestPath.empty()) {
+            std::ofstream os(manifestPath);
+            if (!os) {
+                memnet_warn(
+                    "cannot open --failure-manifest output file: ",
+                    manifestPath);
+                return 1;
+            }
+            writeFailureManifest(os, bench,
+                                 failurePolicyName(
+                                     engine.failurePolicy()),
+                                 engine.configTimeout(), failures);
+        }
+        return 1;
+    }
+
     /**
      * Run the body in collect mode with stdout pointed at /dev/null and
      * warnings muted, so the pass that only discovers configs produces
@@ -150,6 +267,11 @@ class BenchIo
     std::string bench;
     std::string jsonPath;
     std::string profilePath;
+    std::string journalPath;
+    std::string resumePath;
+    std::string manifestPath;
+    FailurePolicy policy = FailurePolicy::Abort;
+    double configTimeoutSec = 0.0;
     int jobs = 1;
 };
 

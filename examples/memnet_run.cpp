@@ -27,6 +27,17 @@
  *                          phase tree, anything else FlameGraph
  *                          collapsed stacks (docs/PERFORMANCE.md)
  *
+ * Crash-safety flags (docs/ROBUSTNESS.md; same semantics as the bench
+ * binaries):
+ *   --journal <path>          append completed runs to a checksummed
+ *                             JSONL journal, flushed per record
+ *   --resume <path>           pre-load results from a journal; only
+ *                             missing configs re-simulate
+ *   --failure-policy <p>      abort|isolate                 [abort]
+ *   --config-timeout <sec>    per-run wall-clock budget (hang
+ *                             watchdog); 0 disables          [0]
+ *   --failure-manifest <path> isolate-policy failure report (JSON)
+ *
  * With --seeds k > 1 the run is replicated over seeds seed..seed+k-1
  * (concurrently when --jobs > 1; results are identical to serial) and
  * a per-seed summary table plus the mean replaces the single-run
@@ -44,13 +55,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <fstream>
+#include <map>
 #include <string>
 
 #include "memnet/experiment.hh"
+#include "memnet/journal.hh"
 #include "memnet/parallel.hh"
 #include "memnet/report.hh"
 #include "memnet/simulator.hh"
 #include "obs/prof.hh"
+#include "sim/log.hh"
 
 namespace
 {
@@ -106,6 +122,94 @@ parsePolicy(const std::string &v)
     usage("unknown policy");
 }
 
+/**
+ * Fail fast on an unwritable output path instead of simulating for
+ * minutes and then only warning. Opened for append, so an existing
+ * file's contents survive the probe.
+ */
+bool
+preflightWritable(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return true;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        std::fprintf(stderr, "memnet_run: cannot open %s output file: %s\n",
+                     flag, path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Crash-safety options shared by the single-run and --seeds paths. */
+struct RobustnessOpts
+{
+    std::string journalPath;
+    std::string resumePath;
+    std::string manifestPath;
+    FailurePolicy policy = FailurePolicy::Abort;
+    double configTimeoutSec = 0.0;
+
+    /** Does the single-run path need the Runner/engine machinery? */
+    bool
+    engaged() const
+    {
+        return !journalPath.empty() || !resumePath.empty() ||
+               policy == FailurePolicy::Isolate || configTimeoutSec > 0.0;
+    }
+};
+
+/** --resume load + --journal attach; false = exit 1. */
+bool
+attachRunner(Runner &runner, RunJournal &journal,
+             const RobustnessOpts &opts)
+{
+    if (!opts.resumePath.empty()) {
+        std::map<std::string, RunResult> pool;
+        JournalLoadStats stats;
+        std::string err;
+        if (!loadJournal(opts.resumePath, &pool, &stats, &err)) {
+            std::fprintf(stderr, "memnet_run: --resume failed: %s\n",
+                         err.c_str());
+            return false;
+        }
+        memnet_inform("resume: loaded ", stats.loaded, " result(s) from ",
+                      opts.resumePath, " (", stats.corrupt,
+                      " damaged record(s) skipped)");
+        runner.addResumePool(std::move(pool));
+    }
+    if (!opts.journalPath.empty()) {
+        if (!journal.open())
+            return false;
+        runner.setJournal(&journal);
+    }
+    return true;
+}
+
+/** Warn + write the failure manifest; 1 when anything failed. */
+int
+reportFailures(const ParallelRunner &engine, const RobustnessOpts &opts)
+{
+    const std::vector<RunFailure> &failures = engine.failures();
+    if (failures.empty())
+        return 0;
+    for (const RunFailure &f : failures)
+        memnet_warn("failed: ", f.config.describe(),
+                    f.timeout ? " [watchdog]" : "", ": ", f.message);
+    if (!opts.manifestPath.empty()) {
+        std::ofstream os(opts.manifestPath);
+        if (!os) {
+            memnet_warn("cannot open --failure-manifest output file: ",
+                        opts.manifestPath);
+            return 1;
+        }
+        writeFailureManifest(os, "memnet_run",
+                             failurePolicyName(engine.failurePolicy()),
+                             engine.configTimeout(), failures);
+    }
+    return 1;
+}
+
 } // namespace
 
 int
@@ -116,6 +220,7 @@ main(int argc, char **argv)
     cfg.topology = TopologyKind::Star;
     std::string report = "summary";
     std::string profilePath;
+    RobustnessOpts ropts;
     int seeds = 1;
     int jobs = 1;
 
@@ -163,6 +268,17 @@ main(int argc, char **argv)
             report = need(i);
         } else if (a == "--profile") {
             profilePath = need(i);
+        } else if (a == "--journal") {
+            ropts.journalPath = need(i);
+        } else if (a == "--resume") {
+            ropts.resumePath = need(i);
+        } else if (a == "--failure-policy") {
+            if (!parseFailurePolicy(need(i), &ropts.policy))
+                usage("--failure-policy must be 'abort' or 'isolate'");
+        } else if (a == "--config-timeout") {
+            ropts.configTimeoutSec = std::atof(need(i).c_str());
+        } else if (a == "--failure-manifest") {
+            ropts.manifestPath = need(i);
         } else if (a == "--stats-json") {
             cfg.obs.statsJsonPath = need(i);
         } else if (a == "--stats-csv") {
@@ -182,8 +298,18 @@ main(int argc, char **argv)
     if (cfg.policy == Policy::StaticTaper)
         cfg.interleavePages = true;
 
+    // Fail before simulating, not after: a typo'd output directory used
+    // to cost the whole run and exit 0 with only a warning.
+    if (!preflightWritable(cfg.obs.statsJsonPath, "--stats-json") ||
+        !preflightWritable(cfg.obs.statsCsvPath, "--stats-csv") ||
+        !preflightWritable(cfg.obs.epochJsonlPath, "--epoch-jsonl") ||
+        !preflightWritable(cfg.obs.chromeTracePath, "--chrome-trace"))
+        return 1;
+
     if (!profilePath.empty())
         prof::setEnabled(true);
+
+    RunJournal journal(ropts.journalPath);
 
     if (seeds > 1) {
         if (!cfg.obs.statsJsonPath.empty() ||
@@ -200,7 +326,19 @@ main(int argc, char **argv)
             replicas.push_back(c);
         }
         Runner runner;
-        ParallelRunner(runner, jobs).run(replicas);
+        if (!attachRunner(runner, journal, ropts))
+            return 1;
+        ParallelRunner engine(runner, jobs);
+        engine.setFailurePolicy(ropts.policy);
+        engine.setConfigTimeout(ropts.configTimeoutSec);
+        try {
+            engine.run(replicas);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "memnet_run: sweep failed: %s\n",
+                         e.what());
+            return 1;
+        }
+        const int failRc = reportFailures(engine, ropts);
 
         TextTable t({"seed", "reads/s", "net power (W)", "per-HMC (W)"});
         double sumReads = 0.0, sumPower = 0.0, sumHmc = 0.0;
@@ -229,10 +367,32 @@ main(int argc, char **argv)
         // worker threads already joined (their trees are retained).
         if (!profilePath.empty() && !prof::writeSnapshotFile(profilePath))
             return 1;
-        return 0;
+        return failRc;
     }
 
-    const RunResult r = runSimulation(cfg);
+    RunResult r;
+    if (ropts.engaged()) {
+        // Route the single run through a Runner so the journal, resume
+        // pool, watchdog, and failure policy all apply to it.
+        Runner runner;
+        if (!attachRunner(runner, journal, ropts))
+            return 1;
+        ParallelRunner engine(runner, 1);
+        engine.setFailurePolicy(ropts.policy);
+        engine.setConfigTimeout(ropts.configTimeoutSec);
+        try {
+            engine.run({cfg});
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "memnet_run: run failed: %s\n",
+                         e.what());
+            return 1;
+        }
+        if (reportFailures(engine, ropts) != 0)
+            return 1;
+        r = runner.get(cfg);
+    } else {
+        r = runSimulation(cfg);
+    }
     if (!profilePath.empty() && !prof::writeSnapshotFile(profilePath))
         return 1;
 

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Validate bench --json output against ci/bench_schema.json.
 
-Implements the subset of JSON Schema the schema file uses — type,
+Implements the subset of JSON Schema the schema files use — type,
 required, properties, items, minimum, minItems — with nothing beyond
 the python3 standard library, so CI needs no pip installs.
 
 Usage:
     scripts/validate_bench_json.py ci/bench_schema.json out/*.json
+    scripts/validate_bench_json.py --jsonl ci/journal_schema.json \\
+        out/sweep.jsonl
+
+With --jsonl each non-empty line of every input file is parsed and
+validated independently (the run-journal format, one record per line).
+A torn final line — the expected residue of a killed sweep — fails
+here; CI validates journals the resume path has already cleaned, or
+accepts a known-torn tail by validating all but the last line.
 """
 
 import json
@@ -68,7 +76,28 @@ def validate(value, schema, path, errors):
                 validate(element, items, f"{path}[{i}]", errors)
 
 
+def _validate_jsonl(path, schema):
+    """Validate every non-empty line of a JSONL file. Returns errors."""
+    errors = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: not JSON: {e}")
+                continue
+            validate(doc, schema, f"line {lineno}", errors)
+    return errors
+
+
 def main(argv):
+    argv = list(argv)
+    jsonl = "--jsonl" in argv
+    if jsonl:
+        argv.remove("--jsonl")
     if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -78,6 +107,26 @@ def main(argv):
 
     failed = False
     for path in argv[2:]:
+        if jsonl:
+            try:
+                errors = _validate_jsonl(path, schema)
+            except OSError as e:
+                print(f"{path}: FAIL: {e}")
+                failed = True
+                continue
+            if errors:
+                failed = True
+                print(f"{path}: FAIL ({len(errors)} problem(s))")
+                for e in errors[:20]:
+                    print(f"  {e}")
+                if len(errors) > 20:
+                    print(f"  ... and {len(errors) - 20} more")
+            else:
+                with open(path) as f:
+                    records = sum(1 for l in f if l.strip())
+                print(f"{path}: OK ({records} record(s))")
+            continue
+
         try:
             with open(path) as f:
                 doc = json.load(f)
@@ -95,6 +144,10 @@ def main(argv):
                 print(f"  {e}")
             if len(errors) > 20:
                 print(f"  ... and {len(errors) - 20} more")
+        elif "failures" in doc:
+            # A failure manifest, not a bench dump.
+            print(f"{path}: OK ({doc.get('failure_policy', '?')} policy, "
+                  f"{len(doc['failures'])} failure(s))")
         else:
             runs = doc.get("runs", [])
             # schema_version 2: note how many runs carry host-profiler

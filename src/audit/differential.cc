@@ -154,6 +154,34 @@ diffRunResults(const RunResult &a, const RunResult &b,
 }
 
 std::vector<DiffEntry>
+diffResultMaps(const std::map<std::string, RunResult> &a,
+               const std::map<std::string, RunResult> &b,
+               const DiffOptions &opts)
+{
+    std::vector<DiffEntry> out;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() || ib != b.end()) {
+        if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+            out.push_back(DiffEntry{"only_in_a:" + ia->first, 1.0, 0.0});
+            ++ia;
+        } else if (ia == a.end() || ib->first < ia->first) {
+            out.push_back(DiffEntry{"only_in_b:" + ib->first, 0.0, 1.0});
+            ++ib;
+        } else {
+            for (DiffEntry &e :
+                 diffRunResults(ia->second, ib->second, opts)) {
+                e.field = ia->first + ": " + e.field;
+                out.push_back(std::move(e));
+            }
+            ++ia;
+            ++ib;
+        }
+    }
+    return out;
+}
+
+std::vector<DiffEntry>
 diffMultiVsSingle(const MultiChannelResult &mc, const RunResult &r,
                   const DiffOptions &opts)
 {

@@ -19,6 +19,7 @@
 #ifndef MEMNET_AUDIT_DIFFERENTIAL_HH
 #define MEMNET_AUDIT_DIFFERENTIAL_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,19 @@ struct DiffOptions
 std::vector<DiffEntry> diffRunResults(const RunResult &a,
                                       const RunResult &b,
                                       const DiffOptions &opts = {});
+
+/**
+ * Compare two whole result caches (Runner::results(), or a journal
+ * loaded via loadJournal) key by key — the crash-safety equivalence: a
+ * killed-and-resumed sweep must match the uninterrupted one exactly.
+ * A key present on only one side yields a DiffEntry whose field is
+ * "only_in_a:<key>" / "only_in_b:<key>"; shared keys contribute their
+ * diffRunResults() mismatches prefixed with the key.
+ */
+std::vector<DiffEntry>
+diffResultMaps(const std::map<std::string, RunResult> &a,
+               const std::map<std::string, RunResult> &b,
+               const DiffOptions &opts = {});
 
 /**
  * Compare a 1-channel multi-channel result against the single-network

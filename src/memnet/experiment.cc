@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "memnet/journal.hh"
 #include "sim/log.hh"
 #include "workload/profile.hh"
 
@@ -120,6 +121,18 @@ Runner::get(const SystemConfig &cfg)
         auto it = cache.find(k);
         if (it != cache.end())
             return it->second;
+        if (failedKeys.count(k))
+            return placeholder;
+        auto rp = resumePool.find(k);
+        if (rp != resumePool.end()) {
+            // Promote the journal record on first request; the pool
+            // entry is spent so a later --resume load can re-fill it.
+            ++resumed;
+            const RunResult &slot =
+                cache.emplace(k, std::move(rp->second)).first->second;
+            resumePool.erase(rp);
+            return slot;
+        }
         if (collecting) {
             // First pass of a --jobs bench run: record, don't simulate.
             if (pendingKeys.insert(k).second)
@@ -143,6 +156,15 @@ Runner::get(const SystemConfig &cfg)
         cv.notify_all();
         throw;
     }
+    // Journal (its own mutex, flushed) before publishing: a crash
+    // after this line can only lose results no caller ever observed.
+    // The pointer is read under the cache lock but the file write
+    // happens outside it, so workers don't serialize on disk I/O.
+    lock.lock();
+    RunJournal *j = journal;
+    lock.unlock();
+    if (j)
+        j->append(k, r);
     lock.lock();
     ++executed;
     if (verbose) {
@@ -166,6 +188,26 @@ Runner::beginCollect()
     collecting = true;
     pendingConfigs.clear();
     pendingKeys.clear();
+}
+
+void
+Runner::addResumePool(std::map<std::string, RunResult> pool)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &kv : pool) {
+        // Keys already promoted (or freshly simulated) stay as they
+        // are; among pending pool entries the latest load wins, the
+        // same dedup rule loadJournal applies within one file.
+        if (!cache.count(kv.first))
+            resumePool.insert_or_assign(kv.first, std::move(kv.second));
+    }
+}
+
+void
+Runner::markFailed(const SystemConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    failedKeys.insert(key(cfg));
 }
 
 std::vector<SystemConfig>

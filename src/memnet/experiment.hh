@@ -22,6 +22,8 @@
 namespace memnet
 {
 
+class RunJournal;
+
 /** The four evaluated topologies, in the paper's order. */
 const std::vector<TopologyKind> &allTopologies();
 
@@ -91,6 +93,46 @@ class Runner
     /** Stop collecting; returns the recorded configs (first-seen order). */
     std::vector<SystemConfig> endCollect();
 
+    /**
+     * Attach a run journal (nullptr detaches): every freshly executed
+     * run is appended and flushed before get() returns it. Cache hits,
+     * resumed results, and collect-mode placeholders are not journaled
+     * — the journal records exactly the work this process performed.
+     */
+    void
+    setJournal(RunJournal *j)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        journal = j;
+    }
+
+    /**
+     * Pre-warm from journal records (--resume): merged into a lazy side
+     * pool, promoted into the cache only when a key is actually
+     * requested. results() therefore still lists exactly the sweep's
+     * own configs — a journal carrying extra runs cannot leak foreign
+     * results into a bench's JSON output. Last call wins per key.
+     */
+    void addResumePool(std::map<std::string, RunResult> pool);
+
+    /** Requests served from the resume pool instead of simulating. */
+    std::uint64_t
+    resumedHits() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return resumed;
+    }
+
+    /**
+     * Poison @p cfg after a failure (isolate policy): later get() calls
+     * return a zeroed placeholder instead of re-running a config known
+     * to crash or hang, and results() never includes it. A waiter
+     * already blocked on the failing in-flight key can slip past the
+     * marker and re-simulate once; the second failure is deterministic
+     * and the failure manifest dedups by key, so this only costs time.
+     */
+    void markFailed(const SystemConfig &cfg);
+
     /** Emit one progress line per fresh run to stderr. */
     bool verbose = false;
 
@@ -100,6 +142,13 @@ class Runner
     std::map<std::string, RunResult> cache;
     /** Keys being simulated right now (dedups concurrent requests). */
     std::set<std::string> inflight;
+    /** Journal attached via setJournal() (not owned). */
+    RunJournal *journal = nullptr;
+    /** Loaded journal records not yet requested (see addResumePool). */
+    std::map<std::string, RunResult> resumePool;
+    /** Keys poisoned by markFailed(). */
+    std::set<std::string> failedKeys;
+    std::uint64_t resumed = 0;
 
     /** Collect-mode state (single-threaded first pass). */
     bool collecting = false;

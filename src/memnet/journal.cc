@@ -1,0 +1,803 @@
+#include "memnet/journal.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "memnet/experiment.hh"
+#include "memnet/parallel.hh"
+#include "obs/json.hh"
+#include "sim/log.hh"
+
+namespace memnet
+{
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    // IEEE 802.3 / zlib polynomial (reflected), table built on first
+    // use so the library carries no third-party dependency.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+bool
+parseHexDouble(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+namespace
+{
+
+using obs::JsonWriter;
+using obs::json::Value;
+
+/* ----------------------------------------------------------------- *
+ * Writing: every scalar as a string (decimal integers, hex-float
+ * doubles) so nothing is squeezed through a double-backed JSON DOM.
+ * ----------------------------------------------------------------- */
+
+void
+numField(JsonWriter &w, const std::string &k, std::uint64_t v)
+{
+    w.field(k, std::to_string(v));
+}
+
+void
+numField(JsonWriter &w, const std::string &k, std::int64_t v)
+{
+    w.field(k, std::to_string(v));
+}
+
+void
+intField(JsonWriter &w, const std::string &k, int v)
+{
+    numField(w, k, static_cast<std::int64_t>(v));
+}
+
+void
+hexField(JsonWriter &w, const std::string &k, double v)
+{
+    w.field(k, hexDouble(v));
+}
+
+void
+writeConfig(JsonWriter &w, const SystemConfig &c)
+{
+    w.beginObject();
+    w.field("workload", c.workload);
+    intField(w, "topology", static_cast<int>(c.topology));
+    intField(w, "size_class", static_cast<int>(c.sizeClass));
+    intField(w, "mechanism", static_cast<int>(c.mechanism));
+    w.field("roo", c.roo);
+    numField(w, "roo_wakeup_ps", static_cast<std::int64_t>(c.rooWakeupPs));
+    intField(w, "io_attribution", static_cast<int>(c.ioAttribution));
+    hexField(w, "link_flit_error_rate", c.linkFlitErrorRate);
+    numField(w, "watchdog_timeout_ps",
+             static_cast<std::int64_t>(c.watchdogTimeoutPs));
+    intField(w, "policy", static_cast<int>(c.policy));
+    hexField(w, "alpha_pct", c.alphaPct);
+    numField(w, "epoch_len", static_cast<std::int64_t>(c.epochLen));
+    w.key("aware");
+    w.beginObject();
+    intField(w, "isp_iterations", c.aware.ispIterations);
+    w.field("congestion_discount", c.aware.congestionDiscount);
+    w.field("wake_coordination", c.aware.wakeCoordination);
+    w.field("grant_pool", c.aware.grantPool);
+    w.endObject();
+    w.field("interleave_pages", c.interleavePages);
+    numField(w, "warmup", static_cast<std::int64_t>(c.warmup));
+    numField(w, "measure", static_cast<std::int64_t>(c.measure));
+    numField(w, "seed", c.seed);
+    intField(w, "cores", c.cores);
+    intField(w, "max_reads_per_core", c.maxReadsPerCore);
+    intField(w, "max_writes_per_core", c.maxWritesPerCore);
+    w.key("faults");
+    w.beginObject();
+    numField(w, "flap_mean_period_ps",
+             static_cast<std::int64_t>(c.faults.flapMeanPeriodPs));
+    numField(w, "flap_window_ps",
+             static_cast<std::int64_t>(c.faults.flapWindowPs));
+    w.key("events");
+    w.beginArray();
+    for (const FaultSpec &f : c.faults.events) {
+        w.beginObject();
+        intField(w, "kind", static_cast<int>(f.kind));
+        numField(w, "at", static_cast<std::int64_t>(f.at));
+        intField(w, "link", f.link);
+        numField(w, "duration_ps", static_cast<std::int64_t>(f.durationPs));
+        intField(w, "surviving_lanes", f.survivingLanes);
+        hexField(w, "flit_error_rate", f.flitErrorRate);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeResult(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    intField(w, "num_modules", r.numModules);
+    w.key("per_hmc_w");
+    w.beginObject();
+    hexField(w, "idle_io", r.perHmc.idleIoW);
+    hexField(w, "active_io", r.perHmc.activeIoW);
+    hexField(w, "logic_leak", r.perHmc.logicLeakW);
+    hexField(w, "logic_dyn", r.perHmc.logicDynW);
+    hexField(w, "dram_leak", r.perHmc.dramLeakW);
+    hexField(w, "dram_dyn", r.perHmc.dramDynW);
+    w.endObject();
+    hexField(w, "total_network_w", r.totalNetworkPowerW);
+    hexField(w, "idle_io_frac", r.idleIoFrac);
+    hexField(w, "reads_per_sec", r.readsPerSec);
+    hexField(w, "avg_read_latency_ns", r.avgReadLatencyNs);
+    hexField(w, "channel_util", r.channelUtil);
+    hexField(w, "avg_link_util", r.avgLinkUtil);
+    hexField(w, "avg_modules_traversed", r.avgModulesTraversed);
+    numField(w, "completed_reads", r.completedReads);
+    numField(w, "violations", r.violations);
+    numField(w, "events_fired", r.eventsFired);
+    w.key("reliability");
+    w.beginObject();
+    numField(w, "retries", r.reliability.retries);
+    numField(w, "replays", r.reliability.replays);
+    numField(w, "retrains", r.reliability.retrains);
+    hexField(w, "retrain_s", r.reliability.retrainSeconds);
+    hexField(w, "degraded_s", r.reliability.degradedSeconds);
+    numField(w, "fault_events", r.reliability.faultEvents);
+    w.endObject();
+    // Row-major [util bucket][lane mode] flattening of the 5x4 matrix.
+    w.key("link_hours");
+    w.beginArray();
+    for (const auto &bucket : r.linkHours)
+        for (double v : bucket)
+            w.value(hexDouble(v));
+    w.endArray();
+    w.key("profile");
+    w.beginObject();
+    numField(w, "events_fired", r.profile.eventsFired);
+    numField(w, "events_scheduled", r.profile.eventsScheduled);
+    hexField(w, "wall_s", r.profile.wallSeconds);
+    hexField(w, "sim_s", r.profile.simSeconds);
+    numField(w, "packets_issued", r.profile.packetsIssued);
+    numField(w, "packet_heap_allocs", r.profile.packetHeapAllocs);
+    numField(w, "audit_checks_run", r.profile.auditChecksRun);
+    numField(w, "events_descheduled", r.profile.eventsDescheduled);
+    numField(w, "peak_queue_depth", r.profile.peakQueueDepth);
+    numField(w, "dispatch_window_ps",
+             static_cast<std::int64_t>(r.profile.dispatchWindowPs));
+    w.key("dispatch_windows");
+    w.beginArray();
+    for (std::uint64_t v : r.profile.dispatchWindows)
+        w.value(std::to_string(v));
+    w.endArray();
+    // profPhases are host wall-clock data, excluded from every
+    // equivalence check (audit::diffRunResults, diff_runs.py), and
+    // deliberately not journaled: a resumed result has none, exactly
+    // like an unprofiled run.
+    w.endObject();
+    w.key("modules");
+    w.beginArray();
+    for (const ModuleDetail &m : r.modules) {
+        w.beginObject();
+        intField(w, "id", m.id);
+        w.field("high_radix", m.highRadix);
+        intField(w, "hop_distance", m.hopDistance);
+        numField(w, "dram_accesses", m.dramAccesses);
+        numField(w, "flits_routed", m.flitsRouted);
+        hexField(w, "request_link_util", m.requestLinkUtil);
+        hexField(w, "response_link_util", m.responseLinkUtil);
+        hexField(w, "request_link_power_frac", m.requestLinkPowerFrac);
+        hexField(w, "response_link_power_frac", m.responseLinkPowerFrac);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+/* ----------------------------------------------------------------- *
+ * Reading: typed accessors over the DOM with path-tagged errors.
+ * ----------------------------------------------------------------- */
+
+struct Reader
+{
+    std::string err;
+
+    bool
+    fail(const std::string &path, const std::string &what)
+    {
+        if (err.empty())
+            err = path + ": " + what;
+        return false;
+    }
+
+    const Value *
+    member(const Value &obj, const std::string &path, const char *k)
+    {
+        const Value *v = obj.find(k);
+        if (!v)
+            fail(path + "." + k, "missing");
+        return v;
+    }
+
+    bool
+    getString(const Value &obj, const std::string &path, const char *k,
+              std::string *out)
+    {
+        const Value *v = member(obj, path, k);
+        if (!v)
+            return false;
+        if (!v->isString())
+            return fail(path + "." + k, "not a string");
+        *out = v->string;
+        return true;
+    }
+
+    bool
+    getBool(const Value &obj, const std::string &path, const char *k,
+            bool *out)
+    {
+        const Value *v = member(obj, path, k);
+        if (!v)
+            return false;
+        if (v->kind != Value::Kind::Bool)
+            return fail(path + "." + k, "not a bool");
+        *out = v->boolean;
+        return true;
+    }
+
+    bool
+    getU64(const Value &obj, const std::string &path, const char *k,
+           std::uint64_t *out)
+    {
+        std::string s;
+        if (!getString(obj, path, k, &s))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+        if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE ||
+            s[0] == '-')
+            return fail(path + "." + k, "not a u64: '" + s + "'");
+        *out = v;
+        return true;
+    }
+
+    bool
+    getI64(const Value &obj, const std::string &path, const char *k,
+           std::int64_t *out)
+    {
+        std::string s;
+        if (!getString(obj, path, k, &s))
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const std::int64_t v = std::strtoll(s.c_str(), &end, 10);
+        if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE)
+            return fail(path + "." + k, "not an i64: '" + s + "'");
+        *out = v;
+        return true;
+    }
+
+    bool
+    getInt(const Value &obj, const std::string &path, const char *k,
+           int *out)
+    {
+        std::int64_t v = 0;
+        if (!getI64(obj, path, k, &v))
+            return false;
+        if (v < INT32_MIN || v > INT32_MAX)
+            return fail(path + "." + k, "out of int range");
+        *out = static_cast<int>(v);
+        return true;
+    }
+
+    bool
+    getHex(const Value &obj, const std::string &path, const char *k,
+           double *out)
+    {
+        std::string s;
+        if (!getString(obj, path, k, &s))
+            return false;
+        if (!parseHexDouble(s, out))
+            return fail(path + "." + k, "not a hex-float: '" + s + "'");
+        return true;
+    }
+};
+
+bool
+readConfig(Reader &rd, const Value &v, SystemConfig *c)
+{
+    const std::string p = "config";
+    if (!v.isObject())
+        return rd.fail(p, "not an object");
+    int topology = 0, sizeClass = 0, mechanism = 0, ioAttr = 0,
+        policy = 0;
+    bool ok = rd.getString(v, p, "workload", &c->workload) &&
+              rd.getInt(v, p, "topology", &topology) &&
+              rd.getInt(v, p, "size_class", &sizeClass) &&
+              rd.getInt(v, p, "mechanism", &mechanism) &&
+              rd.getBool(v, p, "roo", &c->roo) &&
+              rd.getI64(v, p, "roo_wakeup_ps", &c->rooWakeupPs) &&
+              rd.getInt(v, p, "io_attribution", &ioAttr) &&
+              rd.getHex(v, p, "link_flit_error_rate",
+                        &c->linkFlitErrorRate) &&
+              rd.getI64(v, p, "watchdog_timeout_ps",
+                        &c->watchdogTimeoutPs) &&
+              rd.getInt(v, p, "policy", &policy) &&
+              rd.getHex(v, p, "alpha_pct", &c->alphaPct) &&
+              rd.getI64(v, p, "epoch_len", &c->epochLen) &&
+              rd.getBool(v, p, "interleave_pages", &c->interleavePages) &&
+              rd.getI64(v, p, "warmup", &c->warmup) &&
+              rd.getI64(v, p, "measure", &c->measure) &&
+              rd.getU64(v, p, "seed", &c->seed) &&
+              rd.getInt(v, p, "cores", &c->cores) &&
+              rd.getInt(v, p, "max_reads_per_core", &c->maxReadsPerCore) &&
+              rd.getInt(v, p, "max_writes_per_core",
+                        &c->maxWritesPerCore);
+    if (!ok)
+        return false;
+    c->topology = static_cast<TopologyKind>(topology);
+    c->sizeClass = static_cast<SizeClass>(sizeClass);
+    c->mechanism = static_cast<BwMechanism>(mechanism);
+    c->ioAttribution = static_cast<IoAttribution>(ioAttr);
+    c->policy = static_cast<Policy>(policy);
+
+    const Value *aware = rd.member(v, p, "aware");
+    if (!aware)
+        return false;
+    if (!aware->isObject())
+        return rd.fail(p + ".aware", "not an object");
+    if (!(rd.getInt(*aware, p + ".aware", "isp_iterations",
+                    &c->aware.ispIterations) &&
+          rd.getBool(*aware, p + ".aware", "congestion_discount",
+                     &c->aware.congestionDiscount) &&
+          rd.getBool(*aware, p + ".aware", "wake_coordination",
+                     &c->aware.wakeCoordination) &&
+          rd.getBool(*aware, p + ".aware", "grant_pool",
+                     &c->aware.grantPool)))
+        return false;
+
+    const Value *faults = rd.member(v, p, "faults");
+    if (!faults)
+        return false;
+    if (!faults->isObject())
+        return rd.fail(p + ".faults", "not an object");
+    if (!(rd.getI64(*faults, p + ".faults", "flap_mean_period_ps",
+                    &c->faults.flapMeanPeriodPs) &&
+          rd.getI64(*faults, p + ".faults", "flap_window_ps",
+                    &c->faults.flapWindowPs)))
+        return false;
+    const Value *events = rd.member(*faults, p + ".faults", "events");
+    if (!events)
+        return false;
+    if (!events->isArray())
+        return rd.fail(p + ".faults.events", "not an array");
+    c->faults.events.clear();
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        std::ostringstream ep;
+        ep << p << ".faults.events[" << i << "]";
+        const Value &e = events->array[i];
+        if (!e.isObject())
+            return rd.fail(ep.str(), "not an object");
+        FaultSpec f;
+        int kind = 0;
+        if (!(rd.getInt(e, ep.str(), "kind", &kind) &&
+              rd.getI64(e, ep.str(), "at", &f.at) &&
+              rd.getInt(e, ep.str(), "link", &f.link) &&
+              rd.getI64(e, ep.str(), "duration_ps", &f.durationPs) &&
+              rd.getInt(e, ep.str(), "surviving_lanes",
+                        &f.survivingLanes) &&
+              rd.getHex(e, ep.str(), "flit_error_rate",
+                        &f.flitErrorRate)))
+            return false;
+        f.kind = static_cast<FaultKind>(kind);
+        c->faults.events.push_back(f);
+    }
+    return true;
+}
+
+bool
+readResult(Reader &rd, const Value &v, RunResult *r)
+{
+    const std::string p = "result";
+    if (!v.isObject())
+        return rd.fail(p, "not an object");
+    if (!rd.getInt(v, p, "num_modules", &r->numModules))
+        return false;
+
+    const Value *hmc = rd.member(v, p, "per_hmc_w");
+    if (!hmc)
+        return false;
+    const std::string hp = p + ".per_hmc_w";
+    if (!(rd.getHex(*hmc, hp, "idle_io", &r->perHmc.idleIoW) &&
+          rd.getHex(*hmc, hp, "active_io", &r->perHmc.activeIoW) &&
+          rd.getHex(*hmc, hp, "logic_leak", &r->perHmc.logicLeakW) &&
+          rd.getHex(*hmc, hp, "logic_dyn", &r->perHmc.logicDynW) &&
+          rd.getHex(*hmc, hp, "dram_leak", &r->perHmc.dramLeakW) &&
+          rd.getHex(*hmc, hp, "dram_dyn", &r->perHmc.dramDynW)))
+        return false;
+
+    if (!(rd.getHex(v, p, "total_network_w", &r->totalNetworkPowerW) &&
+          rd.getHex(v, p, "idle_io_frac", &r->idleIoFrac) &&
+          rd.getHex(v, p, "reads_per_sec", &r->readsPerSec) &&
+          rd.getHex(v, p, "avg_read_latency_ns", &r->avgReadLatencyNs) &&
+          rd.getHex(v, p, "channel_util", &r->channelUtil) &&
+          rd.getHex(v, p, "avg_link_util", &r->avgLinkUtil) &&
+          rd.getHex(v, p, "avg_modules_traversed",
+                    &r->avgModulesTraversed) &&
+          rd.getU64(v, p, "completed_reads", &r->completedReads) &&
+          rd.getU64(v, p, "violations", &r->violations) &&
+          rd.getU64(v, p, "events_fired", &r->eventsFired)))
+        return false;
+
+    const Value *rel = rd.member(v, p, "reliability");
+    if (!rel)
+        return false;
+    const std::string rp = p + ".reliability";
+    if (!(rd.getU64(*rel, rp, "retries", &r->reliability.retries) &&
+          rd.getU64(*rel, rp, "replays", &r->reliability.replays) &&
+          rd.getU64(*rel, rp, "retrains", &r->reliability.retrains) &&
+          rd.getHex(*rel, rp, "retrain_s",
+                    &r->reliability.retrainSeconds) &&
+          rd.getHex(*rel, rp, "degraded_s",
+                    &r->reliability.degradedSeconds) &&
+          rd.getU64(*rel, rp, "fault_events",
+                    &r->reliability.faultEvents)))
+        return false;
+
+    const Value *lh = rd.member(v, p, "link_hours");
+    if (!lh)
+        return false;
+    if (!lh->isArray() ||
+        lh->array.size() !=
+            static_cast<std::size_t>(kUtilBuckets * kLaneModes))
+        return rd.fail(p + ".link_hours", "not a 20-element array");
+    for (int b = 0; b < kUtilBuckets; ++b) {
+        for (int l = 0; l < kLaneModes; ++l) {
+            const Value &cell = lh->array[b * kLaneModes + l];
+            if (!cell.isString() ||
+                !parseHexDouble(cell.string, &r->linkHours[b][l]))
+                return rd.fail(p + ".link_hours", "bad hex-float cell");
+        }
+    }
+
+    const Value *prof = rd.member(v, p, "profile");
+    if (!prof)
+        return false;
+    const std::string pp = p + ".profile";
+    if (!(rd.getU64(*prof, pp, "events_fired",
+                    &r->profile.eventsFired) &&
+          rd.getU64(*prof, pp, "events_scheduled",
+                    &r->profile.eventsScheduled) &&
+          rd.getHex(*prof, pp, "wall_s", &r->profile.wallSeconds) &&
+          rd.getHex(*prof, pp, "sim_s", &r->profile.simSeconds) &&
+          rd.getU64(*prof, pp, "packets_issued",
+                    &r->profile.packetsIssued) &&
+          rd.getU64(*prof, pp, "packet_heap_allocs",
+                    &r->profile.packetHeapAllocs) &&
+          rd.getU64(*prof, pp, "audit_checks_run",
+                    &r->profile.auditChecksRun) &&
+          rd.getU64(*prof, pp, "events_descheduled",
+                    &r->profile.eventsDescheduled) &&
+          rd.getU64(*prof, pp, "peak_queue_depth",
+                    &r->profile.peakQueueDepth) &&
+          rd.getI64(*prof, pp, "dispatch_window_ps",
+                    &r->profile.dispatchWindowPs)))
+        return false;
+    const Value *windows = rd.member(*prof, pp, "dispatch_windows");
+    if (!windows)
+        return false;
+    if (!windows->isArray())
+        return rd.fail(pp + ".dispatch_windows", "not an array");
+    r->profile.dispatchWindows.clear();
+    for (const Value &wv : windows->array) {
+        errno = 0;
+        char *end = nullptr;
+        if (!wv.isString())
+            return rd.fail(pp + ".dispatch_windows", "not a string");
+        const std::uint64_t n =
+            std::strtoull(wv.string.c_str(), &end, 10);
+        if (wv.string.empty() ||
+            end != wv.string.c_str() + wv.string.size() ||
+            errno == ERANGE)
+            return rd.fail(pp + ".dispatch_windows", "bad u64");
+        r->profile.dispatchWindows.push_back(n);
+    }
+
+    const Value *mods = rd.member(v, p, "modules");
+    if (!mods)
+        return false;
+    if (!mods->isArray())
+        return rd.fail(p + ".modules", "not an array");
+    r->modules.clear();
+    for (std::size_t i = 0; i < mods->array.size(); ++i) {
+        std::ostringstream mp;
+        mp << p << ".modules[" << i << "]";
+        const Value &mv = mods->array[i];
+        if (!mv.isObject())
+            return rd.fail(mp.str(), "not an object");
+        ModuleDetail m;
+        if (!(rd.getInt(mv, mp.str(), "id", &m.id) &&
+              rd.getBool(mv, mp.str(), "high_radix", &m.highRadix) &&
+              rd.getInt(mv, mp.str(), "hop_distance", &m.hopDistance) &&
+              rd.getU64(mv, mp.str(), "dram_accesses",
+                        &m.dramAccesses) &&
+              rd.getU64(mv, mp.str(), "flits_routed", &m.flitsRouted) &&
+              rd.getHex(mv, mp.str(), "request_link_util",
+                        &m.requestLinkUtil) &&
+              rd.getHex(mv, mp.str(), "response_link_util",
+                        &m.responseLinkUtil) &&
+              rd.getHex(mv, mp.str(), "request_link_power_frac",
+                        &m.requestLinkPowerFrac) &&
+              rd.getHex(mv, mp.str(), "response_link_power_frac",
+                        &m.responseLinkPowerFrac)))
+            return false;
+        r->modules.push_back(m);
+    }
+    return true;
+}
+
+/** Fixed framing around the checksummed record payload. */
+const char kFrameHead[] = "{\"journal_version\":1,\"crc32\":\"";
+const char kFrameMid[] = "\",\"record\":";
+constexpr std::size_t kCrcHexLen = 8;
+
+std::string
+crcHex(std::uint32_t crc)
+{
+    char buf[kCrcHexLen + 1];
+    std::snprintf(buf, sizeof(buf), "%08x", crc);
+    return buf;
+}
+
+} // namespace
+
+std::string
+journalRecordLine(const std::string &key, const RunResult &r)
+{
+    std::ostringstream payload;
+    {
+        JsonWriter w(payload);
+        w.beginObject();
+        w.field("key", key);
+        w.key("config");
+        writeConfig(w, r.config);
+        w.key("result");
+        writeResult(w, r);
+        w.endObject();
+    }
+    const std::string body = payload.str();
+    std::string line;
+    line.reserve(body.size() + 64);
+    line += kFrameHead;
+    line += crcHex(crc32(body.data(), body.size()));
+    line += kFrameMid;
+    line += body;
+    line += "}\n";
+    return line;
+}
+
+bool
+parseJournalLine(const std::string &line, std::string *key,
+                 RunResult *result, std::string *err)
+{
+    const auto fail = [err](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+
+    std::string text = line;
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();
+
+    // Framing: fixed head, 8 hex digits, fixed mid, payload, '}'.
+    const std::size_t headLen = sizeof(kFrameHead) - 1;
+    const std::size_t midLen = sizeof(kFrameMid) - 1;
+    if (text.size() < headLen + kCrcHexLen + midLen + 1 ||
+        text.compare(0, headLen, kFrameHead) != 0 ||
+        text.compare(headLen + kCrcHexLen, midLen, kFrameMid) != 0 ||
+        text.back() != '}')
+        return fail("bad framing (torn or foreign line)");
+    const std::string recordedCrc = text.substr(headLen, kCrcHexLen);
+    const std::size_t payloadOff = headLen + kCrcHexLen + midLen;
+    const std::string payload =
+        text.substr(payloadOff, text.size() - payloadOff - 1);
+
+    if (crcHex(crc32(payload.data(), payload.size())) != recordedCrc)
+        return fail("checksum mismatch (torn or corrupt record)");
+
+    Value record;
+    std::string jsonErr;
+    if (!obs::json::parse(payload, &record, &jsonErr))
+        return fail("JSON error: " + jsonErr);
+
+    Reader rd;
+    std::string recordedKey;
+    if (!rd.getString(record, "record", "key", &recordedKey)) {
+        return fail(rd.err);
+    }
+    const Value *cfg = record.find("config");
+    const Value *res = record.find("result");
+    if (!cfg || !res)
+        return fail("record.config/result: missing");
+
+    RunResult out;
+    if (!readConfig(rd, *cfg, &out.config) ||
+        !readResult(rd, *res, &out))
+        return fail(rd.err);
+
+    // The recorded key must reproduce from the deserialized config:
+    // catches silent format drift (a field added to Runner::key but
+    // not the journal) before it poisons a resumed sweep.
+    if (Runner::key(out.config) != recordedKey)
+        return fail("key mismatch: recorded '" + recordedKey +
+                    "' vs recomputed '" + Runner::key(out.config) + "'");
+
+    *key = recordedKey;
+    *result = std::move(out);
+    return true;
+}
+
+bool
+loadJournal(const std::string &path,
+            std::map<std::string, RunResult> *out,
+            JournalLoadStats *stats, std::string *err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (err)
+            *err = "cannot open journal: " + path;
+        return false;
+    }
+    JournalLoadStats local;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        std::string key, lineErr;
+        RunResult r;
+        if (!parseJournalLine(line, &key, &r, &lineErr)) {
+            ++local.corrupt;
+            memnet_warn("journal ", path, " line ", lineNo,
+                        " skipped: ", lineErr);
+            continue;
+        }
+        ++local.records;
+        auto [it, inserted] = out->insert_or_assign(std::move(key),
+                                                    std::move(r));
+        (void)it;
+        if (!inserted)
+            ++local.duplicates;
+    }
+    local.loaded = local.records - local.duplicates;
+    if (stats)
+        *stats = local;
+    return true;
+}
+
+bool
+RunJournal::open()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    // Seal a torn tail first: a SIGKILL mid-append can leave the file
+    // ending in a partial line with no terminating newline. Appending
+    // straight after it would glue the next record onto the fragment
+    // and corrupt that record too. A lone newline turns the fragment
+    // into its own line, which loadJournal() rejects and skips.
+    {
+        std::ifstream probe(path_, std::ios::binary);
+        if (probe) {
+            probe.seekg(0, std::ios::end);
+            const std::streamoff size = probe.tellg();
+            if (size > 0) {
+                probe.seekg(size - 1);
+                char last = '\n';
+                if (probe.get(last) && last != '\n') {
+                    std::ofstream seal(path_, std::ios::app);
+                    seal << '\n';
+                }
+            }
+        }
+    }
+    os.open(path_, std::ios::app);
+    if (!os) {
+        memnet_warn("cannot open run journal for append: ", path_);
+        return false;
+    }
+    return true;
+}
+
+void
+RunJournal::append(const std::string &key, const RunResult &r)
+{
+    const std::string line = journalRecordLine(key, r);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!os.is_open())
+        return;
+    os << line;
+    // One flush per record: a killed sweep loses at most the line that
+    // was mid-write, which loadJournal() detects and skips.
+    os.flush();
+    if (!os && !warned) {
+        warned = true;
+        memnet_warn("run journal write failed (disk full?): ", path_);
+    } else if (os) {
+        ++appended_;
+    }
+}
+
+void
+writeFailureManifest(std::ostream &os, const std::string &source,
+                     const std::string &policy, double configTimeoutSec,
+                     const std::vector<RunFailure> &failures)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::int64_t>(kFailureManifestVersion));
+    w.field("source", source);
+    w.field("failure_policy", policy);
+    w.field("config_timeout_s", configTimeoutSec);
+    w.key("failures");
+    w.beginArray();
+    // First failure wins per key: a duplicate config raced past the
+    // isolation marker fails identically and adds no information.
+    std::set<std::string> seen;
+    for (const RunFailure &f : failures) {
+        if (!seen.insert(f.key).second)
+            continue;
+        w.beginObject();
+        w.field("key", f.key);
+        w.field("describe", f.config.describe());
+        w.field("timeout", f.timeout);
+        w.field("wall_s", f.wallSeconds);
+        w.field("error", f.message);
+        w.key("config");
+        writeConfig(w, f.config);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace memnet

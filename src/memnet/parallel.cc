@@ -1,10 +1,16 @@
 #include "memnet/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
 #include <thread>
 
 #include "obs/prof.hh"
+#include "sim/cancel.hh"
+#include "sim/log.hh"
 
 namespace memnet
 {
@@ -19,10 +25,54 @@ resolveJobs(int jobs)
     return jobs < 1 ? 1 : jobs;
 }
 
+const char *
+failurePolicyName(FailurePolicy p)
+{
+    return p == FailurePolicy::Abort ? "abort" : "isolate";
+}
+
+bool
+parseFailurePolicy(const std::string &s, FailurePolicy *out)
+{
+    if (s == "abort") {
+        *out = FailurePolicy::Abort;
+        return true;
+    }
+    if (s == "isolate") {
+        *out = FailurePolicy::Isolate;
+        return true;
+    }
+    return false;
+}
+
 ParallelRunner::ParallelRunner(Runner &runner, int jobs)
     : runner_(runner), jobs_(resolveJobs(jobs))
 {
 }
+
+namespace
+{
+
+/**
+ * Per-worker watchdog state. The worker publishes a deadline when it
+ * starts a config; the monitor thread raises the cancel flag once the
+ * deadline passes. deadlineNs == 0 means idle (nothing to watch).
+ */
+struct WatchSlot
+{
+    std::atomic<bool> cancel{false};
+    std::atomic<std::int64_t> deadlineNs{0};
+};
+
+std::int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 void
 ParallelRunner::run(const std::vector<SystemConfig> &configs)
@@ -32,7 +82,11 @@ ParallelRunner::run(const std::vector<SystemConfig> &configs)
 
     const int workers =
         std::min<int>(jobs_, static_cast<int>(configs.size()));
-    if (workers <= 1) {
+    const bool watchdog = configTimeoutSec_ > 0.0;
+    if (workers <= 1 && !watchdog && policy_ == FailurePolicy::Abort) {
+        // The historical serial path, byte-for-byte: with no robustness
+        // feature active the engine must not perturb anything (the
+        // perf-baseline CI gate measures this loop).
         for (const SystemConfig &cfg : configs)
             runner_.get(cfg);
         return;
@@ -44,36 +98,129 @@ ParallelRunner::run(const std::vector<SystemConfig> &configs)
     std::atomic<std::size_t> next{0};
     std::exception_ptr firstError;
     std::mutex errorMu;
+    const int poolSize = std::max(workers, 1);
+    const std::unique_ptr<WatchSlot[]> slots(new WatchSlot[poolSize]);
 
-    auto worker = [&]() {
+    auto recordFailure = [&](const SystemConfig &cfg,
+                             const std::string &message, bool isTimeout,
+                             double wallSeconds) {
+        {
+            std::lock_guard<std::mutex> lock(errorMu);
+            failures_.push_back({cfg, Runner::key(cfg), message,
+                                 isTimeout, wallSeconds});
+            if (policy_ == FailurePolicy::Abort && !firstError)
+                firstError = std::current_exception();
+        }
+        if (policy_ == FailurePolicy::Isolate)
+            runner_.markFailed(cfg);
+    };
+
+    auto worker = [&](int slot) {
         MEMNET_PROF_SCOPE("parallel/worker");
+        WatchSlot &ws = slots[slot];
+        const ScopedCancelFlag scoped(watchdog ? &ws.cancel : nullptr);
+        const std::int64_t budgetNs =
+            watchdog ? static_cast<std::int64_t>(configTimeoutSec_ * 1e9)
+                     : 0;
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= configs.size())
                 return;
+            const std::int64_t startNs = steadyNowNs();
+            if (watchdog) {
+                // Order matters: clear any stale cancellation before
+                // arming, so a flag raised for the previous config
+                // cannot kill this one at its first poll.
+                ws.cancel.store(false, std::memory_order_relaxed);
+                ws.deadlineNs.store(startNs + budgetNs,
+                                    std::memory_order_release);
+            }
+            const auto wall = [startNs] {
+                return static_cast<double>(steadyNowNs() - startNs) /
+                       1e9;
+            };
             try {
                 MEMNET_PROF_SCOPE("parallel/job");
                 runner_.get(configs[i]);
+            } catch (const CancelledError &e) {
+                recordFailure(configs[i], e.what(), true, wall());
+            } catch (const std::exception &e) {
+                recordFailure(configs[i], e.what(), false, wall());
             } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMu);
-                if (!firstError)
-                    firstError = std::current_exception();
+                recordFailure(configs[i], "unknown exception", false,
+                              wall());
                 // Keep draining: other indices may still be claimed by
                 // peers blocked on this key in Runner::get().
             }
+            if (watchdog)
+                ws.deadlineNs.store(0, std::memory_order_release);
         }
     };
 
+    // The monitor wakes often enough that a budget overrun is bounded
+    // by ~1/8 of the budget (floor 2 ms so tiny test budgets still trip
+    // promptly, ceiling 100 ms to keep the thread near-idle).
+    std::mutex monMu;
+    std::condition_variable monCv;
+    bool monDone = false;
+    std::thread monitor;
+    if (watchdog) {
+        const auto interval = std::chrono::milliseconds(std::clamp(
+            static_cast<std::int64_t>(configTimeoutSec_ * 1e3 / 8),
+            std::int64_t{2}, std::int64_t{100}));
+        monitor = std::thread([&, interval] {
+            std::unique_lock<std::mutex> lock(monMu);
+            while (!monDone) {
+                monCv.wait_for(lock, interval);
+                if (monDone)
+                    break;
+                const std::int64_t now = steadyNowNs();
+                for (int s = 0; s < poolSize; ++s) {
+                    const std::int64_t deadline =
+                        slots[s].deadlineNs.load(
+                            std::memory_order_acquire);
+                    if (deadline != 0 && now >= deadline)
+                        slots[s].cancel.store(
+                            true, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
     std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
+    pool.reserve(poolSize);
+    for (int t = 0; t < poolSize; ++t)
+        pool.emplace_back(worker, t);
     for (std::thread &th : pool)
         th.join();
+    if (monitor.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(monMu);
+            monDone = true;
+        }
+        monCv.notify_all();
+        monitor.join();
+    }
 
-    if (firstError)
+    std::sort(failures_.begin(), failures_.end(),
+              [](const RunFailure &a, const RunFailure &b) {
+                  return a.key < b.key;
+              });
+
+    if (firstError) {
+        if (failures_.size() > 1) {
+            memnet_warn("parallel sweep: ", failures_.size() - 1,
+                        " additional failure(s) suppressed under the "
+                        "abort policy; rethrowing the first");
+            for (std::size_t f = 0; f < failures_.size(); ++f) {
+                memnet_warn("  failed [", f + 1, "/", failures_.size(),
+                            "] ", failures_[f].config.describe(), ": ",
+                            failures_[f].message);
+            }
+        }
         std::rethrow_exception(firstError);
+    }
 }
 
 } // namespace memnet

@@ -11,6 +11,27 @@
  * log sink are thread-safe, and Runner::results() iterates in sorted
  * key order regardless of completion order.
  *
+ * Failure handling is policy-selectable (`--failure-policy`):
+ *
+ *  - Abort (default, the historical behavior): the pool drains, the
+ *    first exception is rethrown, and any further failures are logged
+ *    as suppressed so multi-failure sweeps don't hide evidence.
+ *  - Isolate: a failing config is recorded in failures() — config,
+ *    canonical key, exception text, watchdog verdict — and poisoned in
+ *    the Runner (markFailed) so replay passes don't re-crash; the rest
+ *    of the sweep completes and the caller reports partial results
+ *    plus a machine-readable failure manifest (memnet/journal.hh).
+ *
+ * The hang watchdog (`--config-timeout`) gives each config a
+ * wall-clock budget: a monitor thread arms a per-worker deadline and
+ * sets the worker's cooperative stop flag (sim/cancel.hh) when it
+ * expires; the event-dispatch loop observes the flag and throws
+ * CancelledError carrying an event-queue/profiler diagnostics
+ * snapshot, which is routed through the failure policy like any other
+ * exception. The budget covers the whole Runner::get() call — a
+ * worker that spends its budget blocked on a peer's in-flight result
+ * re-runs the config itself afterwards with a fresh budget.
+ *
  * Sweep benches don't use this class directly — bench::BenchIo::run()
  * drives it from the shared `--jobs N` flag (see bench/bench_common.hh)
  * with a collect/execute/replay pass structure. memnet_run uses it for
@@ -20,6 +41,7 @@
 #ifndef MEMNET_MEMNET_PARALLEL_HH
 #define MEMNET_MEMNET_PARALLEL_HH
 
+#include <string>
 #include <vector>
 
 #include "memnet/experiment.hh"
@@ -32,6 +54,38 @@ namespace memnet
  * anything else is clamped to at least 1.
  */
 int resolveJobs(int jobs);
+
+/** What run() does when a config throws or trips the hang watchdog. */
+enum class FailurePolicy
+{
+    Abort,   ///< drain the pool, then rethrow the first failure
+    Isolate, ///< record + poison the config, finish the sweep
+};
+
+/** Canonical flag spelling ("abort" / "isolate"). */
+const char *failurePolicyName(FailurePolicy p);
+
+/** Parse a --failure-policy value; false on unknown spelling. */
+bool parseFailurePolicy(const std::string &s, FailurePolicy *out);
+
+/** One failed config of a sweep (see ParallelRunner::failures()). */
+struct RunFailure
+{
+    /** The config that failed, as submitted. */
+    SystemConfig config;
+    /** Its canonical Runner key. */
+    std::string key;
+    /**
+     * Exception text. Watchdog kills carry the CancelledError
+     * diagnostics snapshot (event-queue health counters, hottest
+     * profiler phases).
+     */
+    std::string message;
+    /** True when the hang watchdog cancelled it (vs. an exception). */
+    bool timeout = false;
+    /** Wall-clock seconds spent on the config before it failed. */
+    double wallSeconds = 0.0;
+};
 
 /**
  * Thread-pool executor over a shared memoizing Runner.
@@ -48,17 +102,38 @@ class ParallelRunner
     /**
      * Execute every config in @p configs, blocking until all finish.
      * Duplicate configs (and configs already cached) are simulated only
-     * once. Worker exceptions propagate — the first one thrown is
-     * rethrown here after the pool drains.
+     * once. Failures follow the configured policy: under Abort the
+     * first exception is rethrown here after the pool drains (with a
+     * suppressed-failure log line when there were more); under Isolate
+     * nothing throws and failures() reports the casualties.
      */
     void run(const std::vector<SystemConfig> &configs);
 
     /** Worker threads this engine uses. */
     int jobs() const { return jobs_; }
 
+    void setFailurePolicy(FailurePolicy p) { policy_ = p; }
+
+    FailurePolicy failurePolicy() const { return policy_; }
+
+    /** Per-config wall-clock budget in seconds; <= 0 disables. */
+    void setConfigTimeout(double seconds) { configTimeoutSec_ = seconds; }
+
+    double configTimeout() const { return configTimeoutSec_; }
+
+    /**
+     * Failures accumulated across run() calls, sorted by canonical key
+     * (so manifests are deterministically ordered). Under Abort this
+     * still fills — it is what the suppressed-failure log reports.
+     */
+    const std::vector<RunFailure> &failures() const { return failures_; }
+
   private:
     Runner &runner_;
     int jobs_;
+    FailurePolicy policy_ = FailurePolicy::Abort;
+    double configTimeoutSec_ = 0.0;
+    std::vector<RunFailure> failures_;
 };
 
 } // namespace memnet

@@ -1,0 +1,27 @@
+#include "sim/cancel.hh"
+
+namespace memnet
+{
+
+namespace
+{
+
+thread_local const std::atomic<bool> *t_cancelFlag = nullptr;
+
+} // namespace
+
+const std::atomic<bool> *
+setCancelFlag(const std::atomic<bool> *flag)
+{
+    const std::atomic<bool> *prev = t_cancelFlag;
+    t_cancelFlag = flag;
+    return prev;
+}
+
+const std::atomic<bool> *
+cancelFlag()
+{
+    return t_cancelFlag;
+}
+
+} // namespace memnet

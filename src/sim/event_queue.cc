@@ -1,9 +1,60 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "obs/prof.hh"
+#include "sim/cancel.hh"
 
 namespace memnet
 {
+
+namespace
+{
+
+/**
+ * Events dispatched between polls of the cooperative stop flag. At the
+ * kernel's ~10M events/s this is a cancellation latency well under a
+ * millisecond while keeping the poll off the per-event hot path.
+ */
+constexpr std::uint64_t kCancelCheckMask = 4095;
+
+/**
+ * Build the hang diagnostics and throw. Captures the event-queue
+ * health counters at the cancellation point plus, when the host-side
+ * profiler is live, the three hottest phases by inclusive time — the
+ * failure manifest records all of it for post-mortem triage.
+ */
+[[noreturn]] void
+throwCancelled(const EventQueue &eq)
+{
+    std::ostringstream os;
+    os << "simulation cancelled by watchdog at t=" << eq.now()
+       << " ps: fired=" << eq.fired()
+       << " pending=" << eq.pending()
+       << " peak_depth=" << eq.peakPending()
+       << " scheduled=" << eq.scheduledTotal()
+       << " descheduled=" << eq.descheduledTotal();
+    if (prof::enabled()) {
+        std::vector<prof::ProfPhase> phases =
+            prof::flatten(prof::snapshot());
+        std::sort(phases.begin(), phases.end(),
+                  [](const prof::ProfPhase &a, const prof::ProfPhase &b) {
+                      return a.ns > b.ns;
+                  });
+        os << "; top phases:";
+        int shown = 0;
+        for (const prof::ProfPhase &p : phases) {
+            os << ' ' << p.path << '='
+               << static_cast<double>(p.ns) / 1e6 << "ms";
+            if (++shown == 3)
+                break;
+        }
+    }
+    throw CancelledError(os.str());
+}
+
+} // namespace
 
 EventQueue::~EventQueue()
 {
@@ -26,8 +77,14 @@ EventQueue::runUntil(Tick limit)
     // One scope per runUntil call, not per event: the per-dispatch cost
     // of two clock reads would distort the very loop being measured.
     MEMNET_PROF_SCOPE("eq/dispatch");
+    // Hoisted: a run without an installed stop flag (the overwhelmingly
+    // common case) pays one null test per dispatch, nothing more.
+    const std::atomic<bool> *cancel = cancelFlag();
     std::uint64_t n = 0;
     while (!heap.empty()) {
+        if (cancel && (n & kCancelCheckMask) == 0 &&
+            cancel->load(std::memory_order_relaxed))
+            throwCancelled(*this);
         Event *ev = heap.front().ev;
         if (ev->_when > limit)
             break;

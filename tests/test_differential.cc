@@ -7,15 +7,20 @@
  *  - obs-on vs obs-off;
  *  - audit-on vs audit-off;
  *  - host profiler enabled vs disabled;
- *  - parallel sweep (--jobs style) vs serial execution.
+ *  - parallel sweep (--jobs style) vs serial execution;
+ *  - a sweep killed mid-run and resumed from its journal vs the same
+ *    sweep uninterrupted.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "audit/differential.hh"
+#include "memnet/journal.hh"
 #include "memnet/parallel.hh"
 #include "memnet/simulator.hh"
 #include "obs/prof.hh"
@@ -163,6 +168,74 @@ TEST(Differential, ParallelSweepEqualsSerial)
             << cfg.describe() << " seed " << cfg.seed << "\n"
             << audit::describeDiffs(diffs);
     }
+}
+
+TEST(Differential, ResumedSweepEqualsUninterrupted)
+{
+    // The crash-safety equivalence behind --journal/--resume: a sweep
+    // interrupted partway (here: only part of it journaled) and then
+    // resumed must match the uninterrupted sweep on every
+    // simulation-determined field of every config.
+    std::vector<SystemConfig> configs;
+    for (TopologyKind t : kTopologies)
+        configs.push_back(shortConfig(t, Policy::Aware));
+
+    const std::string path =
+        ::testing::TempDir() + "/differential_resume.jsonl";
+
+    Runner uninterrupted;
+    {
+        RunJournal journal(path);
+        ASSERT_TRUE(journal.open());
+        uninterrupted.setJournal(&journal);
+        // "Crash" after the first half: later configs never journal.
+        for (std::size_t i = 0; i < configs.size() / 2; ++i)
+            uninterrupted.get(configs[i]);
+        uninterrupted.setJournal(nullptr);
+    }
+    for (const SystemConfig &cfg : configs)
+        uninterrupted.get(cfg);
+
+    Runner resumed;
+    std::map<std::string, RunResult> pool;
+    ASSERT_TRUE(loadJournal(path, &pool, nullptr, nullptr));
+    resumed.addResumePool(std::move(pool));
+    for (const SystemConfig &cfg : configs)
+        resumed.get(cfg);
+
+    EXPECT_EQ(resumed.runsExecuted(),
+              static_cast<int>(configs.size() - configs.size() / 2));
+    const auto diffs = audit::diffResultMaps(uninterrupted.results(),
+                                             resumed.results());
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(Differential, DiffResultMapsFlagsMissingAndDifferingKeys)
+{
+    Runner runner;
+    const SystemConfig cfg = shortConfig(TopologyKind::Star,
+                                         Policy::FullPower);
+    const RunResult &r = runner.get(cfg);
+    const std::string k = Runner::key(cfg);
+
+    std::map<std::string, RunResult> a{{k, r}};
+    std::map<std::string, RunResult> b; // empty
+    auto diffs = audit::diffResultMaps(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].field, "only_in_a:" + k);
+
+    diffs = audit::diffResultMaps(b, a);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].field, "only_in_b:" + k);
+
+    RunResult tweaked = r;
+    tweaked.completedReads += 1;
+    b = {{k, tweaked}};
+    diffs = audit::diffResultMaps(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].field, k + ": completedReads");
+
+    EXPECT_TRUE(audit::diffResultMaps(a, a).empty());
 }
 
 TEST(ChannelRemap, InterleavePreservesSubLineOffset)

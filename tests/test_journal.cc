@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Tests for the crash-safe run journal (memnet/journal.hh): bit-exact
+ * hex-float round-trips, self-checking record framing, torn-tail and
+ * corruption rejection, last-wins duplicate handling, and the headline
+ * guarantee — a resumed sweep is byte-identical to an uninterrupted
+ * one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <regex>
+#include <sstream>
+
+#include "audit/differential.hh"
+#include "memnet/experiment.hh"
+#include "memnet/journal.hh"
+#include "memnet/parallel.hh"
+#include "memnet/report.hh"
+#include "obs/json.hh"
+
+namespace memnet
+{
+namespace
+{
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+doubleToBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+/** A config exercising every serialized field, fault plan included. */
+SystemConfig
+fancyConfig()
+{
+    SystemConfig cfg;
+    cfg.workload = "mixB";
+    cfg.topology = TopologyKind::TernaryTree;
+    cfg.sizeClass = SizeClass::Big;
+    cfg.mechanism = BwMechanism::Vwl;
+    cfg.roo = true;
+    cfg.rooWakeupPs = ns(21);
+    cfg.ioAttribution = IoAttribution::PerEnd;
+    cfg.linkFlitErrorRate = 1.0 / 3.0; // not decimal-representable
+    cfg.watchdogTimeoutPs = us(123);
+    cfg.policy = Policy::Aware;
+    cfg.alphaPct = 7.5;
+    cfg.epochLen = us(80);
+    cfg.aware.ispIterations = 2;
+    cfg.aware.congestionDiscount = false;
+    cfg.interleavePages = true;
+    cfg.warmup = us(11);
+    cfg.measure = us(53);
+    // Above 2^53: a double-backed DOM would silently round this.
+    cfg.seed = (1ULL << 60) + 12345ULL;
+    cfg.cores = 12;
+    cfg.maxReadsPerCore = 7;
+    cfg.maxWritesPerCore = 21;
+    cfg.faults.flapMeanPeriodPs = us(9);
+    cfg.faults.flapWindowPs = us(2);
+    FaultSpec f;
+    f.kind = FaultKind::LinkRetrain;
+    f.at = us(15);
+    f.link = 3;
+    f.durationPs = ns(750);
+    f.survivingLanes = 8;
+    f.flitErrorRate = 0.1;
+    cfg.faults.events.push_back(f);
+    return cfg;
+}
+
+/** A result with adversarial values in every field. */
+RunResult
+fancyResult()
+{
+    RunResult r;
+    r.config = fancyConfig();
+    r.numModules = 27;
+    r.perHmc.idleIoW = 1.0 / 3.0;
+    r.perHmc.activeIoW = 0x1.fffffffffffffp-3;
+    r.perHmc.logicLeakW = 5e-324; // smallest denormal
+    r.perHmc.logicDynW = -0.0;
+    r.perHmc.dramLeakW = std::numeric_limits<double>::max();
+    r.perHmc.dramDynW = std::numeric_limits<double>::min();
+    r.totalNetworkPowerW = 88.25;
+    r.idleIoFrac = 0.1; // classic non-representable decimal
+    r.readsPerSec = 1.93e8;
+    r.avgReadLatencyNs = 58.321;
+    r.channelUtil = 0.515;
+    r.avgLinkUtil = 0.19;
+    r.avgModulesTraversed = 1.48;
+    r.completedReads = (1ULL << 61) + 7; // above 2^53
+    r.violations = 3;
+    r.reliability.retries = 11;
+    r.reliability.replays = 5;
+    r.reliability.retrains = 2;
+    r.reliability.retrainSeconds = 1e-7;
+    r.reliability.degradedSeconds = 0.25;
+    r.reliability.faultEvents = 4;
+    for (int b = 0; b < kUtilBuckets; ++b)
+        for (int l = 0; l < kLaneModes; ++l)
+            r.linkHours[b][l] = (b * kLaneModes + l) / 7.0;
+    r.eventsFired = 289805;
+    r.profile.eventsFired = 289805;
+    r.profile.eventsScheduled = 289838;
+    r.profile.wallSeconds = 0.034;
+    r.profile.simSeconds = 150e-6;
+    r.profile.packetsIssued = 35487;
+    r.profile.packetHeapAllocs = 256;
+    r.profile.auditChecksRun = 12;
+    r.profile.eventsDescheduled = 9;
+    r.profile.peakQueueDepth = 46;
+    r.profile.dispatchWindows = {40961, 0, (1ULL << 55) + 3};
+    r.profile.dispatchWindowPs = us(100);
+    ModuleDetail m;
+    m.id = 5;
+    m.highRadix = true;
+    m.hopDistance = 2;
+    m.dramAccesses = 123456789;
+    m.flitsRouted = 987654321;
+    m.requestLinkUtil = 0.33;
+    m.responseLinkUtil = 0.44;
+    m.requestLinkPowerFrac = 0.55;
+    m.responseLinkPowerFrac = 0.66;
+    r.modules.push_back(m);
+    m.id = 6;
+    m.highRadix = false;
+    r.modules.push_back(m);
+    return r;
+}
+
+/** A tiny real sweep (shared with the resume-equivalence tests). */
+std::vector<SystemConfig>
+sweepConfigs()
+{
+    std::vector<SystemConfig> v;
+    for (const char *wl : {"mixA", "mixB"}) {
+        for (TopologyKind topo :
+             {TopologyKind::Star, TopologyKind::DaisyChain}) {
+            SystemConfig cfg;
+            cfg.workload = wl;
+            cfg.topology = topo;
+            cfg.policy = Policy::Unaware;
+            cfg.mechanism = BwMechanism::Vwl;
+            cfg.warmup = us(10);
+            cfg.measure = us(50);
+            v.push_back(cfg);
+        }
+    }
+    return v;
+}
+
+std::string
+benchJson(const Runner &runner)
+{
+    std::ostringstream os;
+    writeBenchResultsJson(os, "journal_test", runner.results());
+    return os.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TEST(HexDouble, RoundTripsSpecialValues)
+{
+    const double specials[] = {
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        1.0 / 3.0,
+        0.1,
+        5e-324, // min denormal
+        -5e-324,
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::lowest(),
+        std::numeric_limits<double>::epsilon(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        3.141592653589793,
+        2.2250738585072011e-308, // famous strtod stress value
+    };
+    for (double v : specials) {
+        double back = 0.0;
+        ASSERT_TRUE(parseHexDouble(hexDouble(v), &back))
+            << hexDouble(v);
+        EXPECT_EQ(doubleToBits(v), doubleToBits(back))
+            << "value " << v << " spelled " << hexDouble(v);
+    }
+}
+
+TEST(HexDouble, RoundTripsRandomBitPatternsExactly)
+{
+    std::mt19937_64 rng(20260807);
+    int checked = 0;
+    while (checked < 10000) {
+        const std::uint64_t bits = rng();
+        const double v = bitsToDouble(bits);
+        if (std::isnan(v))
+            continue; // NaN payloads aren't promised through "%a"
+        ++checked;
+        double back = 0.0;
+        ASSERT_TRUE(parseHexDouble(hexDouble(v), &back));
+        ASSERT_EQ(bits, doubleToBits(back))
+            << "bits " << bits << " spelled " << hexDouble(v);
+    }
+}
+
+TEST(HexDouble, RejectsPartialAndEmptyInput)
+{
+    double out = 0.0;
+    EXPECT_FALSE(parseHexDouble("", &out));
+    EXPECT_FALSE(parseHexDouble("0x1p+1 trailing", &out));
+    EXPECT_FALSE(parseHexDouble("zebra", &out));
+}
+
+TEST(JournalRecord, RoundTripsEveryFieldExactly)
+{
+    const RunResult r = fancyResult();
+    const std::string k = Runner::key(r.config);
+    const std::string line = journalRecordLine(k, r);
+
+    std::string keyBack, err;
+    RunResult back;
+    ASSERT_TRUE(parseJournalLine(line, &keyBack, &back, &err)) << err;
+    EXPECT_EQ(keyBack, k);
+    EXPECT_EQ(Runner::key(back.config), k);
+
+    // Everything diffRunResults covers, exactly.
+    const auto diffs = audit::diffRunResults(r, back);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+
+    // Fields the differ deliberately ignores must still round-trip.
+    EXPECT_EQ(doubleToBits(back.profile.wallSeconds),
+              doubleToBits(r.profile.wallSeconds));
+    EXPECT_EQ(back.profile.simSeconds, r.profile.simSeconds);
+    EXPECT_EQ(back.profile.packetHeapAllocs,
+              r.profile.packetHeapAllocs);
+    EXPECT_EQ(back.profile.auditChecksRun, r.profile.auditChecksRun);
+    EXPECT_EQ(back.profile.dispatchWindowPs,
+              r.profile.dispatchWindowPs);
+    EXPECT_EQ(back.completedReads, r.completedReads); // > 2^53
+    EXPECT_EQ(back.config.seed, r.config.seed);       // > 2^53
+    EXPECT_EQ(back.avgReadLatencyNs, r.avgReadLatencyNs);
+    EXPECT_EQ(doubleToBits(back.perHmc.logicDynW),
+              doubleToBits(r.perHmc.logicDynW)); // -0.0 keeps its sign
+    ASSERT_EQ(back.modules.size(), r.modules.size());
+    EXPECT_EQ(back.modules[0].id, r.modules[0].id);
+    EXPECT_TRUE(back.modules[0].highRadix);
+    EXPECT_EQ(back.modules[1].hopDistance, r.modules[1].hopDistance);
+    ASSERT_EQ(back.config.faults.events.size(), 1u);
+    EXPECT_EQ(back.config.faults.events[0].link, 3);
+    EXPECT_EQ(back.config.faults.events[0].flitErrorRate, 0.1);
+}
+
+TEST(JournalRecord, RejectsCorruptTruncatedAndForeignLines)
+{
+    const RunResult r = fancyResult();
+    const std::string line =
+        journalRecordLine(Runner::key(r.config), r);
+
+    std::string k, err;
+    RunResult out;
+
+    // One flipped payload byte: checksum catches it.
+    std::string flipped = line;
+    flipped[line.size() / 2] ^= 0x01;
+    EXPECT_FALSE(parseJournalLine(flipped, &k, &out, &err));
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+
+    // Truncation at any interesting depth: framing or checksum fails.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{10}, line.size() / 4,
+          line.size() / 2, line.size() - 2}) {
+        EXPECT_FALSE(
+            parseJournalLine(line.substr(0, keep), &k, &out, &err))
+            << "accepted a record truncated to " << keep << " bytes";
+    }
+
+    // Foreign JSON and non-JSON garbage.
+    EXPECT_FALSE(parseJournalLine("{\"not\":\"a record\"}", &k, &out,
+                                  &err));
+    EXPECT_FALSE(parseJournalLine("complete garbage", &k, &out, &err));
+}
+
+TEST(JournalRecord, RejectsKeyConfigMismatch)
+{
+    // Internally consistent line (framing + checksum pass) whose
+    // recorded key does not reproduce from its config — the format-
+    // drift guard must refuse it.
+    const RunResult r = fancyResult();
+    const std::string line = journalRecordLine("tampered|key", r);
+    std::string k, err;
+    RunResult out;
+    EXPECT_FALSE(parseJournalLine(line, &k, &out, &err));
+    EXPECT_NE(err.find("key mismatch"), std::string::npos) << err;
+}
+
+TEST(JournalLoad, SkipsTornTailKeepsEarlierRecords)
+{
+    const std::string path = tempPath("torn_tail.jsonl");
+    RunResult r1 = fancyResult();
+    RunResult r2 = fancyResult();
+    r2.config.seed = 99; // distinct key
+    const std::string l1 = journalRecordLine(Runner::key(r1.config), r1);
+    const std::string l2 = journalRecordLine(Runner::key(r2.config), r2);
+    {
+        std::ofstream os(path);
+        // Two whole records, then a record cut mid-write (no newline),
+        // exactly what SIGKILL during append leaves behind.
+        os << l1 << l2 << l1.substr(0, l1.size() / 2);
+    }
+
+    std::map<std::string, RunResult> pool;
+    JournalLoadStats stats;
+    std::string err;
+    ASSERT_TRUE(loadJournal(path, &pool, &stats, &err)) << err;
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.loaded, 2u);
+    EXPECT_EQ(stats.corrupt, 1u);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_TRUE(pool.count(Runner::key(r1.config)));
+    EXPECT_TRUE(pool.count(Runner::key(r2.config)));
+}
+
+TEST(JournalLoad, DuplicateKeysLastRecordWins)
+{
+    const std::string path = tempPath("dup_keys.jsonl");
+    RunResult first = fancyResult();
+    first.totalNetworkPowerW = 1.0;
+    RunResult second = fancyResult();
+    second.totalNetworkPowerW = 2.0;
+    const std::string k = Runner::key(first.config);
+    ASSERT_EQ(k, Runner::key(second.config));
+    {
+        std::ofstream os(path);
+        os << journalRecordLine(k, first) << journalRecordLine(k, second);
+    }
+
+    std::map<std::string, RunResult> pool;
+    JournalLoadStats stats;
+    ASSERT_TRUE(loadJournal(path, &pool, &stats, nullptr));
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.duplicates, 1u);
+    EXPECT_EQ(stats.loaded, 1u);
+    ASSERT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.at(k).totalNetworkPowerW, 2.0);
+}
+
+TEST(JournalLoad, MissingFileFails)
+{
+    std::map<std::string, RunResult> pool;
+    std::string err;
+    EXPECT_FALSE(loadJournal(tempPath("does_not_exist.jsonl"), &pool,
+                             nullptr, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(RunJournal, OpenFailsOnUnwritablePath)
+{
+    RunJournal j(tempPath("no/such/dir/journal.jsonl"));
+    EXPECT_FALSE(j.open());
+    EXPECT_FALSE(j.ok());
+}
+
+TEST(RunJournal, ResumedSweepIsByteIdenticalAndRunsNothing)
+{
+    const std::vector<SystemConfig> configs = sweepConfigs();
+    const std::string path = tempPath("resume_full.jsonl");
+
+    // Uninterrupted journaled sweep.
+    Runner original;
+    {
+        RunJournal journal(path);
+        ASSERT_TRUE(journal.open());
+        original.setJournal(&journal);
+        for (const SystemConfig &cfg : configs)
+            original.get(cfg);
+        original.setJournal(nullptr);
+        EXPECT_EQ(journal.appended(), configs.size());
+    }
+
+    // Resume into a fresh Runner: nothing re-simulates and the bench
+    // JSON matches byte for byte — wall_s included, because the
+    // journal preserved the original's profile bit-exactly.
+    Runner resumed;
+    std::map<std::string, RunResult> pool;
+    ASSERT_TRUE(loadJournal(path, &pool, nullptr, nullptr));
+    resumed.addResumePool(std::move(pool));
+    for (const SystemConfig &cfg : configs)
+        resumed.get(cfg);
+    EXPECT_EQ(resumed.runsExecuted(), 0);
+    EXPECT_EQ(resumed.resumedHits(),
+              static_cast<std::uint64_t>(configs.size()));
+    EXPECT_EQ(benchJson(original), benchJson(resumed));
+
+    const auto diffs =
+        audit::diffResultMaps(original.results(), resumed.results());
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(RunJournal, PartialJournalResumesOnlyMissingConfigs)
+{
+    const std::vector<SystemConfig> configs = sweepConfigs();
+    const std::string path = tempPath("resume_partial.jsonl");
+
+    // Journal only the first half — a sweep killed mid-run.
+    Runner original;
+    {
+        RunJournal journal(path);
+        ASSERT_TRUE(journal.open());
+        original.setJournal(&journal);
+        for (std::size_t i = 0; i < configs.size() / 2; ++i)
+            original.get(configs[i]);
+        original.setJournal(nullptr);
+    }
+    // Finish the reference sweep without the journal attached.
+    for (const SystemConfig &cfg : configs)
+        original.get(cfg);
+
+    Runner resumed;
+    std::map<std::string, RunResult> pool;
+    ASSERT_TRUE(loadJournal(path, &pool, nullptr, nullptr));
+    resumed.addResumePool(std::move(pool));
+    for (const SystemConfig &cfg : configs)
+        resumed.get(cfg);
+
+    EXPECT_EQ(resumed.runsExecuted(),
+              static_cast<int>(configs.size() - configs.size() / 2));
+    // wall_s differs for the re-simulated half; everything
+    // simulation-determined must not.
+    const auto diffs =
+        audit::diffResultMaps(original.results(), resumed.results());
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(RunJournal, OpenSealsTornTailBeforeAppending)
+{
+    // --journal and --resume may name the same file. After a SIGKILL
+    // mid-append the file can end in a partial line with no newline;
+    // reopening for append must not glue the next record onto the
+    // fragment (which would corrupt a good record too).
+    const std::vector<SystemConfig> configs = sweepConfigs();
+    const std::string path = tempPath("torn_tail.jsonl");
+
+    RunResult r0 = fancyResult();
+    r0.config = configs[0];
+    const std::string whole =
+        journalRecordLine(Runner::key(configs[0]), r0);
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << whole;
+        os << whole.substr(0, whole.size() / 2); // torn, no newline
+    }
+
+    {
+        RunJournal journal(path);
+        ASSERT_TRUE(journal.open());
+        Runner runner;
+        runner.setJournal(&journal);
+        runner.get(configs[1]);
+        runner.setJournal(nullptr);
+        EXPECT_EQ(journal.appended(), 1u);
+    }
+
+    std::map<std::string, RunResult> pool;
+    JournalLoadStats stats;
+    ASSERT_TRUE(loadJournal(path, &pool, &stats, nullptr));
+    // Both complete records survive; only the sealed fragment is lost.
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.corrupt, 1u);
+    EXPECT_EQ(pool.count(Runner::key(configs[0])), 1u);
+    EXPECT_EQ(pool.count(Runner::key(configs[1])), 1u);
+}
+
+TEST(RunJournal, ResumePoolIsLazyAndLeaksNothingForeign)
+{
+    const std::vector<SystemConfig> configs = sweepConfigs();
+
+    // A journal carrying one foreign record (a config this sweep never
+    // requests) plus one relevant record.
+    RunResult foreign = fancyResult();
+    Runner reference;
+    const RunResult &relevant = reference.get(configs.front());
+
+    Runner runner;
+    std::map<std::string, RunResult> pool;
+    pool.emplace(Runner::key(foreign.config), foreign);
+    pool.emplace(Runner::key(relevant.config), relevant);
+    runner.addResumePool(std::move(pool));
+
+    for (const SystemConfig &cfg : configs)
+        runner.get(cfg);
+    EXPECT_EQ(runner.resumedHits(), 1u);
+    EXPECT_EQ(runner.runsExecuted(),
+              static_cast<int>(configs.size()) - 1);
+    // results() lists exactly the sweep's own configs.
+    EXPECT_EQ(runner.results().size(), configs.size());
+    EXPECT_FALSE(runner.results().count(Runner::key(foreign.config)));
+}
+
+TEST(FailureManifest, WritesValidJsonWithDedupedEntries)
+{
+    RunFailure f1;
+    f1.config = fancyConfig();
+    f1.key = Runner::key(f1.config);
+    f1.message = "simulation cancelled by watchdog at t=42 ps";
+    f1.timeout = true;
+    f1.wallSeconds = 1.5;
+    RunFailure dup = f1; // racing duplicate of the same config
+    dup.message = "identical second failure";
+
+    std::ostringstream os;
+    writeFailureManifest(os, "test_bench", "isolate", 1.25, {f1, dup});
+
+    obs::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(os.str(), &doc, &err)) << err;
+    EXPECT_EQ(doc.find("schema_version")->number, 1.0);
+    EXPECT_EQ(doc.find("source")->string, "test_bench");
+    EXPECT_EQ(doc.find("failure_policy")->string, "isolate");
+    const obs::json::Value *failures = doc.find("failures");
+    ASSERT_TRUE(failures && failures->isArray());
+    ASSERT_EQ(failures->array.size(), 1u); // dedup by key
+    const obs::json::Value &e = failures->array[0];
+    EXPECT_EQ(e.find("key")->string, f1.key);
+    EXPECT_TRUE(e.find("timeout")->boolean);
+    EXPECT_EQ(e.find("error")->string, f1.message);
+    ASSERT_TRUE(e.find("config") && e.find("config")->isObject());
+    EXPECT_EQ(e.find("config")->find("workload")->string, "mixB");
+}
+
+} // namespace
+} // namespace memnet

@@ -161,6 +161,166 @@ TEST(Runner, CollectedConfigsAreSkippedWhenAlreadyCached)
     EXPECT_EQ(pending.size(), configs.size() - 1);
 }
 
+/** Scoped log capture for asserting on warn/inform output. */
+class CapturedLog
+{
+  public:
+    CapturedLog()
+        : prev(setLogSink([this](LogLevel, const std::string &msg) {
+              std::lock_guard<std::mutex> lock(mu);
+              lines.push_back(msg);
+          }))
+    {
+    }
+
+    ~CapturedLog() { setLogSink(std::move(prev)); }
+
+    bool
+    contains(const std::string &needle) const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const std::string &l : lines)
+            if (l.find(needle) != std::string::npos)
+                return true;
+        return false;
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::vector<std::string> lines;
+    LogSink prev;
+};
+
+/** RAII: memnet_fatal throws instead of exiting, for failure tests. */
+struct ScopedThrowOnError
+{
+    ScopedThrowOnError() { detail::setThrowOnError(true); }
+    ~ScopedThrowOnError() { detail::setThrowOnError(false); }
+};
+
+/** An invalid config: the unknown workload makes runSimulation fatal. */
+SystemConfig
+badConfig(std::uint64_t seed = 1)
+{
+    SystemConfig cfg;
+    cfg.workload = "no-such-workload";
+    cfg.warmup = us(10);
+    cfg.measure = us(50);
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(FailurePolicy, ParsesAndNames)
+{
+    FailurePolicy p = FailurePolicy::Abort;
+    EXPECT_TRUE(parseFailurePolicy("isolate", &p));
+    EXPECT_EQ(p, FailurePolicy::Isolate);
+    EXPECT_TRUE(parseFailurePolicy("abort", &p));
+    EXPECT_EQ(p, FailurePolicy::Abort);
+    EXPECT_FALSE(parseFailurePolicy("explode", &p));
+    EXPECT_STREQ(failurePolicyName(FailurePolicy::Abort), "abort");
+    EXPECT_STREQ(failurePolicyName(FailurePolicy::Isolate), "isolate");
+}
+
+TEST(ParallelRunner, IsolatePolicyFinishesSweepAroundFailures)
+{
+    const ScopedThrowOnError guard;
+    std::vector<SystemConfig> configs = sweepConfigs();
+    configs.insert(configs.begin() + 2, badConfig());
+
+    Runner runner;
+    ParallelRunner engine(runner, 4);
+    engine.setFailurePolicy(FailurePolicy::Isolate);
+    EXPECT_NO_THROW(engine.run(configs));
+
+    ASSERT_EQ(engine.failures().size(), 1u);
+    const RunFailure &f = engine.failures()[0];
+    EXPECT_EQ(f.key, Runner::key(badConfig()));
+    EXPECT_FALSE(f.timeout);
+    EXPECT_NE(f.message.find("no-such-workload"), std::string::npos)
+        << f.message;
+
+    // Every healthy config completed; the failed key is poisoned, not
+    // cached, so partial results stay clean and replays don't re-run.
+    EXPECT_EQ(runner.results().size(), configs.size() - 1);
+    EXPECT_FALSE(runner.results().count(Runner::key(badConfig())));
+    const int executed = runner.runsExecuted();
+    const RunResult &placeholder = runner.get(badConfig());
+    EXPECT_EQ(placeholder.completedReads, 0u);
+    EXPECT_EQ(runner.runsExecuted(), executed);
+}
+
+TEST(ParallelRunner, IsolatePolicyWorksSingleThreaded)
+{
+    const ScopedThrowOnError guard;
+    Runner runner;
+    ParallelRunner engine(runner, 1);
+    engine.setFailurePolicy(FailurePolicy::Isolate);
+    SystemConfig good;
+    good.warmup = us(10);
+    good.measure = us(50);
+    EXPECT_NO_THROW(engine.run({badConfig(), good}));
+    EXPECT_EQ(engine.failures().size(), 1u);
+    EXPECT_EQ(runner.results().size(), 1u);
+}
+
+TEST(ParallelRunner, AbortPolicyRethrowsAndLogsSuppressedFailures)
+{
+    const ScopedThrowOnError guard;
+    const CapturedLog log;
+    // Two distinct failing configs so one failure must be suppressed.
+    std::vector<SystemConfig> configs = {badConfig(1), badConfig(2)};
+    Runner runner;
+    ParallelRunner engine(runner, 2);
+    EXPECT_THROW(engine.run(configs), std::runtime_error);
+    EXPECT_EQ(engine.failures().size(), 2u);
+    EXPECT_TRUE(log.contains("1 additional failure(s) suppressed"));
+    EXPECT_TRUE(log.contains("no-such-workload"));
+}
+
+TEST(ParallelRunner, WatchdogCancelsOverBudgetConfig)
+{
+    // A measure window far beyond what a tiny budget allows; the
+    // watchdog must cancel it and record diagnostics.
+    SystemConfig hog;
+    hog.workload = "mixA";
+    hog.warmup = us(10);
+    hog.measure = us(400000);
+
+    Runner runner;
+    ParallelRunner engine(runner, 1);
+    engine.setFailurePolicy(FailurePolicy::Isolate);
+    engine.setConfigTimeout(0.05);
+    engine.run({hog});
+
+    ASSERT_EQ(engine.failures().size(), 1u);
+    const RunFailure &f = engine.failures()[0];
+    EXPECT_TRUE(f.timeout);
+    EXPECT_GE(f.wallSeconds, 0.05);
+    EXPECT_NE(f.message.find("cancelled by watchdog"),
+              std::string::npos)
+        << f.message;
+    EXPECT_NE(f.message.find("fired="), std::string::npos) << f.message;
+    EXPECT_TRUE(runner.results().empty());
+}
+
+TEST(ParallelRunner, WatchdogLeavesFastConfigsAlone)
+{
+    // Generous budget: the sweep completes normally and results match
+    // a run with no watchdog at all, byte for byte.
+    const std::vector<SystemConfig> configs = sweepConfigs();
+    Runner plain;
+    ParallelRunner(plain, 2).run(configs);
+
+    Runner watched;
+    ParallelRunner engine(watched, 2);
+    engine.setConfigTimeout(300.0);
+    engine.run(configs);
+
+    EXPECT_TRUE(engine.failures().empty());
+    EXPECT_EQ(jsonWithoutWallClock(plain), jsonWithoutWallClock(watched));
+}
+
 TEST(LogSink, ConcurrentWarningsStayIntact)
 {
     std::vector<std::string> lines;
