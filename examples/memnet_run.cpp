@@ -22,6 +22,9 @@
  *                          (0 = all hardware threads)    [1]
  *   --fer <p>              flit error rate (CRC retry)   [0]
  *   --audit                run the invariant auditor     [Debug: always]
+ *   --no-lat-obs           disable the latency observatory (per-access
+ *                          decomposition + percentile sketches); purely
+ *                          observational either way       [on]
  *   --report <list>        summary,power,modules,links   [summary]
  *   --profile <path>       host-side profiler dump; ".json" gets the
  *                          phase tree, anything else FlameGraph
@@ -210,6 +213,26 @@ reportFailures(const ParallelRunner &engine, const RobustnessOpts &opts)
     return 1;
 }
 
+/**
+ * One-line crash-safety accounting, printed whenever --journal or
+ * --resume is active: how many runs this process actually simulated
+ * versus how many were served from the resume pool. Makes a resumed
+ * sweep's "did it skip the finished work?" question answerable from
+ * the console instead of by diffing journals.
+ */
+void
+printCrashSafetySummary(const Runner &runner, const RobustnessOpts &opts)
+{
+    if (opts.journalPath.empty() && opts.resumePath.empty())
+        return;
+    std::printf("crash-safety: %d run(s) executed, %llu resumed from "
+                "journal%s%s\n",
+                runner.runsExecuted(),
+                static_cast<unsigned long long>(runner.resumedHits()),
+                opts.journalPath.empty() ? "" : "; journaling to ",
+                opts.journalPath.c_str());
+}
+
 } // namespace
 
 int
@@ -264,6 +287,8 @@ main(int argc, char **argv)
             cfg.interleavePages = true;
         } else if (a == "--audit") {
             cfg.audit = true;
+        } else if (a == "--no-lat-obs") {
+            cfg.latencyObs = false;
         } else if (a == "--report") {
             report = need(i);
         } else if (a == "--profile") {
@@ -362,6 +387,7 @@ main(int argc, char **argv)
                     seeds, resolveJobs(jobs),
                     resolveJobs(jobs) == 1 ? "" : "s");
         t.print();
+        printCrashSafetySummary(runner, ropts);
         printSeedProfileSummary(summarizeSeedProfiles(runs));
         // The snapshot merges every seed replica's phases, including
         // worker threads already joined (their trees are retained).
@@ -390,6 +416,7 @@ main(int argc, char **argv)
         if (reportFailures(engine, ropts) != 0)
             return 1;
         r = runner.get(cfg);
+        printCrashSafetySummary(runner, ropts);
     } else {
         r = runSimulation(cfg);
     }

@@ -17,7 +17,11 @@ bands. Two input formats are understood:
 
 Counters are classified by name: anything matching *_per_s / *_per_sec /
 *_per_second (google-benchmark's items/bytes counters) / *_rate is a rate (one-sided: fail only when current < (1 - tol) *
-baseline); everything else is exact (two-sided relative comparison).
+baseline); percentile counters (*_p50_ps / *_p99_ps_max / ... — the
+latency observatory's sketch quantiles) are two-sided but get a looser
+default band, because a sketch quantile is quantized to its bucket's
+upper bound and a one-sample shift can move it a whole ~3% bucket;
+everything else is exact (two-sided relative comparison).
 Raw wall-clock fields (wall_s, real_time, cpu_time) are excluded
 entirely.
 
@@ -46,13 +50,19 @@ import sys
 BASELINE_SCHEMA_VERSION = 1
 DEFAULT_EXACT_REL_TOL = 1e-6
 DEFAULT_RATE_REL_TOL = 0.8  # fail below 20% of baseline rate
+DEFAULT_PCTL_REL_TOL = 0.05  # sketch quantiles: ~3% bucket width
 
 _RATE_NAME = re.compile(r"(_per_s$|_per_sec$|_per_second$|_rate$)")
+_PCTL_NAME = re.compile(r"_p\d+_ps(_max|_total)?$")
 _EXCLUDED = {"wall_s", "real_time", "cpu_time"}
 
 
 def is_rate(counter):
     return bool(_RATE_NAME.search(counter))
+
+
+def is_percentile(counter):
+    return bool(_PCTL_NAME.search(counter))
 
 
 def extract_memnet(doc):
@@ -83,6 +93,18 @@ def extract_memnet(doc):
             "completed_reads", 0)
         counters["violations_total"] += r.get("violations", 0)
         wall += prof.get("wall_s", 0.0)
+        # schema_version 3: latency-observatory aggregates. Samples are
+        # exact; the percentile maxima are sketch quantiles and get the
+        # looser *_p*_ps tolerance class (see module docstring).
+        lat = r.get("latency")
+        if lat and lat.get("enabled"):
+            e2e = lat.get("end_to_end", {})
+            counters["lat_samples_total"] = counters.get(
+                "lat_samples_total", 0) + e2e.get("samples", 0)
+            for pct in ("p99_ps", "p999_ps"):
+                key = f"lat_{pct}_max"
+                counters[key] = max(counters.get(key, 0),
+                                    e2e.get(pct, 0))
     if wall > 0:
         counters["events_per_s"] = counters["events_fired_total"] / wall
     return {doc.get("bench", "?"): {"kind": "memnet", "counters": counters}}
@@ -129,6 +151,8 @@ def tolerance_for(baseline, label, counter):
     defaults = baseline.get("defaults", {})
     if is_rate(counter):
         return float(defaults.get("rate_rel_tol", DEFAULT_RATE_REL_TOL))
+    if is_percentile(counter):
+        return float(defaults.get("pctl_rel_tol", DEFAULT_PCTL_REL_TOL))
     return float(defaults.get("exact_rel_tol", DEFAULT_EXACT_REL_TOL))
 
 

@@ -18,9 +18,10 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare as bc
 
 
-def memnet_doc(events_fired=1000, wall=0.5, completed=40, violations=0):
+def memnet_doc(events_fired=1000, wall=0.5, completed=40, violations=0,
+               p99_ps=120000):
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "bench": "bench_fig5",
         "runs": [
             {
@@ -28,6 +29,15 @@ def memnet_doc(events_fired=1000, wall=0.5, completed=40, violations=0):
                 "result": {
                     "perf": {"completed_reads": completed},
                     "violations": violations,
+                    "latency": {
+                        "enabled": True,
+                        "samples": 40,
+                        "end_to_end": {
+                            "samples": 40,
+                            "p99_ps": p99_ps,
+                            "p999_ps": p99_ps + 5000,
+                        },
+                    },
                     "profile": {
                         "events_fired": events_fired,
                         "events_scheduled": events_fired + 10,
@@ -92,6 +102,27 @@ class ExtractTest(unittest.TestCase):
         self.assertTrue(bc.is_rate("items_per_second"))
         self.assertTrue(bc.is_rate("bytes_per_second"))
         self.assertFalse(bc.is_rate("events_fired_total"))
+
+    def test_percentile_classification(self):
+        self.assertTrue(bc.is_percentile("lat_p99_ps_max"))
+        self.assertTrue(bc.is_percentile("lat_p999_ps_max"))
+        self.assertTrue(bc.is_percentile("queue_p50_ps"))
+        self.assertFalse(bc.is_percentile("lat_samples_total"))
+        self.assertFalse(bc.is_percentile("events_per_s"))
+
+    def test_memnet_latency_aggregation(self):
+        entries = bc.extract_memnet(memnet_doc(p99_ps=150000))
+        counters = entries["bench_fig5"]["counters"]
+        self.assertEqual(counters["lat_samples_total"], 40)
+        self.assertEqual(counters["lat_p99_ps_max"], 150000)
+        self.assertEqual(counters["lat_p999_ps_max"], 155000)
+
+    def test_memnet_without_latency_object_still_extracts(self):
+        doc = memnet_doc()
+        del doc["runs"][0]["result"]["latency"]
+        counters = bc.extract_memnet(doc)["bench_fig5"]["counters"]
+        self.assertNotIn("lat_samples_total", counters)
+        self.assertEqual(counters["events_fired_total"], 1000)
 
 
 class RoundTripTest(unittest.TestCase):
@@ -237,6 +268,24 @@ class CheckEntryTest(unittest.TestCase):
         self.assertEqual(
             bc.check_entry(baseline, "b", {"x_per_s": 0.0},
                            {"x_per_s": 0.0}, report), 0)
+
+    def test_percentile_band_is_two_sided_but_loose(self):
+        baseline = {"defaults": {"pctl_rel_tol": 0.05}}
+        report = []
+        # Within one sketch bucket (~3%): passes in both directions.
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"lat_p99_ps_max": 100000},
+                           {"lat_p99_ps_max": 103000}, report), 0)
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"lat_p99_ps_max": 100000},
+                           {"lat_p99_ps_max": 97000}, report), 0)
+        # A 20% tail-latency swing fails either way.
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"lat_p99_ps_max": 100000},
+                           {"lat_p99_ps_max": 120000}, report), 1)
+        self.assertEqual(
+            bc.check_entry(baseline, "b", {"lat_p99_ps_max": 100000},
+                           {"lat_p99_ps_max": 80000}, report), 1)
 
 
 if __name__ == "__main__":

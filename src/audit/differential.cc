@@ -120,6 +120,12 @@ diffRunResults(const RunResult &a, const RunResult &b,
     d.field("reliability.faultEvents", a.reliability.faultEvents,
             b.reliability.faultEvents);
 
+    // RunResult::latency is deliberately NOT compared: the latency
+    // observatory may legitimately be enabled on one side only (its
+    // differential guarantee is that *everything above* stays
+    // bit-identical — test_differential LatencyObservatoryOnEqualsOff),
+    // the same exclusion rule as wallSeconds/profPhases.
+
     for (int u = 0; u < kUtilBuckets; ++u) {
         for (int l = 0; l < kLaneModes; ++l) {
             std::ostringstream name;

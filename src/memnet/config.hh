@@ -16,6 +16,7 @@
 #include "net/topology.hh"
 #include "obs/options.hh"
 #include "obs/prof.hh"
+#include "obs/quantile_sketch.hh"
 #include "power/power_breakdown.hh"
 #include "sim/fault.hh"
 #include "sim/types.hh"
@@ -128,6 +129,16 @@ struct SystemConfig
      * is never part of Runner's memoization key.
      */
     bool audit = false;
+
+    /**
+     * Record the latency observatory (per-access decomposition into
+     * QuantileSketches, RunResult::latency, net.lat.* stats). On by
+     * default: recording is passive — packets are stamped either way
+     * and the sketches never schedule events — so simulated results are
+     * bit-identical on vs. off (test_differential) and, like obs and
+     * audit, this is never part of Runner's memoization key.
+     */
+    bool latencyObs = true;
 
     /** Bytes of address space served by one module. */
     std::uint64_t
@@ -276,6 +287,13 @@ struct RunResult
 
     /** Aggregated link reliability counters (measurement window). */
     ReliabilityStats reliability;
+
+    /**
+     * Latency observatory: per-component percentiles over completed
+     * reads of the measurement window plus network-wide stall totals
+     * ({enabled=false, all zero} when cfg.latencyObs is off).
+     */
+    LatencyBreakdown latency;
 
     /** link-seconds[util bucket][lane mode] (Figure 13). */
     std::array<std::array<double, kLaneModes>, kUtilBuckets> linkHours{};

@@ -181,6 +181,32 @@ writeResult(JsonWriter &w, const RunResult &r)
     hexField(w, "degraded_s", r.reliability.degradedSeconds);
     numField(w, "fault_events", r.reliability.faultEvents);
     w.endObject();
+    w.key("latency");
+    w.beginObject();
+    w.field("enabled", r.latency.enabled);
+    hexField(w, "wake_stall_s", r.latency.wakeStallSeconds);
+    hexField(w, "retrain_stall_s", r.latency.retrainStallSeconds);
+    numField(w, "queue_peak", r.latency.queuePeak);
+    const auto latComponent = [&](const char *name,
+                                  const LatencyPercentiles &lp) {
+        w.key(name);
+        w.beginObject();
+        numField(w, "samples", lp.samples);
+        numField(w, "sum_ps", lp.sumPs);
+        numField(w, "p50_ps", lp.p50Ps);
+        numField(w, "p90_ps", lp.p90Ps);
+        numField(w, "p99_ps", lp.p99Ps);
+        numField(w, "p999_ps", lp.p999Ps);
+        numField(w, "max_ps", lp.maxPs);
+        w.endObject();
+    };
+    latComponent("end_to_end", r.latency.endToEnd);
+    latComponent("queue", r.latency.queue);
+    latComponent("wake_stall", r.latency.wakeStall);
+    latComponent("retrain_stall", r.latency.retrainStall);
+    latComponent("serialization", r.latency.serialization);
+    latComponent("dram", r.latency.dram);
+    w.endObject();
     // Row-major [util bucket][lane mode] flattening of the 5x4 matrix.
     w.key("link_hours");
     w.beginArray();
@@ -480,6 +506,46 @@ readResult(Reader &rd, const Value &v, RunResult *r)
           rd.getU64(*rel, rp, "fault_events",
                     &r->reliability.faultEvents)))
         return false;
+
+    // Optional: journals written before the latency observatory lack
+    // this object; they deserialize with latency disabled (the resumed
+    // result then simply reports no latency data, like a --no-lat-obs
+    // run) instead of being rejected wholesale.
+    if (const Value *lat = v.find("latency")) {
+        const std::string lp = p + ".latency";
+        if (!lat->isObject())
+            return rd.fail(lp, "not an object");
+        if (!(rd.getBool(*lat, lp, "enabled", &r->latency.enabled) &&
+              rd.getHex(*lat, lp, "wake_stall_s",
+                        &r->latency.wakeStallSeconds) &&
+              rd.getHex(*lat, lp, "retrain_stall_s",
+                        &r->latency.retrainStallSeconds) &&
+              rd.getU64(*lat, lp, "queue_peak", &r->latency.queuePeak)))
+            return false;
+        const auto latComponent = [&](const char *name,
+                                      LatencyPercentiles *out) {
+            const Value *c = rd.member(*lat, lp, name);
+            if (!c)
+                return false;
+            const std::string cp = lp + "." + name;
+            if (!c->isObject())
+                return rd.fail(cp, "not an object");
+            return rd.getU64(*c, cp, "samples", &out->samples) &&
+                   rd.getU64(*c, cp, "sum_ps", &out->sumPs) &&
+                   rd.getU64(*c, cp, "p50_ps", &out->p50Ps) &&
+                   rd.getU64(*c, cp, "p90_ps", &out->p90Ps) &&
+                   rd.getU64(*c, cp, "p99_ps", &out->p99Ps) &&
+                   rd.getU64(*c, cp, "p999_ps", &out->p999Ps) &&
+                   rd.getU64(*c, cp, "max_ps", &out->maxPs);
+        };
+        if (!(latComponent("end_to_end", &r->latency.endToEnd) &&
+              latComponent("queue", &r->latency.queue) &&
+              latComponent("wake_stall", &r->latency.wakeStall) &&
+              latComponent("retrain_stall", &r->latency.retrainStall) &&
+              latComponent("serialization", &r->latency.serialization) &&
+              latComponent("dram", &r->latency.dram)))
+            return false;
+    }
 
     const Value *lh = rd.member(v, p, "link_hours");
     if (!lh)

@@ -142,6 +142,7 @@ runMultiChannel(const MultiChannelConfig &mcfg)
         amap.modules = modules_per_channel;
         nets.push_back(std::make_unique<Network>(
             eq, topo, dram, cfg.mechanism, roo, pm, amap, errors));
+        nets.back()->setLatencyObservatory(cfg.latencyObs);
         net_ptrs.push_back(nets.back().get());
     }
 
@@ -254,6 +255,22 @@ runMultiChannel(const MultiChannelConfig &mcfg)
     r.idleIoFrac = r.totalPowerW > 0 ? idle / r.totalPowerW : 0.0;
     r.readsPerSec =
         static_cast<double>(proc.completedReads()) / secs;
+
+    if (cfg.latencyObs) {
+        // Exact cross-channel merge of the component sketches, plus the
+        // stall-attribution totals summed over every channel's links.
+        obs::LatencySketches merged;
+        for (auto &n : nets)
+            merged.merge(n->latencySketches());
+        r.latency = summarizeLatency(merged);
+        for (auto &n : nets) {
+            const LatencyBreakdown b = n->latencySummary();
+            r.latency.wakeStallSeconds += b.wakeStallSeconds;
+            r.latency.retrainStallSeconds += b.retrainStallSeconds;
+            if (b.queuePeak > r.latency.queuePeak)
+                r.latency.queuePeak = b.queuePeak;
+        }
+    }
     return r;
 }
 

@@ -90,6 +90,13 @@ struct MultiChannelResult
     std::vector<PowerBreakdown> channelPower;
     std::vector<double> channelUtil;
     std::vector<int> channelModules;
+    /**
+     * Latency observatory over all channels: the per-channel sketches
+     * are exactly mergeable, so these percentiles describe the union of
+     * every channel's completed reads ({enabled=false} when
+     * cfg.base.latencyObs is off).
+     */
+    LatencyBreakdown latency;
 };
 
 /** Build, run and measure a multi-channel system. */

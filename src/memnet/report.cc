@@ -24,6 +24,32 @@ printRunSummary(const RunResult &r)
                 "modules/access: %.2f\n",
                 r.channelUtil * 100, r.avgLinkUtil * 100,
                 r.avgModulesTraversed);
+    if (r.latency.enabled && r.latency.endToEnd.samples) {
+        const LatencyBreakdown &lat = r.latency;
+        auto ns = [](std::uint64_t ps) {
+            return static_cast<double>(ps) / 1e3;
+        };
+        std::printf("  latency: p50 %.1f ns  p99 %.1f ns  p999 %.1f ns"
+                    "  max %.1f ns (%llu reads)\n",
+                    ns(lat.endToEnd.p50Ps), ns(lat.endToEnd.p99Ps),
+                    ns(lat.endToEnd.p999Ps), ns(lat.endToEnd.maxPs),
+                    static_cast<unsigned long long>(
+                        lat.endToEnd.samples));
+        const double total =
+            static_cast<double>(lat.endToEnd.sumPs);
+        if (total > 0) {
+            auto share = [total](std::uint64_t sum) {
+                return 100.0 * static_cast<double>(sum) / total;
+            };
+            std::printf("  breakdown: queue %.1f%%  wake stall %.1f%%  "
+                        "retrain stall %.1f%%  ser %.1f%%  dram %.1f%%\n",
+                        share(lat.queue.sumPs),
+                        share(lat.wakeStall.sumPs),
+                        share(lat.retrainStall.sumPs),
+                        share(lat.serialization.sumPs),
+                        share(lat.dram.sumPs));
+        }
+    }
     if (r.violations)
         std::printf("  AMS violations: %llu\n",
                     static_cast<unsigned long long>(r.violations));
@@ -273,6 +299,38 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.field("retrain_s", r.reliability.retrainSeconds);
     w.field("degraded_s", r.reliability.degradedSeconds);
     w.field("fault_events", r.reliability.faultEvents);
+    w.endObject();
+
+    // schema_version 3: latency observatory. All integer-picosecond
+    // percentiles, simulation-determined and deterministic; samples=0
+    // (with zero percentiles, never NaN) when the window completed no
+    // reads or the observatory was disabled.
+    w.key("latency");
+    w.beginObject();
+    w.field("enabled", r.latency.enabled);
+    w.field("samples", r.latency.endToEnd.samples);
+    w.field("wake_stall_s", r.latency.wakeStallSeconds);
+    w.field("retrain_stall_s", r.latency.retrainStallSeconds);
+    w.field("queue_peak", r.latency.queuePeak);
+    auto component = [&w](const char *name,
+                          const LatencyPercentiles &p) {
+        w.key(name);
+        w.beginObject();
+        w.field("samples", p.samples);
+        w.field("sum_ps", p.sumPs);
+        w.field("p50_ps", p.p50Ps);
+        w.field("p90_ps", p.p90Ps);
+        w.field("p99_ps", p.p99Ps);
+        w.field("p999_ps", p.p999Ps);
+        w.field("max_ps", p.maxPs);
+        w.endObject();
+    };
+    component("end_to_end", r.latency.endToEnd);
+    component("queue", r.latency.queue);
+    component("wake_stall", r.latency.wakeStall);
+    component("retrain_stall", r.latency.retrainStall);
+    component("serialization", r.latency.serialization);
+    component("dram", r.latency.dram);
     w.endObject();
 
     // wall_s and prof_phases vary between identical runs; tools

@@ -58,8 +58,9 @@ summarizeSeedProfiles(const std::vector<const RunResult *> &runs);
 /** One-line rendering of a SeedProfileSummary. */
 void printSeedProfileSummary(const SeedProfileSummary &s);
 
-/** Schema version of the bench --json format (see ci/bench_schema.json). */
-constexpr int kBenchJsonSchemaVersion = 2;
+/** Schema version of the bench --json format (see ci/bench_schema.json).
+ *  v3 adds the per-run "latency" object (latency observatory). */
+constexpr int kBenchJsonSchemaVersion = 3;
 
 /** Emit one RunResult as a JSON object (config echo + measurements). */
 void writeRunResultJson(obs::JsonWriter &w, const RunResult &r);

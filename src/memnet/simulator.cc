@@ -186,6 +186,12 @@ class SimulatorImpl
         if (mgr)
             mgr->start(0);
 
+        // Latency observatory: passive like obs/audit (packets are
+        // stamped either way; the switch only gates sketch recording),
+        // so enabling it never changes simulated results. Set before
+        // the hub so net.lat.* stats register when active.
+        net.setLatencyObservatory(cfg.latencyObs);
+
         // Observability: all hooks are passive callbacks from existing
         // events, so an instrumented run is bit-identical to a bare one;
         // with nothing requested no hub is constructed at all.
@@ -324,6 +330,8 @@ class SimulatorImpl
         r.avgLinkUtil = links ? util_sum / links : 0.0;
         if (injector)
             r.reliability.faultEvents = injector->stats().total();
+
+        r.latency = net.latencySummary();
 
         const double link_full_w = net.powerModel().linkFullPowerW();
         for (int m = 0; m < net.numModules(); ++m) {

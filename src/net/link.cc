@@ -91,15 +91,36 @@ Link::exitIdle(Tick now)
 }
 
 void
+Link::stampWaitStart(Packet *pkt, Tick now)
+{
+    pkt->latWaitStart = now;
+    pkt->latWakeRef = wakeStallAccum(now);
+    pkt->latRetrainRef = retrainStallAccum(now);
+}
+
+void
+Link::noteQueueDepth(Tick now)
+{
+    const std::uint64_t depth = queued();
+    if (depth > stats_.queuePeak) {
+        stats_.queuePeak = depth;
+        if (trace_)
+            trace_->linkQueueDepth(*this, now, depth);
+    }
+}
+
+void
 Link::enqueue(Packet *pkt)
 {
     const Tick now = eq.now();
     pkt->linkArrival = now;
+    stampWaitStart(pkt, now);
     exitIdle(now);
     if (isReadPacket(pkt->type))
         readQ.push_back(pkt);
     else
         writeQ.push_back(pkt);
+    noteQueueDepth(now);
     observer->onEnqueue(*this, *pkt, now);
     if (pstate.rooState() == RooState::Off)
         beginWakeInternal(now);
@@ -131,6 +152,31 @@ Link::tryStart()
     }
     accrue(now);
     busy = true;
+
+    // Latency observatory: the wait interval [latWaitStart, now) ends
+    // here. The monotonic accumulator deltas say how much of it
+    // overlapped a wake sequence / retrain window; both are clamped to
+    // the wait (a retrain can run concurrently with a wake, and a
+    // wake/retrain may predate the arrival), and the remainder is plain
+    // queueing — which therefore also absorbs CRC-retry turnarounds and
+    // aborted-serialization replays.
+    const Tick waited = now - current->latWaitStart;
+    Tick retrain_part = retrainStallAccum(now) - current->latRetrainRef;
+    if (retrain_part > waited)
+        retrain_part = waited;
+    Tick wake_part = wakeStallAccum(now) - current->latWakeRef;
+    if (wake_part > waited - retrain_part)
+        wake_part = waited - retrain_part;
+    current->latRetrainStallPs += retrain_part;
+    current->latWakeStallPs += wake_part;
+    current->latQueuePs += waited - wake_part - retrain_part;
+    stats_.wakeStallSeconds += toSeconds(wake_part);
+    stats_.retrainStallSeconds += toSeconds(retrain_part);
+    // Re-open the wait in case this serialization aborts (CRC retry or
+    // retrain replay re-admit the packet without passing enqueue()).
+    stampWaitStart(current, now);
+    current->latSerStart = now;
+
     if (trace_)
         txStart_ = now;
     const Tick tx_end = now + current->flits * pstate.flitTime(now);
@@ -199,6 +245,7 @@ Link::admitRetry(Packet *retry)
         readQ.push_front(retry);
     else
         writeQ.push_front(retry);
+    noteQueueDepth(now);
     if (pstate.rooState() == RooState::Off)
         beginWakeInternal(now);
     tryStart();
@@ -211,6 +258,10 @@ Link::onDeliver()
     auto [pkt, at] = pipe.front();
     pipe.pop_front();
     const Tick now = eq.now();
+    // Everything since serialization started — lane time, SERDES, the
+    // router pipeline, and any pipe backpressure — is the hop's
+    // serialization component.
+    pkt->latSerPs += now - pkt->latSerStart;
     observer->onDepart(*this, *pkt, now);
     if (!pipe.empty())
         eq.schedule(&deliverEvent, pipe.front().second);
@@ -267,10 +318,9 @@ Link::beginWakeInternal(Tick now)
     memnet_assert(pstate.rooState() == RooState::Off, "wake while on");
     accrue(now);
     const Tick end = pstate.beginWake(now);
-    if (trace_) {
+    wakeStart_ = now;
+    if (trace_)
         trace_->linkOff(*this, sleepStart_, now);
-        wakeStart_ = now;
-    }
     MEMNET_TRACE(LinkPM, "link ", id_, " wake at ", now, ", up at ", end);
     observer->onWakeBegin(*this, now);
     eq.schedule(&wakeEvent, end);
@@ -286,9 +336,13 @@ Link::wakeNow()
 void
 Link::onWakeDone()
 {
+    const Tick now = eq.now();
     pstate.finishWake();
-    if (trace_)
-        trace_->linkWake(*this, wakeStart_, eq.now());
+    wakePsTotal_ += now - wakeStart_;
+    if (trace_) {
+        trace_->linkWake(*this, wakeStart_, now);
+        trace_->linkStall(*this, now);
+    }
     tryStart();
     if (readQ.empty() && writeQ.empty() && idle) {
         // Externally woken with nothing to send: restart the idle clock.
@@ -357,13 +411,13 @@ Link::beginRetrain(Tick window)
         else
             writeQ.push_front(p);
         ++stats_.replays;
+        noteQueueDepth(now);
     }
 
     if (!retraining_) {
         retraining_ = true;
         ++stats_.retrains;
-        if (trace_)
-            retrainStart_ = now;
+        retrainStart_ = now;
         MEMNET_TRACE(LinkPM, "link ", id_, " retrain begins at ", now);
         observer->onRetrainBegin(*this, now);
     }
@@ -382,8 +436,11 @@ Link::onRetrainDone()
     memnet_assert(retraining_, "retrain end without retrain");
     accrue(now);
     retraining_ = false;
-    if (trace_)
+    retrainPsTotal_ += now - retrainStart_;
+    if (trace_) {
         trace_->linkRetrain(*this, retrainStart_, now);
+        trace_->linkStall(*this, now);
+    }
     observer->onRetrainEnd(*this, now);
     // Resume service; with empty queues this restarts the idle clock.
     tryStart();

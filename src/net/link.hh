@@ -113,6 +113,16 @@ struct LinkStats
      * invariant the runtime auditor (src/audit) enforces.
      */
     double powerFracSeconds = 0.0;
+    /**
+     * Stall attribution (latency observatory): packet-seconds packets
+     * spent blocked at this link behind wake sequences / retrain
+     * windows. Packet-weighted — N packets waiting through one wake
+     * each contribute — so this can exceed wall-clock wake time.
+     */
+    double wakeStallSeconds = 0.0;
+    double retrainStallSeconds = 0.0;
+    /** High-water mark of the waiting queue (excludes in-flight). */
+    std::uint64_t queuePeak = 0;
 };
 
 class Link
@@ -259,6 +269,35 @@ class Link
      */
     void setTraceSink(PowerTraceSink *t) { trace_ = t; }
 
+    // -- Latency observatory (monotonic stall accumulators) ----------------
+
+    /**
+     * Cumulative wake-sequence time of this link since construction,
+     * including the in-progress portion of a wake still running at
+     * @p now. Monotonic (never reset), so two snapshots bracket exactly
+     * the wake time that elapsed between them — packets snapshot it at
+     * wait start and diff it at serialization start to attribute their
+     * wait to power-state stalls.
+     */
+    Tick
+    wakeStallAccum(Tick now) const
+    {
+        Tick t = wakePsTotal_;
+        if (pstate.rooState() == RooState::Waking)
+            t += now - wakeStart_;
+        return t;
+    }
+
+    /** Cumulative retrain time, same contract as wakeStallAccum(). */
+    Tick
+    retrainStallAccum(Tick now) const
+    {
+        Tick t = retrainPsTotal_;
+        if (retraining_)
+            t += now - retrainStart_;
+        return t;
+    }
+
   private:
     void tryStart();
     void onTxDone();
@@ -274,16 +313,27 @@ class Link
     void exitIdle(Tick now);
     void admitRetry(Packet *pkt);
 
+    /** Open a wait interval on @p pkt (latency observatory). */
+    void stampWaitStart(Packet *pkt, Tick now);
+    /** Note a waiting-queue push (queue-depth high-water tracking). */
+    void noteQueueDepth(Tick now);
+
     EventQueue &eq;
     const int id_;
     const LinkType type_;
     const int module_;
     PowerTraceSink *trace_ = nullptr;
-    /** Span-start ticks, valid only while trace_ is attached. */
+    /** Serialization span start, valid only while trace_ is attached. */
     Tick txStart_ = 0;
+    /** Sleep span start, valid only while trace_ is attached. */
     Tick sleepStart_ = 0;
+    /** Wake/retrain span starts — always maintained: the latency
+     *  observatory's stall accumulators need them even untraced. */
     Tick wakeStart_ = 0;
     Tick retrainStart_ = 0;
+    /** Completed wake/retrain time since construction (monotonic). */
+    Tick wakePsTotal_ = 0;
+    Tick retrainPsTotal_ = 0;
     /** Last traced operating point (emit mode changes only on change). */
     std::size_t lastTraceBw_ = static_cast<std::size_t>(-1);
     std::size_t lastTraceRoo_ = static_cast<std::size_t>(-1);

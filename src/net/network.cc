@@ -120,9 +120,53 @@ Network::allLinks()
 }
 
 void
+Network::recordLatency(const Packet &pkt, Tick now)
+{
+    if (!isReadPacket(pkt.type))
+        return;
+    const Tick total = now - pkt.issued;
+    const Tick accounted = pkt.latQueuePs + pkt.latWakeStallPs +
+                           pkt.latRetrainStallPs + pkt.latSerPs;
+    // The residual is vault service time: link hops stamp contiguous
+    // [enqueue, deliver) intervals and module forwarding is same-tick,
+    // so total - accounted is exactly the DRAM round trip (clamped
+    // defensively; the identity is asserted in tests/test_latency.cc).
+    const Tick dram = total > accounted ? total - accounted : 0;
+    lat_.endToEnd.record(static_cast<std::uint64_t>(total));
+    lat_.queue.record(static_cast<std::uint64_t>(pkt.latQueuePs));
+    lat_.wakeStall.record(static_cast<std::uint64_t>(pkt.latWakeStallPs));
+    lat_.retrainStall.record(
+        static_cast<std::uint64_t>(pkt.latRetrainStallPs));
+    lat_.ser.record(static_cast<std::uint64_t>(pkt.latSerPs));
+    lat_.dram.record(static_cast<std::uint64_t>(dram));
+}
+
+LatencyBreakdown
+Network::latencySummary() const
+{
+    if (!latObs_)
+        return LatencyBreakdown{};
+    LatencyBreakdown b = summarizeLatency(lat_);
+    for (const auto &l : reqLinks) {
+        b.wakeStallSeconds += l->stats().wakeStallSeconds;
+        b.retrainStallSeconds += l->stats().retrainStallSeconds;
+        if (l->stats().queuePeak > b.queuePeak)
+            b.queuePeak = l->stats().queuePeak;
+    }
+    for (const auto &l : respLinks) {
+        b.wakeStallSeconds += l->stats().wakeStallSeconds;
+        b.retrainStallSeconds += l->stats().retrainStallSeconds;
+        if (l->stats().queuePeak > b.queuePeak)
+            b.queuePeak = l->stats().queuePeak;
+    }
+    return b;
+}
+
+void
 Network::resetStats()
 {
     measureStart = eq.now();
+    lat_.reset();
     hops.reset();
     for (auto &l : reqLinks)
         l->resetStats();

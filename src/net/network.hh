@@ -15,6 +15,7 @@
 #include "net/module.hh"
 #include "net/power_trace.hh"
 #include "net/topology.hh"
+#include "obs/quantile_sketch.hh"
 #include "power/hmc_power_model.hh"
 #include "power/power_breakdown.hh"
 #include "sim/event_queue.hh"
@@ -168,6 +169,26 @@ class Network : public TrafficTarget, public FaultTarget
     /** Attach the runtime invariant auditor's inject hook (null detaches). */
     void setAuditHook(NetworkAuditHook *h) { audit_ = h; }
 
+    // -- Latency observatory -----------------------------------------------
+
+    /**
+     * Enable/disable latency recording. Purely passive: packets are
+     * stamped either way (integer stores on pool-owned storage), the
+     * switch only gates the sketch updates at completion, so simulated
+     * results are bit-identical on vs. off (test_differential).
+     */
+    void setLatencyObservatory(bool on) { latObs_ = on; }
+    bool latencyEnabled() const { return latObs_; }
+
+    /** Component sketches over completed reads since resetStats(). */
+    const obs::LatencySketches &latencySketches() const { return lat_; }
+
+    /**
+     * Summarize the sketches plus per-link stall attribution into a
+     * RunResult-ready breakdown ({enabled=false} when disabled).
+     */
+    LatencyBreakdown latencySummary() const;
+
     EventQueue &eventQueue() { return eq; }
 
   private:
@@ -181,6 +202,8 @@ class Network : public TrafficTarget, public FaultTarget
         void
         accept(Packet *pkt, Tick now) override
         {
+            if (net.latObs_)
+                net.recordLatency(*pkt, now);
             if (net.trace_)
                 net.trace_->packetLife(*pkt, pkt->issued, now);
             net.host_->readCompleted(pkt, now);
@@ -205,6 +228,12 @@ class Network : public TrafficTarget, public FaultTarget
     EndpointHost *host_ = nullptr;
     PowerTraceSink *trace_ = nullptr;
     NetworkAuditHook *audit_ = nullptr;
+
+    /** Decompose a completed read into the component sketches. */
+    void recordLatency(const Packet &pkt, Tick now);
+
+    bool latObs_ = false;
+    obs::LatencySketches lat_;
 
     Average hops;
     Tick measureStart = 0;

@@ -63,6 +63,32 @@ struct Packet
     /** Arrival tick at the current link controller (for counters). */
     Tick linkArrival = 0;
 
+    // -- Latency observatory (docs/OBSERVABILITY.md) -----------------------
+    //
+    // Links stamp and accumulate these as the packet traverses the
+    // network; ProcessorPort splits a completed read's end-to-end
+    // latency into queueing / power-state stall / serialization, with
+    // vault service time as the residual. Pool-owned storage: zero heap
+    // allocation on the hot path, and stamping never schedules events,
+    // so results are bit-identical whether or not anyone reads them.
+
+    /** Accumulated wait time not attributable to a power-state stall. */
+    Tick latQueuePs = 0;
+    /** Accumulated wait time blocked behind link wake sequences. */
+    Tick latWakeStallPs = 0;
+    /** Accumulated wait time blocked behind retrain windows. */
+    Tick latRetrainStallPs = 0;
+    /** Accumulated serialization + SERDES + router pipeline time. */
+    Tick latSerPs = 0;
+    /** Scratch: when the current wait interval began (per hop). */
+    Tick latWaitStart = 0;
+    /** Scratch: when the current serialization began (per hop). */
+    Tick latSerStart = 0;
+    /** Scratch: link wake-time accumulator snapshot at wait start. */
+    Tick latWakeRef = 0;
+    /** Scratch: link retrain-time accumulator snapshot at wait start. */
+    Tick latRetrainRef = 0;
+
     /**
      * Index of the next module along the path. For requests this walks
      * the root-to-home path forward; for responses, backward.

@@ -61,6 +61,19 @@ class PowerTraceSink
     /** A CRC-corrupted packet was NAKed for retransmission. */
     virtual void linkRetry(const Link &, Tick now) {}
 
+    /**
+     * The link's cumulative stall attribution advanced (a wake or
+     * retrain finished); the sink reads wakeStallSeconds /
+     * retrainStallSeconds from Link::stats(). Exported as Perfetto
+     * counter tracks by the Chrome trace writer.
+     */
+    virtual void linkStall(const Link &, Tick now) {}
+
+    /** The waiting queue reached a new high-water @p depth. */
+    virtual void linkQueueDepth(const Link &, Tick now, std::size_t depth)
+    {
+    }
+
     // -- Network-level events ----------------------------------------------
 
     /** A packet completed its network lifetime over [inject, deliver). */

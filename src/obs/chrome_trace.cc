@@ -17,9 +17,10 @@ namespace obs
 ChromeTraceWriter::ChromeTraceWriter(std::size_t max_events)
     : maxEvents(max_events)
 {
-    tidNames[kMgmtTid] = "mgmt";
-    tidNames[kFaultTid] = "faults";
-    tidNames[kPacketTid] = "packets";
+    pidNames[kSimPid] = "sim";
+    tidNames[kMgmtTid] = {kSimPid, "mgmt"};
+    tidNames[kFaultTid] = {kSimPid, "faults"};
+    tidNames[kPacketTid] = {kSimPid, "packets"};
 }
 
 double
@@ -27,6 +28,19 @@ ChromeTraceWriter::toUs(Tick t)
 {
     // Tick is integer picoseconds; the trace format wants microseconds.
     return static_cast<double>(t) * 1e-6;
+}
+
+int
+ChromeTraceWriter::pidFor(const Link &l)
+{
+    const int pid = kModulePidBase + l.module();
+    auto it = pidNames.find(pid);
+    if (it == pidNames.end()) {
+        std::ostringstream os;
+        os << "module" << l.module();
+        pidNames.emplace(pid, os.str());
+    }
+    return pid;
 }
 
 int
@@ -39,7 +53,7 @@ ChromeTraceWriter::tidFor(const Link &l)
         os << "link" << l.id()
            << (l.type() == LinkType::Request ? " req m" : " resp m")
            << l.module();
-        tidNames.emplace(tid, os.str());
+        tidNames.emplace(tid, TrackInfo{pidFor(l), os.str()});
     }
     return tid;
 }
@@ -55,23 +69,35 @@ ChromeTraceWriter::admit()
 }
 
 void
-ChromeTraceWriter::span(int tid, const char *cat, std::string name,
-                        Tick begin, Tick end, std::string args)
+ChromeTraceWriter::span(int pid, int tid, const char *cat,
+                        std::string name, Tick begin, Tick end,
+                        std::string args)
 {
     if (!admit())
         return;
-    buf.push_back(TraceEvent{toUs(begin), toUs(end - begin), 'X', tid,
+    buf.push_back(TraceEvent{toUs(begin), toUs(end - begin), 'X', pid,
+                             tid, std::move(name), cat,
+                             std::move(args)});
+}
+
+void
+ChromeTraceWriter::instant(int pid, int tid, const char *cat,
+                           std::string name, Tick now, std::string args)
+{
+    if (!admit())
+        return;
+    buf.push_back(TraceEvent{toUs(now), 0.0, 'i', pid, tid,
                              std::move(name), cat, std::move(args)});
 }
 
 void
-ChromeTraceWriter::instant(int tid, const char *cat, std::string name,
-                           Tick now, std::string args)
+ChromeTraceWriter::counter(int pid, int tid, std::string name, Tick now,
+                           std::string args)
 {
     if (!admit())
         return;
-    buf.push_back(TraceEvent{toUs(now), 0.0, 'i', tid, std::move(name),
-                             cat, std::move(args)});
+    buf.push_back(TraceEvent{toUs(now), 0.0, 'C', pid, tid,
+                             std::move(name), "lat", std::move(args)});
 }
 
 void
@@ -79,25 +105,25 @@ ChromeTraceWriter::linkTx(const Link &l, Tick begin, Tick end, int flits)
 {
     std::ostringstream args;
     args << "{\"flits\":" << flits << "}";
-    span(tidFor(l), "link", "tx", begin, end, args.str());
+    span(pidFor(l), tidFor(l), "link", "tx", begin, end, args.str());
 }
 
 void
 ChromeTraceWriter::linkOff(const Link &l, Tick begin, Tick end)
 {
-    span(tidFor(l), "link", "off", begin, end);
+    span(pidFor(l), tidFor(l), "link", "off", begin, end);
 }
 
 void
 ChromeTraceWriter::linkWake(const Link &l, Tick begin, Tick end)
 {
-    span(tidFor(l), "link", "wake", begin, end);
+    span(pidFor(l), tidFor(l), "link", "wake", begin, end);
 }
 
 void
 ChromeTraceWriter::linkRetrain(const Link &l, Tick begin, Tick end)
 {
-    span(tidFor(l), "fault", "retrain", begin, end);
+    span(pidFor(l), tidFor(l), "fault", "retrain", begin, end);
 }
 
 void
@@ -106,7 +132,7 @@ ChromeTraceWriter::linkModeChange(const Link &l, Tick now,
 {
     std::ostringstream args;
     args << "{\"bw\":" << bw_idx << ",\"roo\":" << roo_idx << "}";
-    instant(tidFor(l), "mgmt", "mode", now, args.str());
+    instant(pidFor(l), tidFor(l), "mgmt", "mode", now, args.str());
 }
 
 void
@@ -114,13 +140,45 @@ ChromeTraceWriter::linkDegrade(const Link &l, Tick now, int lanes)
 {
     std::ostringstream args;
     args << "{\"lanes\":" << lanes << "}";
-    instant(tidFor(l), "fault", "degrade", now, args.str());
+    instant(pidFor(l), tidFor(l), "fault", "degrade", now, args.str());
 }
 
 void
 ChromeTraceWriter::linkRetry(const Link &l, Tick now)
 {
-    instant(tidFor(l), "fault", "crc_retry", now);
+    instant(pidFor(l), tidFor(l), "fault", "crc_retry", now);
+}
+
+void
+ChromeTraceWriter::linkStall(const Link &l, Tick now)
+{
+    // Cumulative stall attribution as a two-series counter track,
+    // sampled whenever a wake or retrain completes (docs note: a step
+    // graph, exact at sample points). Values are seconds.
+    std::ostringstream name;
+    name << "link" << l.id() << " stall_s";
+    char wake[40], retrain[40];
+    std::snprintf(wake, sizeof wake, "%.9f",
+                  l.stats().wakeStallSeconds);
+    std::snprintf(retrain, sizeof retrain, "%.9f",
+                  l.stats().retrainStallSeconds);
+    std::ostringstream args;
+    args << "{\"wake\":" << wake << ",\"retrain\":" << retrain << "}";
+    counter(pidFor(l), l.id(), name.str(), now, args.str());
+}
+
+void
+ChromeTraceWriter::linkQueueDepth(const Link &l, Tick now,
+                                  std::size_t depth)
+{
+    // Only high-water increases are reported (net/link.cc), so this
+    // track stays tiny even on congested runs — it renders as the
+    // queue-depth envelope, not the instantaneous depth.
+    std::ostringstream name;
+    name << "link" << l.id() << " queue_peak";
+    std::ostringstream args;
+    args << "{\"depth\":" << depth << "}";
+    counter(pidFor(l), l.id(), name.str(), now, args.str());
 }
 
 void
@@ -129,7 +187,7 @@ ChromeTraceWriter::packetLife(const Packet &pkt, Tick inject, Tick deliver)
     std::ostringstream args;
     args << "{\"id\":" << pkt.id << ",\"module\":" << pkt.homeModule
          << "}";
-    span(kPacketTid, "packet",
+    span(kSimPid, kPacketTid, "packet",
          pkt.type == PacketType::WriteReq ? "write" : "read", inject,
          deliver, args.str());
 }
@@ -139,7 +197,7 @@ ChromeTraceWriter::faultEvent(const char *kind, int link_id, Tick now)
 {
     std::ostringstream args;
     args << "{\"link\":" << link_id << "}";
-    instant(kFaultTid, "fault", kind, now, args.str());
+    instant(kSimPid, kFaultTid, "fault", kind, now, args.str());
 }
 
 void
@@ -147,7 +205,7 @@ ChromeTraceWriter::epochMarker(Tick now, std::uint64_t epoch)
 {
     std::ostringstream args;
     args << "{\"epoch\":" << epoch << "}";
-    instant(kMgmtTid, "mgmt", "epoch", now, args.str());
+    instant(kSimPid, kMgmtTid, "mgmt", "epoch", now, args.str());
 }
 
 void
@@ -155,7 +213,7 @@ ChromeTraceWriter::violation(int link_id, Tick now)
 {
     std::ostringstream args;
     args << "{\"link\":" << link_id << "}";
-    instant(kMgmtTid, "mgmt", "ams_violation", now, args.str());
+    instant(kSimPid, kMgmtTid, "mgmt", "ams_violation", now, args.str());
 }
 
 void
@@ -179,25 +237,33 @@ ChromeTraceWriter::writeTo(std::ostream &os)
             os << ",\n";
         first = false;
     };
-    // Thread-name metadata first, one per track.
-    for (const auto &[tid, name] : tidNames) {
+    // Process- and thread-name metadata first, so Perfetto groups link
+    // tracks under their owning module's process.
+    for (const auto &[pid, name] : pidNames) {
         sep();
-        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
-           << tid << ",\"args\":{\"name\":\"" << jsonEscape(name)
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(name)
+           << "\"}}";
+    }
+    for (const auto &[tid, info] : tidNames) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+           << info.pid << ",\"tid\":" << tid
+           << ",\"args\":{\"name\":\"" << jsonEscape(info.name)
            << "\"}}";
     }
     char num[40];
     for (const TraceEvent &e : buf) {
         sep();
         os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
-           << e.cat << "\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":"
-           << e.tid;
+           << e.cat << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid;
         std::snprintf(num, sizeof num, "%.6f", e.tsUs);
         os << ",\"ts\":" << num;
         if (e.ph == 'X') {
             std::snprintf(num, sizeof num, "%.6f", e.durUs);
             os << ",\"dur\":" << num;
-        } else {
+        } else if (e.ph == 'i') {
             os << ",\"s\":\"t\"";
         }
         if (!e.args.empty())

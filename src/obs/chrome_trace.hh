@@ -8,6 +8,14 @@
  * one track per link, instants (mode changes, degrades, CRC retries,
  * fault injections, AMS violations, epoch boundaries) become instant
  * ('i') events. Packet lifetimes land on a shared "packets" track.
+ * Stall attribution (latency observatory) is exported as counter ('C')
+ * tracks: cumulative wake/retrain stall seconds and the waiting-queue
+ * high-water per link.
+ *
+ * Tracks are grouped by process: each link's track lives in the pid of
+ * its owning module, and mgmt/faults/packets share a "sim" process —
+ * process_name/thread_name metadata events make Perfetto render module
+ * groups with human-readable names instead of raw tid integers.
  *
  * Timestamps are simulated time converted to the format's microseconds.
  * Events are buffered and stably sorted by timestamp before writing, so
@@ -39,6 +47,11 @@ class ChromeTraceWriter : public PowerTraceSink
     static constexpr int kFaultTid = 901;
     static constexpr int kPacketTid = 902;
 
+    /** Process id of the shared simulator-wide tracks. */
+    static constexpr int kSimPid = 1;
+    /** Module m's tracks live in process kModulePidBase + m. */
+    static constexpr int kModulePidBase = 10;
+
     /** Default event-count cap; excess events are counted, not stored. */
     static constexpr std::size_t kDefaultMaxEvents = 2'000'000;
 
@@ -55,6 +68,9 @@ class ChromeTraceWriter : public PowerTraceSink
                         std::size_t roo_idx) override;
     void linkDegrade(const Link &l, Tick now, int lanes) override;
     void linkRetry(const Link &l, Tick now) override;
+    void linkStall(const Link &l, Tick now) override;
+    void linkQueueDepth(const Link &l, Tick now,
+                        std::size_t depth) override;
     void packetLife(const Packet &pkt, Tick inject, Tick deliver) override;
     void faultEvent(const char *kind, int link_id, Tick now) override;
 
@@ -76,7 +92,8 @@ class ChromeTraceWriter : public PowerTraceSink
     {
         double tsUs;
         double durUs; ///< only for ph == 'X'
-        char ph;      ///< 'X' complete, 'i' instant
+        char ph;      ///< 'X' complete, 'i' instant, 'C' counter
+        int pid;
         int tid;
         std::string name;
         const char *cat;
@@ -84,19 +101,31 @@ class ChromeTraceWriter : public PowerTraceSink
         std::string args;
     };
 
+    /** Track registration: display name + owning process. */
+    struct TrackInfo
+    {
+        int pid;
+        std::string name;
+    };
+
     static double toUs(Tick t);
 
-    /** Register the link's track name on first use; returns its tid. */
+    /** Register the link's track (and process) on first use. */
     int tidFor(const Link &l);
+    /** The pid of the link's owning module (registers its name). */
+    int pidFor(const Link &l);
 
-    void span(int tid, const char *cat, std::string name, Tick begin,
-              Tick end, std::string args = {});
-    void instant(int tid, const char *cat, std::string name, Tick now,
-                 std::string args = {});
+    void span(int pid, int tid, const char *cat, std::string name,
+              Tick begin, Tick end, std::string args = {});
+    void instant(int pid, int tid, const char *cat, std::string name,
+                 Tick now, std::string args = {});
+    void counter(int pid, int tid, std::string name, Tick now,
+                 std::string args);
     bool admit();
 
     std::vector<TraceEvent> buf;
-    std::map<int, std::string> tidNames;
+    std::map<int, TrackInfo> tidNames;
+    std::map<int, std::string> pidNames;
     std::size_t maxEvents;
     std::uint64_t nDropped = 0;
 };

@@ -22,6 +22,7 @@ EpochRecorder::snapshot(Tick now)
     lastLink.clear();
     for (Link *l : net.allLinks())
         lastLink.push_back(l->stats());
+    lastLat = net.latencySketches();
 }
 
 void
@@ -98,6 +99,13 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
         w.field("off_s", cur.offSeconds - prev.offSeconds);
         w.field("retrain_s",
                 cur.retrainSeconds - prev.retrainSeconds);
+        w.field("wake_stall_s",
+                cur.wakeStallSeconds - prev.wakeStallSeconds);
+        w.field("retrain_stall_s",
+                cur.retrainStallSeconds - prev.retrainStallSeconds);
+        // Cumulative high-water, not an epoch diff (a high-water mark
+        // has no meaningful delta).
+        w.field("queue_peak", cur.queuePeak);
         w.key("mode_s");
         w.beginArray();
         for (std::size_t k = 0; k < cur.modeSeconds.size(); ++k)
@@ -114,6 +122,36 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
     w.field("retrains", d_retrains);
     w.endObject();
 
+    // Latency observatory: exact sketch deltas for this epoch's reads.
+    // Subtraction is bucket-wise, so the percentiles are those of the
+    // epoch's own sample set (no running-average smearing); the exact
+    // per-epoch max is not recoverable from a snapshot diff, so there
+    // is deliberately no max_ps here.
+    LatencySketches delta = net.latencySketches();
+    delta.subtract(lastLat);
+    w.key("lat");
+    w.beginObject();
+    w.field("samples", delta.endToEnd.samples());
+    auto lat_component = [&w](const char *name,
+                              const QuantileSketch &s) {
+        w.key(name);
+        w.beginObject();
+        w.field("samples", s.samples());
+        w.field("sum_ps", s.sum());
+        w.field("p50_ps", s.quantile(0.50));
+        w.field("p90_ps", s.quantile(0.90));
+        w.field("p99_ps", s.quantile(0.99));
+        w.field("p999_ps", s.quantile(0.999));
+        w.endObject();
+    };
+    lat_component("end_to_end", delta.endToEnd);
+    lat_component("queue", delta.queue);
+    lat_component("wake_stall", delta.wakeStall);
+    lat_component("retrain_stall", delta.retrainStall);
+    lat_component("serialization", delta.ser);
+    lat_component("dram", delta.dram);
+    w.endObject();
+
     w.endObject();
     os << '\n';
 
@@ -122,6 +160,7 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
     lastEnergy = e;
     for (std::size_t i = 0; i < links.size(); ++i)
         lastLink[i] = links[i]->stats();
+    lastLat = net.latencySketches();
     lastViolations = pm.violations();
 }
 

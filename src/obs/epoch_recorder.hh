@@ -13,7 +13,7 @@
  * schedules events, so attaching it cannot change simulation results.
  *
  * Record schema (one line each, schema_version bumps on change):
- *   {"v":1,"epoch":N,"t_ps":T,
+ *   {"v":2,"epoch":N,"t_ps":T,
  *    "power_w":{"idle_io":..,"active_io":..,"logic_leak":..,
  *               "dram_leak":..,"logic_dyn":..,"dram_dyn":..,"total":..},
  *    "mgmt":{"violations":dN,"violations_total":N,"isp_rounds":r,
@@ -21,8 +21,21 @@
  *    "links":[{"id":i,"reads":n,"actual_ps":a,"full_ps":f,"ams_ps":b,
  *              "flo_ps":o,"grants":k,"forced_fp":bool,"bw_mode":m,
  *              "roo_mode":r,"off_s":s,"retrain_s":s,
+ *              "wake_stall_s":s,"retrain_stall_s":s,"queue_peak":n,
  *              "mode_s":[...]},...],
- *    "faults":{"retries":dr,"replays":dp,"retrains":dt}}
+ *    "faults":{"retries":dr,"replays":dp,"retrains":dt},
+ *    "lat":{"samples":dn,
+ *           "end_to_end":{"samples":dn,"sum_ps":ds,"p50_ps":..,
+ *                         "p90_ps":..,"p99_ps":..,"p999_ps":..},
+ *           "queue":{...},"wake_stall":{...},"retrain_stall":{...},
+ *           "serialization":{...},"dram":{...}}}
+ *
+ * v2 (latency observatory): per-link wake_stall_s / retrain_stall_s
+ * deltas, queue_peak (cumulative high-water, not diffed), and the
+ * per-epoch "lat" object — exact sketch deltas, so the percentiles
+ * describe only the reads completed in that epoch; the per-epoch max
+ * is not derivable from a counter diff, hence no max_ps here. All
+ * zero when the run disables the observatory.
  */
 
 #ifndef MEMNET_OBS_EPOCH_RECORDER_HH
@@ -47,7 +60,7 @@ class EpochRecorder
 {
   public:
     /** Current record schema version (the "v" field). */
-    static constexpr int kSchemaVersion = 1;
+    static constexpr int kSchemaVersion = 2;
 
     EpochRecorder(std::ostream &os, Network &net);
 
@@ -72,6 +85,8 @@ class EpochRecorder
     std::uint64_t lastViolations = 0;
     EnergyBreakdown lastEnergy;
     std::vector<LinkStats> lastLink;
+    /** Sketch snapshot at the previous boundary (exact delta basis). */
+    LatencySketches lastLat;
     std::uint64_t nRecords = 0;
 };
 

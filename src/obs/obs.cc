@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "sim/log.hh"
 
@@ -122,6 +123,48 @@ ObsHub::registerStats()
     n.add("avg_modules_traversed", "mean modules per access",
           [this] { return net.avgModulesTraversed(); });
 
+    // Latency observatory: per-component percentile stats over the
+    // completed reads since reset. Integer picoseconds, deterministic;
+    // empty sketches answer 0 with samples == 0.
+    if (net.latencyEnabled()) {
+        struct LatComponent
+        {
+            const char *name;
+            const QuantileSketch *sketch;
+        };
+        const LatComponent comps[] = {
+            {"end_to_end", &net.latencySketches().endToEnd},
+            {"queue", &net.latencySketches().queue},
+            {"wake_stall", &net.latencySketches().wakeStall},
+            {"retrain_stall", &net.latencySketches().retrainStall},
+            {"serialization", &net.latencySketches().ser},
+            {"dram", &net.latencySketches().dram},
+        };
+        const std::pair<const char *, double> quantiles[] = {
+            {"p50_ps", 0.50},
+            {"p90_ps", 0.90},
+            {"p99_ps", 0.99},
+            {"p999_ps", 0.999},
+        };
+        for (const LatComponent &c : comps) {
+            auto s = reg.scope(std::string("net.lat.") + c.name + '.');
+            const QuantileSketch *sk = c.sketch;
+            s.addInt("samples", "completed reads recorded",
+                     [sk] { return sk->samples(); });
+            s.addInt("sum_ps", "summed component latency (ps)",
+                     [sk] { return sk->sum(); });
+            s.addInt("max_ps", "maximum component latency (ps)",
+                     [sk] { return sk->maxValue(); });
+            for (const auto &q : quantiles) {
+                s.addInt(q.first,
+                         std::string("latency quantile ") + q.first,
+                         [sk, qv = q.second] {
+                             return sk->quantile(qv);
+                         });
+            }
+        }
+    }
+
     for (Link *l : net.allLinks()) {
         std::ostringstream pre;
         pre << "link" << l->id() << '.';
@@ -148,6 +191,15 @@ ObsHub::registerStats()
               [l] { return l->stats().degradedSeconds; });
         s.add("off_s", "seconds powered off",
               [l] { return l->stats().offSeconds; });
+        // Stall attribution (latency observatory): packet-seconds
+        // blocked at this link per cause, and the queue high-water.
+        s.add("wake_stall_s", "packet-seconds blocked behind wakes",
+              [l] { return l->stats().wakeStallSeconds; });
+        s.add("retrain_stall_s",
+              "packet-seconds blocked behind retrains",
+              [l] { return l->stats().retrainStallSeconds; });
+        s.addInt("queue_peak", "waiting-queue high-water mark",
+                 [l] { return l->stats().queuePeak; });
     }
 
     for (int m = 0; m < net.numModules(); ++m) {

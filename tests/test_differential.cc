@@ -5,6 +5,7 @@
  *
  *  - runMultiChannel(channels=1) vs the single-network Simulator;
  *  - obs-on vs obs-off;
+ *  - latency observatory on vs off;
  *  - audit-on vs audit-off;
  *  - host profiler enabled vs disabled;
  *  - parallel sweep (--jobs style) vs serial execution;
@@ -103,6 +104,29 @@ TEST(Differential, ObservabilityOnEqualsOff)
     EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
     std::remove("diff_obs_stats.json");
     std::remove("diff_obs_epochs.jsonl");
+}
+
+TEST(Differential, LatencyObservatoryOnEqualsOff)
+{
+    // The latency observatory's core contract: packet timestamps are
+    // always stamped, but recording them into sketches (latencyObs)
+    // must never perturb the simulation. Every simulation-determined
+    // field diffs bit-identical; only RunResult::latency (excluded from
+    // diffRunResults, like wallSeconds) may differ.
+    SystemConfig off = shortConfig(TopologyKind::Star, Policy::Aware);
+    off.latencyObs = false;
+    SystemConfig on = off;
+    on.latencyObs = true;
+
+    const RunResult roff = runSimulation(off);
+    const RunResult ron = runSimulation(on);
+    const auto diffs = audit::diffRunResults(roff, ron);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+
+    // And the toggle actually took effect on the excluded field.
+    EXPECT_FALSE(roff.latency.enabled);
+    ASSERT_TRUE(ron.latency.enabled);
+    EXPECT_EQ(ron.latency.endToEnd.samples, ron.completedReads);
 }
 
 TEST(Differential, AuditOnEqualsOff)

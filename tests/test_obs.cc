@@ -215,13 +215,34 @@ TEST_F(ObsRunTest, StatsJsonParsesAndCoversEveryLayer)
     EXPECT_NE(v.find("mgmt.epochs"), nullptr);
     EXPECT_GT(v.find("mgmt.epochs")->number, 0.0);
 
-    // Every link of the 8-module network has its group.
+    // Every link of the 8-module network has its group, including the
+    // stall-attribution counters.
     const int links = 2 * result.numModules;
     for (int i = 0; i < links; ++i) {
-        const std::string name =
-            "link" + std::to_string(i) + ".flits";
-        EXPECT_NE(v.find(name), nullptr) << name;
+        const std::string prefix = "link" + std::to_string(i);
+        EXPECT_NE(v.find(prefix + ".flits"), nullptr) << prefix;
+        EXPECT_NE(v.find(prefix + ".wake_stall_s"), nullptr) << prefix;
+        EXPECT_NE(v.find(prefix + ".retrain_stall_s"), nullptr)
+            << prefix;
+        EXPECT_NE(v.find(prefix + ".queue_peak"), nullptr) << prefix;
     }
+
+    // The latency observatory (on by default) registers its percentile
+    // counters for every component.
+    for (const char *comp :
+         {"end_to_end", "queue", "wake_stall", "retrain_stall",
+          "serialization", "dram"}) {
+        for (const char *k :
+             {"samples", "sum_ps", "p50_ps", "p99_ps", "max_ps"}) {
+            const std::string name =
+                std::string("net.lat.") + comp + "." + k;
+            ASSERT_NE(v.find(name), nullptr) << name;
+        }
+    }
+    EXPECT_EQ(
+        static_cast<std::uint64_t>(
+            v.find("net.lat.end_to_end.samples")->number),
+        result.completedReads);
 }
 
 TEST_F(ObsRunTest, StatsCsvMatchesJson)
@@ -246,7 +267,7 @@ TEST_F(ObsRunTest, EpochJsonlRecordsFollowSchema)
         std::string err;
         ASSERT_TRUE(obs::json::parse(line, &v, &err)) << err;
         ASSERT_TRUE(v.isObject());
-        EXPECT_EQ(v.find("v")->number, 1.0);
+        EXPECT_EQ(v.find("v")->number, 2.0);
         EXPECT_GT(v.find("epoch")->number, last_epoch);
         last_epoch = v.find("epoch")->number;
         const auto t =
@@ -274,10 +295,28 @@ TEST_F(ObsRunTest, EpochJsonlRecordsFollowSchema)
         for (const char *k :
              {"id", "reads", "actual_ps", "full_ps", "ams_ps",
               "flo_ps", "grants", "forced_fp", "bw_mode", "roo_mode",
-              "off_s", "retrain_s", "mode_s"})
+              "off_s", "retrain_s", "mode_s", "wake_stall_s",
+              "retrain_stall_s", "queue_peak"})
             ASSERT_NE(l0.find(k), nullptr) << k;
 
         ASSERT_NE(v.find("faults"), nullptr);
+
+        // Schema v2: per-epoch latency percentiles from exact sketch
+        // deltas (max_ps deliberately absent — not diffable).
+        const Value *lat = v.find("lat");
+        ASSERT_NE(lat, nullptr);
+        ASSERT_NE(lat->find("samples"), nullptr);
+        for (const char *comp :
+             {"end_to_end", "queue", "wake_stall", "retrain_stall",
+              "serialization", "dram"}) {
+            const Value *c = lat->find(comp);
+            ASSERT_NE(c, nullptr) << comp;
+            for (const char *k :
+                 {"samples", "sum_ps", "p50_ps", "p90_ps", "p99_ps",
+                  "p999_ps"})
+                ASSERT_NE(c->find(k), nullptr) << comp << "." << k;
+            ASSERT_EQ(c->find("max_ps"), nullptr) << comp;
+        }
         ++records;
     }
     // 350 us of simulated time at the default 100 us epoch.
@@ -296,7 +335,8 @@ TEST_F(ObsRunTest, ChromeTraceIsValidAndTimeOrdered)
     ASSERT_TRUE(events->isArray());
     EXPECT_GT(events->array.size(), 10u);
 
-    bool saw_metadata = false, saw_span = false, saw_instant = false;
+    bool saw_process_meta = false, saw_thread_meta = false;
+    bool saw_span = false, saw_instant = false, saw_counter = false;
     double last_ts = -1.0;
     for (const Value &e : events->array) {
         const Value *ph = e.find("ph");
@@ -305,7 +345,10 @@ TEST_F(ObsRunTest, ChromeTraceIsValidAndTimeOrdered)
         ASSERT_NE(e.find("pid"), nullptr);
         ASSERT_NE(e.find("tid"), nullptr);
         if (ph->string == "M") {
-            saw_metadata = true;
+            if (e.find("name")->string == "process_name")
+                saw_process_meta = true;
+            if (e.find("name")->string == "thread_name")
+                saw_thread_meta = true;
             continue; // metadata carries no timestamp ordering
         }
         const Value *ts = e.find("ts");
@@ -318,10 +361,19 @@ TEST_F(ObsRunTest, ChromeTraceIsValidAndTimeOrdered)
         }
         if (ph->string == "i")
             saw_instant = true;
+        if (ph->string == "C") {
+            saw_counter = true;
+            // Counter events live on a link's module process, never
+            // the sim-wide pid.
+            EXPECT_GE(e.find("pid")->number, 10.0);
+            ASSERT_NE(e.find("args"), nullptr);
+        }
     }
-    EXPECT_TRUE(saw_metadata);
+    EXPECT_TRUE(saw_process_meta); // Perfetto process grouping
+    EXPECT_TRUE(saw_thread_meta);
     EXPECT_TRUE(saw_span);    // link TX / off / retrain spans
     EXPECT_TRUE(saw_instant); // epoch markers
+    EXPECT_TRUE(saw_counter); // stall / queue-depth counter tracks
 }
 
 // ---------------------------------------------------------------------------
