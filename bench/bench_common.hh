@@ -29,6 +29,26 @@ namespace bench
 {
 
 /**
+ * Sweep-wide partitioned-kernel selection, installed by BenchIo from
+ * --partitions/--partition-sync/--lax-window-ns and applied by
+ * makeConfig so every cell of a bench sweep shards the same way.
+ * Defaults match SystemConfig (serial kernel).
+ */
+struct PartitionOpts
+{
+    int partitions = 1;
+    PartitionSync sync = PartitionSync::Barrier;
+    Tick laxWindowPs = us(10);
+};
+
+inline PartitionOpts &
+partitionOpts()
+{
+    static PartitionOpts opts;
+    return opts;
+}
+
+/**
  * Shared command-line handling for the bench binaries:
  *
  *   --json <path>      dump every run as machine-readable JSON
@@ -38,6 +58,14 @@ namespace bench
  *   --profile <path>   enable the host-side profiler and dump the
  *                      merged phase tree of the whole sweep (".json"
  *                      = JSON tree, else FlameGraph collapsed stacks)
+ *   --partitions <n>   shard every run across n event-queue
+ *                      partitions (1 = serial kernel; see
+ *                      docs/PERFORMANCE.md)
+ *   --partition-sync <barrier|lax>
+ *                      barrier (deterministic, serial-identical) or
+ *                      lax (fast screening)
+ *   --lax-window-ns <t>
+ *                      lax-mode window length
  *
  * Crash-safety flags (docs/ROBUSTNESS.md):
  *
@@ -108,6 +136,33 @@ class BenchIo
                 configTimeoutSec = std::atof(argv[++i]);
             } else if (arg == "--failure-manifest" && i + 1 < argc) {
                 manifestPath = argv[++i];
+            } else if (arg == "--partitions" && i + 1 < argc) {
+                partitionOpts().partitions = std::atoi(argv[++i]);
+                if (partitionOpts().partitions < 1) {
+                    std::fprintf(stderr,
+                                 "%s: --partitions must be >= 1\n",
+                                 argv[0]);
+                    std::exit(2);
+                }
+            } else if (arg == "--partition-sync" && i + 1 < argc) {
+                if (!parsePartitionSync(argv[++i],
+                                        &partitionOpts().sync)) {
+                    std::fprintf(stderr,
+                                 "%s: --partition-sync must be "
+                                 "'barrier' or 'lax' (got '%s')\n",
+                                 argv[0], argv[i]);
+                    std::exit(2);
+                }
+            } else if (arg == "--lax-window-ns" && i + 1 < argc) {
+                partitionOpts().laxWindowPs =
+                    ns(std::atol(argv[++i]));
+                if (partitionOpts().laxWindowPs <= 0) {
+                    std::fprintf(
+                        stderr,
+                        "%s: --lax-window-ns must be positive\n",
+                        argv[0]);
+                    std::exit(2);
+                }
             } else {
                 std::fprintf(
                     stderr,
@@ -116,7 +171,10 @@ class BenchIo
                     "[--resume <path>] "
                     "[--failure-policy <abort|isolate>] "
                     "[--config-timeout <seconds>] "
-                    "[--failure-manifest <path>]\n",
+                    "[--failure-manifest <path>] "
+                    "[--partitions <n>] "
+                    "[--partition-sync <barrier|lax>] "
+                    "[--lax-window-ns <t>]\n",
                     argv[0]);
                 std::exit(2);
             }
@@ -293,6 +351,9 @@ makeConfig(const std::string &workload, TopologyKind topo,
     // Three epochs of measurement keep the full sweep tractable on one
     // core; MEMNET_SIM_US raises fidelity when desired.
     cfg.measure = us(300);
+    cfg.partitions = partitionOpts().partitions;
+    cfg.partitionSync = partitionOpts().sync;
+    cfg.laxWindowPs = partitionOpts().laxWindowPs;
     return cfg;
 }
 

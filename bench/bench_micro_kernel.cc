@@ -12,12 +12,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "dram/vault.hh"
 #include "memnet/experiment.hh"
+#include "memnet/multichannel.hh"
 #include "memnet/parallel.hh"
 #include "memnet/simulator.hh"
 #include "mgmt/delay_monitor.hh"
@@ -228,6 +230,83 @@ BM_ParallelSweep(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
+
+/** The 16-module four-channel system the partitioned-kernel speedup
+ *  is quoted on: mixA's big-study footprint (14 chunks) spread over 4
+ *  channels = 4 modules per channel. */
+MultiChannelConfig
+partitionBenchConfig(int partitions)
+{
+    MultiChannelConfig mc;
+    mc.base.workload = "mixA";
+    mc.base.topology = TopologyKind::Star;
+    mc.base.sizeClass = SizeClass::Big;
+    mc.base.policy = Policy::Aware;
+    mc.base.mechanism = BwMechanism::Vwl;
+    mc.base.roo = true;
+    mc.base.warmup = us(10);
+    mc.base.measure = us(50);
+    mc.base.partitions = partitions;
+    mc.channels = 4;
+    return mc;
+}
+
+/**
+ * Intra-run parallelism (sim/partition.hh): one large multi-channel
+ * simulation sharded by channel. Arg = partitions; Arg 1 is the serial
+ * kernel the speedup is measured against. The wall-clock ratio between
+ * the two entries is the partitioned kernel's speedup — it scales
+ * with available hardware threads, so the CI baseline tracks it with
+ * the loose wall-clock tolerance class rather than an exact bound.
+ */
+void
+BM_PartitionedMultiChannel(benchmark::State &state)
+{
+    const MultiChannelConfig mc =
+        partitionBenchConfig(static_cast<int>(state.range(0)));
+    std::uint64_t reads = 0;
+    for (auto _ : state) {
+        const MultiChannelResult r = runMultiChannel(mc);
+        benchmark::DoNotOptimize(r.totalPowerW);
+        reads += static_cast<std::uint64_t>(r.readsPerSec * 1e-6);
+    }
+    state.counters["sim_mreads_per_s"] = benchmark::Counter(
+        static_cast<double>(reads) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PartitionedMultiChannel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The headline number: serial and partitioned runs of the same config
+ * timed back to back, reported as a speedup counter so the CI baseline
+ * records it directly. Wall-clock by nature (and below 1.0 on a
+ * single-core host, where the barriers only add scheduling overhead),
+ * so the baseline gives it a tolerance of 1.0.
+ */
+void
+BM_PartitionedSpeedup(benchmark::State &state)
+{
+    using clock = std::chrono::steady_clock;
+    double serialS = 0.0, partS = 0.0;
+    for (auto _ : state) {
+        const auto t0 = clock::now();
+        const MultiChannelResult a =
+            runMultiChannel(partitionBenchConfig(1));
+        const auto t1 = clock::now();
+        const MultiChannelResult b =
+            runMultiChannel(partitionBenchConfig(4));
+        const auto t2 = clock::now();
+        benchmark::DoNotOptimize(a.totalPowerW + b.totalPowerW);
+        serialS += std::chrono::duration<double>(t1 - t0).count();
+        partS += std::chrono::duration<double>(t2 - t1).count();
+    }
+    state.counters["speedup"] =
+        benchmark::Counter(partS > 0.0 ? serialS / partS : 0.0);
+}
+BENCHMARK(BM_PartitionedSpeedup)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -26,6 +26,12 @@
  *                          decomposition + percentile sketches); purely
  *                          observational either way       [on]
  *   --report <list>        summary,power,modules,links   [summary]
+ *   --partitions <n>       shard the run across n event-queue
+ *                          partitions (1 = serial kernel; see
+ *                          docs/PERFORMANCE.md)           [1]
+ *   --partition-sync <m>   barrier (deterministic, serial-identical)
+ *                          or lax (fast screening)       [barrier]
+ *   --lax-window-ns <t>    lax-mode window length         [10000]
  *   --profile <path>       host-side profiler dump; ".json" gets the
  *                          phase tree, anything else FlameGraph
  *                          collapsed stacks (docs/PERFORMANCE.md)
@@ -289,6 +295,17 @@ main(int argc, char **argv)
             cfg.audit = true;
         } else if (a == "--no-lat-obs") {
             cfg.latencyObs = false;
+        } else if (a == "--partitions") {
+            cfg.partitions = std::atoi(need(i).c_str());
+            if (cfg.partitions < 1)
+                usage("--partitions must be >= 1");
+        } else if (a == "--partition-sync") {
+            if (!parsePartitionSync(need(i), &cfg.partitionSync))
+                usage("--partition-sync must be 'barrier' or 'lax'");
+        } else if (a == "--lax-window-ns") {
+            cfg.laxWindowPs = ns(std::atol(need(i).c_str()));
+            if (cfg.laxWindowPs <= 0)
+                usage("--lax-window-ns must be positive");
         } else if (a == "--report") {
             report = need(i);
         } else if (a == "--profile") {

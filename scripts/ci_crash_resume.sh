@@ -15,6 +15,11 @@
 #   4. Schema-validate the journal, then force watchdog kills with a
 #      microscopic --config-timeout under --failure-policy isolate
 #      and schema-validate the failure manifest it writes.
+#   5. Journal a partitioned-kernel sweep (--partitions 2, barrier
+#      sync) and resume a *serial* sweep from it: deterministic
+#      partitioned runs share the serial config key, so every record
+#      must load and the results must be bit-identical (only kernel-
+#      layout profile counters may differ).
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -115,5 +120,24 @@ grep -q "cancelled by watchdog" "$OUT/isolated.log" || {
 python3 scripts/validate_bench_json.py ci/failure_manifest_schema.json \
     "$OUT/manifest.json"
 
+echo "== leg 5: partitioned kernel journals interchangeably =="
+# Event-count and queue-shape counters describe the kernel layout, not
+# the simulation, so a partitioned-vs-serial diff must skip them (the
+# same gate audit::diffRunResults applies in-process).
+KERNEL_IGNORE="(wall|per_s|per_sec|_rate|elapsed|prof|events_\
+|peak_queue_depth|dispatch_window|partition|lax_sync|barrier)"
+"$BENCH" --partitions 2 --journal "$OUT/part.jsonl" \
+    --json "$OUT/part.json" >"$OUT/part.log" 2>&1
+python3 scripts/diff_runs.py "$OUT/reference.json" "$OUT/part.json" \
+    --ignore "$KERNEL_IGNORE"
+"$BENCH" --resume "$OUT/part.jsonl" \
+    --json "$OUT/part_resumed.json" >"$OUT/part_resumed.log" 2>&1
+grep "resume: loaded" "$OUT/part_resumed.log"
+python3 scripts/diff_runs.py "$OUT/reference.json" \
+    "$OUT/part_resumed.json" --ignore "$KERNEL_IGNORE"
+python3 scripts/validate_bench_json.py --jsonl ci/journal_schema.json \
+    "$OUT/part.jsonl"
+
 echo "crash-resume proof passed: $records journaled before SIGKILL," \
-    "resume matched the uninterrupted sweep ($total configs)"
+    "resume matched the uninterrupted sweep ($total configs)," \
+    "partitioned journal interchanged with serial"

@@ -58,6 +58,15 @@ struct LinkTiming
     static constexpr Tick kSerdesPs = 3200;
     /** Router: 4 pipeline cycles at 0.64 ns. */
     static constexpr Tick kRouterPs = 4 * 640;
+    /**
+     * Host-interface SERDES: the processor-side link controller's
+     * serialization FIFO between the cores and the channel root
+     * (net/boundary.hh). Every injected request crosses it, in both the
+     * serial and the partitioned kernel — in the latter it is also the
+     * processor partition's conservative lookahead, so it must stay
+     * strictly positive (docs/PERFORMANCE.md).
+     */
+    static constexpr Tick kHostIfPs = 3200;
     /** Link controller buffer entries. */
     static constexpr int kBufferEntries = 128;
 };

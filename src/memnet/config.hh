@@ -19,6 +19,7 @@
 #include "obs/quantile_sketch.hh"
 #include "power/power_breakdown.hh"
 #include "sim/fault.hh"
+#include "sim/partition.hh"
 #include "sim/types.hh"
 
 namespace memnet
@@ -110,6 +111,28 @@ struct SystemConfig
     Tick warmup = us(100);
     Tick measure = us(400);
     std::uint64_t seed = 1;
+
+    /**
+     * Event-kernel partitions (sim/partition.hh). 1 = the classic
+     * serial kernel. >1 shards the run by channel onto worker threads
+     * synchronized with conservative lookahead: partition 0 runs the
+     * processor, the remaining partitions run the channel networks. A
+     * single-channel run has exactly one channel to offload, so any
+     * value >1 behaves as 2; multi-channel runs use up to one
+     * partition per channel.
+     */
+    int partitions = 1;
+
+    /**
+     * Synchronization mode for partitioned runs. Barrier (the default)
+     * is bit-identical to the serial kernel and is what differential
+     * tests and journal resume rely on; Lax trades that equivalence
+     * (while staying run-to-run deterministic) for fewer barriers.
+     */
+    PartitionSync partitionSync = PartitionSync::Barrier;
+
+    /** Lax-mode window length (ignored under Barrier sync). */
+    Tick laxWindowPs = us(10);
 
     int cores = 16;
     int maxReadsPerCore = 12;
@@ -206,12 +229,34 @@ struct ReliabilityStats
  * wallSeconds and profPhases are the only fields that vary between
  * identical runs; everything else is simulation-determined.
  */
+/**
+ * Per-partition kernel statistics of a partitioned run
+ * (RunProfile::partitionLanes; empty for serial runs).
+ */
+struct PartitionLane
+{
+    std::uint64_t eventsFired = 0;
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t peakQueueDepth = 0;
+    /** Synchronization windows this lane executed. */
+    std::uint64_t windows = 0;
+    /** Wall-clock nanoseconds this lane spent waiting at barriers. */
+    std::uint64_t barrierWaitNs = 0;
+};
+
 struct RunProfile
 {
     std::uint64_t eventsFired = 0;
     std::uint64_t eventsScheduled = 0;
     double wallSeconds = 0.0;
     double simSeconds = 0.0;
+
+    /** Event-kernel partitions the run executed on (1 = serial). */
+    int partitions = 1;
+    /** True when a partitioned run used Lax (non-bit-identical) sync. */
+    bool laxSync = false;
+    /** Per-partition kernel statistics (empty for serial runs). */
+    std::vector<PartitionLane> partitionLanes;
 
     /** Packets issued through the pool (whole run, warmup included). */
     std::uint64_t packetsIssued = 0;

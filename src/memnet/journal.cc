@@ -125,6 +125,10 @@ writeConfig(JsonWriter &w, const SystemConfig &c)
     intField(w, "cores", c.cores);
     intField(w, "max_reads_per_core", c.maxReadsPerCore);
     intField(w, "max_writes_per_core", c.maxWritesPerCore);
+    intField(w, "partitions", c.partitions);
+    w.field("partition_sync", partitionSyncName(c.partitionSync));
+    numField(w, "lax_window_ps",
+             static_cast<std::int64_t>(c.laxWindowPs));
     w.key("faults");
     w.beginObject();
     numField(w, "flap_mean_period_ps",
@@ -403,6 +407,24 @@ readConfig(Reader &rd, const Value &v, SystemConfig *c)
     c->mechanism = static_cast<BwMechanism>(mechanism);
     c->ioAttribution = static_cast<IoAttribution>(ioAttr);
     c->policy = static_cast<Policy>(policy);
+
+    // Partition fields postdate the v1 journal schema: absent members
+    // keep the SystemConfig defaults (serial kernel), so old journals
+    // load unchanged. Probe with find() — member() would record a
+    // sticky "missing" error for perfectly valid v1 records.
+    if (v.find("partitions") &&
+        !rd.getInt(v, p, "partitions", &c->partitions))
+        return false;
+    if (v.find("partition_sync")) {
+        std::string sync;
+        if (!rd.getString(v, p, "partition_sync", &sync))
+            return false;
+        if (!parsePartitionSync(sync, &c->partitionSync))
+            return rd.fail(p + ".partition_sync", "unknown mode");
+    }
+    if (v.find("lax_window_ps") &&
+        !rd.getI64(v, p, "lax_window_ps", &c->laxWindowPs))
+        return false;
 
     const Value *aware = rd.member(v, p, "aware");
     if (!aware)

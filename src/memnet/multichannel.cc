@@ -8,6 +8,7 @@
 #include "mgmt/aware.hh"
 #include "mgmt/manager.hh"
 #include "mgmt/static_taper.hh"
+#include "net/boundary.hh"
 #include "net/network.hh"
 #include "obs/prof.hh"
 #include "sim/event_queue.hh"
@@ -71,14 +72,15 @@ namespace
 {
 
 /** Fans injected packets out over the channels, remapping addresses
- *  into each channel's local space. */
+ *  into each channel's local space. Each channel target is that
+ *  channel's host-interface port (or, partitioned, its outbox). */
 class ChannelSwitch : public TrafficTarget
 {
   public:
-    ChannelSwitch(std::vector<Network *> nets, ChannelSpread spread,
-                  std::uint64_t total_bytes)
-        : nets(std::move(nets)),
-          remap(static_cast<int>(this->nets.size()), spread,
+    ChannelSwitch(std::vector<TrafficTarget *> channels,
+                  ChannelSpread spread, std::uint64_t total_bytes)
+        : channels(std::move(channels)),
+          remap(static_cast<int>(this->channels.size()), spread,
                 total_bytes)
     {
     }
@@ -89,11 +91,11 @@ class ChannelSwitch : public TrafficTarget
         MEMNET_PROF_SCOPE("mc/fanout");
         const ChannelRemap::Target t = remap.map(pkt->addr);
         pkt->addr = t.local;
-        nets[t.channel]->inject(pkt);
+        channels[t.channel]->inject(pkt);
     }
 
   private:
-    std::vector<Network *> nets;
+    std::vector<TrafficTarget *> channels;
     ChannelRemap remap;
 };
 
@@ -124,7 +126,26 @@ runMultiChannel(const MultiChannelConfig &mcfg)
     HmcPowerModel pm(cfg.ioAttribution);
     LinkErrorModel errors;
     errors.flitErrorRate = cfg.linkFlitErrorRate;
-    EventQueue eq;
+
+    // Partitioned kernel (sim/partition.hh): partition 0 runs the
+    // processor, partitions 1..P-1 run the channel networks — this is
+    // the natural shard boundary, since channels never talk to each
+    // other. With fewer partitions than channels, channels share a
+    // partition round-robin (and share its event queue).
+    const bool partitioned = cfg.partitions > 1;
+    const int parts =
+        partitioned ? 1 + std::min(cfg.partitions - 1, mcfg.channels)
+                    : 1;
+    EventQueue procEq;
+    std::vector<std::unique_ptr<EventQueue>> chanEqs;
+    for (int p = 1; p < parts; ++p)
+        chanEqs.push_back(std::make_unique<EventQueue>());
+    const auto rankOf = [&](int c) {
+        return partitioned ? 1 + c % (parts - 1) : 0;
+    };
+    const auto queueOf = [&](int c) -> EventQueue & {
+        return partitioned ? *chanEqs[c % (parts - 1)] : procEq;
+    };
 
     std::vector<std::unique_ptr<Network>> nets;
     std::vector<std::unique_ptr<PowerManager>> mgrs;
@@ -141,12 +162,62 @@ runMultiChannel(const MultiChannelConfig &mcfg)
         amap.interleavePages = cfg.interleavePages;
         amap.modules = modules_per_channel;
         nets.push_back(std::make_unique<Network>(
-            eq, topo, dram, cfg.mechanism, roo, pm, amap, errors));
+            queueOf(c), topo, dram, cfg.mechanism, roo, pm, amap,
+            errors));
         nets.back()->setLatencyObservatory(cfg.latencyObs);
         net_ptrs.push_back(nets.back().get());
     }
 
-    ChannelSwitch sw(net_ptrs, mcfg.spread, total);
+    // One host-interface port per channel (net/boundary.hh): the
+    // processor side has a SERDES FIFO toward each channel root, same
+    // as the single-network simulator's. Partitioned runs use each
+    // channel's boundary twin (HostOutbox) instead.
+    std::vector<std::unique_ptr<HostPort>> ports;
+    std::vector<std::unique_ptr<PartitionedChannel>> chans;
+    std::unique_ptr<PartitionRunner> runner;
+    std::vector<TrafficTarget *> port_ptrs;
+    if (partitioned) {
+        std::vector<EventQueue *> queues{&procEq};
+        for (auto &q : chanEqs)
+            queues.push_back(q.get());
+        // Channels never exchange packets, so their mutual lookahead
+        // is unbounded (kTickMax = no edge).
+        std::vector<Tick> look(
+            static_cast<std::size_t>(parts) * parts, kTickMax);
+        for (int p = 0; p < parts; ++p) {
+            look[p * parts + p] = 0;
+            if (p > 0) {
+                look[0 * parts + p] =
+                    PartitionedChannel::kHostLookaheadPs;
+                look[p * parts + 0] =
+                    PartitionedChannel::kChannelLookaheadPs;
+            }
+        }
+        runner = std::make_unique<PartitionRunner>(
+            std::move(queues), std::move(look),
+            [&chans](int dst, BoundaryMessage &m) {
+                PartitionedChannel &ch = *chans[m.channel];
+                if (dst == 0)
+                    ch.applyAtHost(m);
+                else
+                    ch.applyAtChannel(m);
+            },
+            cfg.partitionSync, cfg.laxWindowPs);
+        for (int c = 0; c < mcfg.channels; ++c) {
+            chans.push_back(std::make_unique<PartitionedChannel>(
+                procEq, *net_ptrs[c], c, rankOf(c),
+                runner->mail()));
+            port_ptrs.push_back(&chans.back()->outbox());
+        }
+    } else {
+        for (int c = 0; c < mcfg.channels; ++c) {
+            ports.push_back(
+                std::make_unique<HostPort>(procEq, *net_ptrs[c]));
+            port_ptrs.push_back(ports.back().get());
+        }
+    }
+
+    ChannelSwitch sw(port_ptrs, mcfg.spread, total);
 
     ProcessorParams pp;
     pp.cores = cfg.cores;
@@ -158,7 +229,7 @@ runMultiChannel(const MultiChannelConfig &mcfg)
         pp.watchdogTimeoutPs = cfg.watchdogTimeoutPs;
     else if (cfg.watchdogTimeoutPs == 0 && !cfg.faults.empty())
         pp.watchdogTimeoutPs = us(300);
-    Processor proc(eq, sw, profile, pp);
+    Processor proc(procEq, sw, profile, pp);
     for (auto &n : nets)
         n->setHost(&proc);
 
@@ -169,7 +240,7 @@ runMultiChannel(const MultiChannelConfig &mcfg)
     if (!cfg.faults.empty()) {
         for (int c = 0; c < mcfg.channels; ++c) {
             injectors.push_back(std::make_unique<FaultInjector>(
-                eq, *nets[c], cfg.faults, cfg.seed + c));
+                queueOf(c), *nets[c], cfg.faults, cfg.seed + c));
             injectors.back()->start(0);
         }
     }
@@ -213,7 +284,13 @@ runMultiChannel(const MultiChannelConfig &mcfg)
         for (int c = 0; c < mcfg.channels; ++c) {
             auditors.push_back(
                 std::make_unique<audit::Auditor>(*nets[c]));
-            if (c == 0)
+            // The packet census reads processor state from channel 0's
+            // epoch events; in a partitioned run that is only safe (and
+            // deterministic) at Barrier merged tick-steps, where every
+            // worker is parked at the same tick.
+            if (c == 0 &&
+                (!partitioned ||
+                 cfg.partitionSync == PartitionSync::Barrier))
                 auditors.back()->setProcessor(&proc);
             auditors.back()->attach(
                 c < static_cast<int>(mgrs.size()) ? mgrs[c].get()
@@ -223,16 +300,26 @@ runMultiChannel(const MultiChannelConfig &mcfg)
 
     proc.start(0);
     const Tick measure = effectiveMeasure(cfg);
-    eq.runUntil(cfg.warmup);
+    // Manager epochs read link stats and (audited) processor state;
+    // aligning sync points on the epoch grid makes them fire in merged
+    // tick-steps with every partition at the same tick.
+    const Tick grid = mgrs.empty() ? 0 : cfg.epochLen;
+    if (runner)
+        runner->runUntil(cfg.warmup, grid);
+    else
+        procEq.runUntil(cfg.warmup);
     for (auto &n : nets)
         n->resetStats();
     proc.resetStats();
     for (auto &a : auditors)
-        a->onMeasureStart(eq.now());
+        a->onMeasureStart(procEq.now());
     const Tick end = cfg.warmup + measure;
-    eq.runUntil(end);
+    if (runner)
+        runner->runUntil(end, grid);
+    else
+        procEq.runUntil(end);
     for (auto &a : auditors)
-        a->finalCheck(eq.now());
+        a->finalCheck(procEq.now());
 
     MultiChannelResult r;
     r.config = mcfg;

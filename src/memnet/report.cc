@@ -93,6 +93,23 @@ printRunSummary(const RunResult &r)
                         static_cast<long long>(p.dispatchWindowPs /
                                                us(1)));
         }
+        if (p.partitions > 1) {
+            std::printf("  partitions: %d (%s sync); events/s and "
+                        "queue stats above aggregate all lanes\n",
+                        p.partitions, p.laxSync ? "lax" : "barrier");
+            for (std::size_t i = 0; i < p.partitionLanes.size(); ++i) {
+                const PartitionLane &l = p.partitionLanes[i];
+                std::printf("    lane %zu: %llu events, peak depth "
+                            "%llu, %llu windows, %.1f ms in barriers\n",
+                            i,
+                            static_cast<unsigned long long>(
+                                l.eventsFired),
+                            static_cast<unsigned long long>(
+                                l.peakQueueDepth),
+                            static_cast<unsigned long long>(l.windows),
+                            static_cast<double>(l.barrierWaitNs) / 1e6);
+            }
+        }
         if (!p.profPhases.empty()) {
             // Rank by self time (inclusive minus direct children), so
             // a parent whose time is all in one child doesn't shadow
@@ -352,6 +369,23 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.beginArray();
     for (std::uint64_t v : r.profile.dispatchWindows)
         w.value(v);
+    w.endArray();
+    w.field("partitions",
+            static_cast<std::uint64_t>(r.profile.partitions));
+    w.field("lax_sync", r.profile.laxSync);
+    // barrier_wait_ns is wall-clock, like wall_s: comparison tools
+    // must not treat it as simulation-determined.
+    w.key("partition_lanes");
+    w.beginArray();
+    for (const PartitionLane &l : r.profile.partitionLanes) {
+        w.beginObject();
+        w.field("events_fired", l.eventsFired);
+        w.field("events_scheduled", l.eventsScheduled);
+        w.field("peak_queue_depth", l.peakQueueDepth);
+        w.field("windows", l.windows);
+        w.field("barrier_wait_ns", l.barrierWaitNs);
+        w.endObject();
+    }
     w.endArray();
     w.key("prof_phases");
     w.beginArray();

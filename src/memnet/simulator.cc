@@ -10,11 +10,13 @@
 #include "mgmt/aware.hh"
 #include "mgmt/manager.hh"
 #include "mgmt/static_taper.hh"
+#include "net/boundary.hh"
 #include "net/network.hh"
 #include "obs/debug_trace.hh"
 #include "obs/obs.hh"
 #include "sim/event_queue.hh"
 #include "sim/log.hh"
+#include "sim/partition.hh"
 #include "workload/processor.hh"
 
 namespace memnet
@@ -133,9 +135,53 @@ class SimulatorImpl
         HmcPowerModel pm(cfg.ioAttribution);
         LinkErrorModel errors;
         errors.flitErrorRate = cfg.linkFlitErrorRate;
-        EventQueue eq;
-        Network net(eq, topo, dram, cfg.mechanism, roo, pm, amap,
+
+        // Partitioned kernel (sim/partition.hh): the processor runs on
+        // partition 0 and the channel network on partition 1, coupled
+        // through the host-interface boundary (net/boundary.hh). A
+        // single-channel run has exactly one channel to offload, so any
+        // cfg.partitions > 1 behaves as 2. Serial runs alias both
+        // queue names onto the one queue.
+        const bool partitioned = cfg.partitions > 1;
+        EventQueue procEq;
+        std::unique_ptr<EventQueue> chanEqOwned;
+        if (partitioned)
+            chanEqOwned = std::make_unique<EventQueue>();
+        EventQueue &netEq = partitioned ? *chanEqOwned : procEq;
+
+        Network net(netEq, topo, dram, cfg.mechanism, roo, pm, amap,
                     errors);
+
+        // Requests cross the host-interface SERDES FIFO before the
+        // channel root (net/boundary.hh). The port is not a Network,
+        // so the processor can't self-wire the response path — attach
+        // the host explicitly. Partitioned runs route through the
+        // boundary twin (HostOutbox) instead.
+        std::unique_ptr<PartitionRunner> runner;
+        std::unique_ptr<PartitionedChannel> chan;
+        std::unique_ptr<HostPort> hostIf;
+        TrafficTarget *target = nullptr;
+        if (partitioned) {
+            std::vector<Tick> look(4, 0);
+            look[0 * 2 + 1] = PartitionedChannel::kHostLookaheadPs;
+            look[1 * 2 + 0] = PartitionedChannel::kChannelLookaheadPs;
+            runner = std::make_unique<PartitionRunner>(
+                std::vector<EventQueue *>{&procEq, &netEq},
+                std::move(look),
+                [&chan](int dst, BoundaryMessage &m) {
+                    if (dst == 0)
+                        chan->applyAtHost(m);
+                    else
+                        chan->applyAtChannel(m);
+                },
+                cfg.partitionSync, cfg.laxWindowPs);
+            chan = std::make_unique<PartitionedChannel>(
+                procEq, net, 0, 1, runner->mail());
+            target = &chan->outbox();
+        } else {
+            hostIf = std::make_unique<HostPort>(procEq, net);
+            target = hostIf.get();
+        }
 
         ProcessorParams pp;
         pp.cores = cfg.cores;
@@ -143,15 +189,17 @@ class SimulatorImpl
         pp.maxWritesPerCore = cfg.maxWritesPerCore;
         pp.seed = cfg.seed;
         pp.watchdogTimeoutPs = watchdogTimeout();
-        Processor proc(eq, net, profile, pp);
+        Processor proc(procEq, *target, profile, pp);
+        net.setHost(&proc);
 
         // Fault injection: only constructed for a non-empty plan so a
         // default config's event stream is bit-identical to the
-        // pre-fault-model simulator.
+        // pre-fault-model simulator. Faults degrade links, so the
+        // injector lives on the channel partition.
         std::unique_ptr<FaultInjector> injector;
         if (!cfg.faults.empty()) {
             injector = std::make_unique<FaultInjector>(
-                eq, net, cfg.faults, cfg.seed);
+                netEq, net, cfg.faults, cfg.seed);
             injector->start(0);
         }
 
@@ -198,8 +246,13 @@ class SimulatorImpl
         if (!cfg.obs.traceSpec.empty())
             obs::setTraceSpec(cfg.obs.traceSpec);
         std::unique_ptr<obs::ObsHub> hub;
-        if (cfg.obs.active())
-            hub = std::make_unique<obs::ObsHub>(cfg.obs, net, mgr.get());
+        if (cfg.obs.active()) {
+            std::vector<EventQueue *> obsQueues;
+            if (partitioned)
+                obsQueues = {&procEq, &netEq};
+            hub = std::make_unique<obs::ObsHub>(cfg.obs, net, mgr.get(),
+                                                std::move(obsQueues));
+        }
 
         // Runtime invariant auditor (src/audit): passive like obs, so
         // an audited run stays bit-identical to a bare one. Debug
@@ -208,7 +261,14 @@ class SimulatorImpl
         std::unique_ptr<audit::Auditor> auditor;
         if (audit::enabledFor(cfg.audit)) {
             auditor = std::make_unique<audit::Auditor>(net);
-            auditor->setProcessor(&proc);
+            // The packet census reads processor state from the channel
+            // partition's epoch events. Under Barrier sync those fire
+            // during merged tick-steps — every worker parked, so the
+            // read is race-free and deterministic. Lax windows offer no
+            // such point, so the census is skipped there.
+            if (!partitioned ||
+                cfg.partitionSync == PartitionSync::Barrier)
+                auditor->setProcessor(&proc);
             auditor->attach(mgr.get());
         }
 
@@ -217,23 +277,33 @@ class SimulatorImpl
         build.close();
         const auto wall_start = std::chrono::steady_clock::now();
         const Tick measure = effectiveMeasure(cfg);
+        // Manager epochs read link stats and (audited) processor state;
+        // aligning sync points on the epoch grid makes them fire in
+        // merged tick-steps with every partition at the same tick.
+        const Tick grid = mgr ? cfg.epochLen : 0;
         {
             MEMNET_PROF_SCOPE("sim/warmup");
-            eq.runUntil(cfg.warmup);
+            if (runner)
+                runner->runUntil(cfg.warmup, grid);
+            else
+                procEq.runUntil(cfg.warmup);
         }
         net.resetStats();
         proc.resetStats();
         if (hub)
-            hub->onMeasureStart(eq.now());
+            hub->onMeasureStart(procEq.now());
         if (auditor)
-            auditor->onMeasureStart(eq.now());
+            auditor->onMeasureStart(procEq.now());
         const Tick end = cfg.warmup + measure;
         {
             MEMNET_PROF_SCOPE("sim/measure");
-            eq.runUntil(end);
+            if (runner)
+                runner->runUntil(end, grid);
+            else
+                procEq.runUntil(end);
         }
         if (auditor)
-            auditor->finalCheck(eq.now());
+            auditor->finalCheck(procEq.now());
         const double wall_secs =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - wall_start)
@@ -242,22 +312,55 @@ class SimulatorImpl
         RunResult r;
         {
             MEMNET_PROF_SCOPE("sim/collect");
-            r = collect(eq, net, proc, mgr.get(), injector.get(),
+            r = collect(procEq, net, proc, mgr.get(), injector.get(),
                         measure);
         }
-        r.profile.eventsFired = eq.fired();
-        r.profile.eventsScheduled = eq.scheduledTotal();
+        r.profile.eventsFired = procEq.fired();
+        r.profile.eventsScheduled = procEq.scheduledTotal();
         r.profile.wallSeconds = wall_secs;
-        r.profile.simSeconds = toSeconds(eq.now());
+        r.profile.simSeconds = toSeconds(procEq.now());
         r.profile.packetsIssued = proc.packetPool().acquired();
         r.profile.packetHeapAllocs = proc.packetPool().heapAllocated();
         r.profile.auditChecksRun = auditor ? auditor->checksRun() : 0;
-        r.profile.eventsDescheduled = eq.descheduledTotal();
-        r.profile.peakQueueDepth = eq.peakPending();
-        r.profile.dispatchWindows = eq.dispatchWindows();
-        r.profile.dispatchWindowPs = eq.dispatchWindowPs();
+        r.profile.eventsDescheduled = procEq.descheduledTotal();
+        r.profile.peakQueueDepth = procEq.peakPending();
+        r.profile.dispatchWindows = procEq.dispatchWindows();
+        r.profile.dispatchWindowPs = procEq.dispatchWindowPs();
+        if (partitioned) {
+            // The health counters aggregate across partition queues:
+            // rates sum, the high-water mark takes the max, and the
+            // dispatch-rate histogram sums elementwise.
+            r.profile.eventsFired += netEq.fired();
+            r.profile.eventsScheduled += netEq.scheduledTotal();
+            r.profile.eventsDescheduled += netEq.descheduledTotal();
+            r.profile.peakQueueDepth = std::max<std::uint64_t>(
+                r.profile.peakQueueDepth, netEq.peakPending());
+            const std::vector<std::uint64_t> &cw =
+                netEq.dispatchWindows();
+            if (cw.size() > r.profile.dispatchWindows.size())
+                r.profile.dispatchWindows.resize(cw.size(), 0);
+            for (std::size_t i = 0; i < cw.size(); ++i)
+                r.profile.dispatchWindows[i] += cw[i];
+
+            r.profile.partitions = runner->partitions();
+            r.profile.laxSync =
+                runner->syncMode() == PartitionSync::Lax;
+            const std::vector<PartitionLaneStats> &ls =
+                runner->laneStats();
+            for (int p = 0; p < runner->partitions(); ++p) {
+                const EventQueue &q = p == 0 ? procEq : netEq;
+                PartitionLane lane;
+                lane.eventsFired = q.fired();
+                lane.eventsScheduled = q.scheduledTotal();
+                lane.peakQueueDepth = q.peakPending();
+                lane.windows = ls[p].windows;
+                lane.barrierWaitNs = ls[p].barrierWaitNs;
+                r.profile.partitionLanes.push_back(lane);
+            }
+        }
+        r.eventsFired = r.profile.eventsFired;
         if (hub)
-            hub->finish(eq.now());
+            hub->finish(procEq.now());
         // Close the capture last so the phase rows cover collect() and
         // the obs flush as well as the dispatch loops.
         r.profile.profPhases = capture.finish();

@@ -55,11 +55,17 @@ Module::accept(Packet *pkt, Tick now)
 void
 Module::onVaultDone(std::uint64_t tag, bool is_read, Tick now)
 {
-    Packet *pkt = reinterpret_cast<Packet *>(tag);
     if (!is_read) {
-        net.host()->writeRetired(pkt, now);
+        // Partitioned: the write was already promised to the processor
+        // side at service start (vault forecast), and by now the
+        // processor may have retired and recycled the packet — the tag
+        // must not be dereferenced on this thread.
+        if (net.writeHandoff())
+            return;
+        net.host()->writeRetired(reinterpret_cast<Packet *>(tag), now);
         return;
     }
+    Packet *pkt = reinterpret_cast<Packet *>(tag);
     ++dramReadsDone;
     --readsInFlight;
     if (readsInFlight == 0 && observer)

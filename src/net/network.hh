@@ -169,6 +169,35 @@ class Network : public TrafficTarget, public FaultTarget
     /** Attach the runtime invariant auditor's inject hook (null detaches). */
     void setAuditHook(NetworkAuditHook *h) { audit_ = h; }
 
+    // -- Partition boundary (net/boundary.hh, sim/partition.hh) ------------
+
+    /**
+     * Complete a read at the processor side: latency decomposition,
+     * packet-life trace, and host notification — exactly the root
+     * response link's delivery tail. Public so a partitioned run's
+     * ingress pipe can replay it on the processor partition with the
+     * serial delivery key.
+     */
+    void
+    completeRead(Packet *pkt, Tick now)
+    {
+        if (latObs_)
+            recordLatency(*pkt, now);
+        if (trace_)
+            trace_->packetLife(*pkt, pkt->issued, now);
+        host_->readCompleted(pkt, now);
+    }
+
+    /**
+     * Partitioned write retirement: when set, modules do not notify
+     * the host of completed writes (and never touch the packet, which
+     * the processor partition may already have recycled) — the vault
+     * forecast's write promise retires it on the processor side at the
+     * same tick instead.
+     */
+    void setWriteHandoff(bool on) { writeHandoff_ = on; }
+    bool writeHandoff() const { return writeHandoff_; }
+
     // -- Latency observatory -----------------------------------------------
 
     /**
@@ -202,11 +231,7 @@ class Network : public TrafficTarget, public FaultTarget
         void
         accept(Packet *pkt, Tick now) override
         {
-            if (net.latObs_)
-                net.recordLatency(*pkt, now);
-            if (net.trace_)
-                net.trace_->packetLife(*pkt, pkt->issued, now);
-            net.host_->readCompleted(pkt, now);
+            net.completeRead(pkt, now);
         }
 
       private:
@@ -233,6 +258,7 @@ class Network : public TrafficTarget, public FaultTarget
     void recordLatency(const Packet &pkt, Tick now);
 
     bool latObs_ = false;
+    bool writeHandoff_ = false;
     obs::LatencySketches lat_;
 
     Average hops;

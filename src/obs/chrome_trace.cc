@@ -31,7 +31,7 @@ ChromeTraceWriter::toUs(Tick t)
 }
 
 int
-ChromeTraceWriter::pidFor(const Link &l)
+ChromeTraceWriter::pidForLocked(const Link &l)
 {
     const int pid = kModulePidBase + l.module();
     auto it = pidNames.find(pid);
@@ -44,8 +44,16 @@ ChromeTraceWriter::pidFor(const Link &l)
 }
 
 int
+ChromeTraceWriter::pidFor(const Link &l)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return pidForLocked(l);
+}
+
+int
 ChromeTraceWriter::tidFor(const Link &l)
 {
+    std::lock_guard<std::mutex> lock(mu);
     const int tid = l.id();
     auto it = tidNames.find(tid);
     if (it == tidNames.end()) {
@@ -53,7 +61,7 @@ ChromeTraceWriter::tidFor(const Link &l)
         os << "link" << l.id()
            << (l.type() == LinkType::Request ? " req m" : " resp m")
            << l.module();
-        tidNames.emplace(tid, TrackInfo{pidFor(l), os.str()});
+        tidNames.emplace(tid, TrackInfo{pidForLocked(l), os.str()});
     }
     return tid;
 }
@@ -73,6 +81,7 @@ ChromeTraceWriter::span(int pid, int tid, const char *cat,
                         std::string name, Tick begin, Tick end,
                         std::string args)
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!admit())
         return;
     buf.push_back(TraceEvent{toUs(begin), toUs(end - begin), 'X', pid,
@@ -84,6 +93,7 @@ void
 ChromeTraceWriter::instant(int pid, int tid, const char *cat,
                            std::string name, Tick now, std::string args)
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!admit())
         return;
     buf.push_back(TraceEvent{toUs(now), 0.0, 'i', pid, tid,
@@ -94,6 +104,7 @@ void
 ChromeTraceWriter::counter(int pid, int tid, std::string name, Tick now,
                            std::string args)
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!admit())
         return;
     buf.push_back(TraceEvent{toUs(now), 0.0, 'C', pid, tid,

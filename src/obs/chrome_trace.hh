@@ -21,6 +21,11 @@
  * Events are buffered and stably sorted by timestamp before writing, so
  * the emitted traceEvents array is time-ordered even though span events
  * are reported at span end.
+ *
+ * Sink callbacks are thread-safe: a partitioned run (sim/partition.hh)
+ * reports packet lifetimes from the host lane and link spans from
+ * channel lanes concurrently, so the event buffer and track maps are
+ * mutex-guarded. writeTo() is for after the run, on one thread.
  */
 
 #ifndef MEMNET_OBS_CHROME_TRACE_HH
@@ -28,6 +33,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -114,6 +120,8 @@ class ChromeTraceWriter : public PowerTraceSink
     int tidFor(const Link &l);
     /** The pid of the link's owning module (registers its name). */
     int pidFor(const Link &l);
+    /** pidFor body; caller holds mu. */
+    int pidForLocked(const Link &l);
 
     void span(int pid, int tid, const char *cat, std::string name,
               Tick begin, Tick end, std::string args = {});
@@ -123,6 +131,8 @@ class ChromeTraceWriter : public PowerTraceSink
                  std::string args);
     bool admit();
 
+    /** Guards buf, tidNames, pidNames, nDropped (see file comment). */
+    std::mutex mu;
     std::vector<TraceEvent> buf;
     std::map<int, TrackInfo> tidNames;
     std::map<int, std::string> pidNames;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "sim/log.hh"
 
@@ -11,9 +12,12 @@ namespace memnet
 namespace obs
 {
 
-ObsHub::ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr)
-    : opts(opts), net(net), mgr(mgr)
+ObsHub::ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr,
+               std::vector<EventQueue *> queues)
+    : opts(opts), net(net), mgr(mgr), eqs(std::move(queues))
 {
+    if (eqs.empty())
+        eqs.push_back(&net.eventQueue());
     if (!opts.chromeTracePath.empty()) {
         trace = std::make_unique<ChromeTraceWriter>();
         net.setTraceSink(trace.get());
@@ -74,38 +78,79 @@ ObsHub::onViolation(PowerManager &pm, LinkMgmtState &s, Tick now)
 void
 ObsHub::registerStats()
 {
-    EventQueue &eq = net.eventQueue();
+    // sim.* / sim.eq.* aggregate across every event queue of the run:
+    // one queue for the serial kernel, one per partition otherwise
+    // (events summed, depths maxed), so dashboards read the same
+    // counters whichever kernel produced them.
+    const std::vector<EventQueue *> &qs = eqs;
     auto sim = reg.scope("sim.");
-    sim.addInt("events_fired", "events executed so far",
-               [&eq] { return eq.fired(); });
-    sim.addInt("events_scheduled", "schedule() calls so far",
-               [&eq] { return eq.scheduledTotal(); });
-    sim.addInt("now_ps", "current simulated time (ps)", [&eq] {
-        return static_cast<std::uint64_t>(eq.now());
+    sim.addInt("events_fired", "events executed so far", [&qs] {
+        std::uint64_t n = 0;
+        for (const EventQueue *q : qs)
+            n += q->fired();
+        return n;
+    });
+    sim.addInt("events_scheduled", "schedule() calls so far", [&qs] {
+        std::uint64_t n = 0;
+        for (const EventQueue *q : qs)
+            n += q->scheduledTotal();
+        return n;
+    });
+    sim.addInt("now_ps", "current simulated time (ps)", [&qs] {
+        return static_cast<std::uint64_t>(qs.front()->now());
     });
 
     // Event-queue health: how deep the heap gets and how dispatch load
     // spreads over sim time. All simulation-determined (no wall clock).
     auto eqh = reg.scope("sim.eq.");
     eqh.addInt("events_descheduled", "deschedule() calls so far",
-               [&eq] { return eq.descheduledTotal(); });
-    eqh.addInt("peak_depth", "pending-event high-water mark",
-               [&eq] { return eq.peakPending(); });
-    eqh.addInt("pending", "events pending right now",
-               [&eq] { return eq.pending(); });
+               [&qs] {
+                   std::uint64_t n = 0;
+                   for (const EventQueue *q : qs)
+                       n += q->descheduledTotal();
+                   return n;
+               });
+    eqh.addInt("peak_depth", "pending-event high-water mark (max "
+                             "over partitions)",
+               [&qs] {
+                   std::uint64_t n = 0;
+                   for (const EventQueue *q : qs)
+                       n = std::max(n, q->peakPending());
+                   return n;
+               });
+    eqh.addInt("pending", "events pending right now", [&qs] {
+        std::uint64_t n = 0;
+        for (const EventQueue *q : qs)
+            n += q->pending();
+        return n;
+    });
     eqh.addInt("dispatch_window_ps", "dispatch-rate window length (ps)",
-               [&eq] {
+               [&qs] {
                    return static_cast<std::uint64_t>(
-                       eq.dispatchWindowPs());
+                       qs.front()->dispatchWindowPs());
                });
     eqh.addInt("dispatch_windows", "closed dispatch-rate windows",
-               [&eq] { return eq.dispatchWindows().size(); });
-    eqh.addInt("dispatch_window_max", "busiest window's event count",
-               [&eq] {
-                   const auto &w = eq.dispatchWindows();
-                   return w.empty()
+               [&qs] {
+                   std::size_t n = 0;
+                   for (const EventQueue *q : qs)
+                       n = std::max(n, q->dispatchWindows().size());
+                   return n;
+               });
+    eqh.addInt("dispatch_window_max", "busiest window's event count "
+                                      "(partitions summed per window)",
+               [&qs] {
+                   std::vector<std::uint64_t> sum;
+                   for (const EventQueue *q : qs) {
+                       const auto &w = q->dispatchWindows();
+                       if (w.size() > sum.size())
+                           sum.resize(w.size(), 0);
+                       for (std::size_t i = 0; i < w.size(); ++i)
+                           sum[i] += w[i];
+                   }
+                   return sum.empty()
                               ? std::uint64_t{0}
-                              : *std::max_element(w.begin(), w.end());
+                              : *std::max_element(sum.begin(),
+                                                  sum.end());
                });
     // Depth histogram, one stat per occupied power-of-two bucket.
     for (std::size_t b = 0; b < EventQueue::kDepthBuckets; ++b) {
@@ -114,7 +159,26 @@ ObsHub::registerStats()
         eqh.addInt(nm.str(),
                    "dispatches with bit_width(pending) == " +
                        std::to_string(b),
-                   [&eq, b] { return eq.depthHistogram()[b]; });
+                   [&qs, b] {
+                       std::uint64_t n = 0;
+                       for (const EventQueue *q : qs)
+                           n += q->depthHistogram()[b];
+                       return n;
+                   });
+    }
+    // Per-partition lanes, only when there is more than one queue.
+    if (qs.size() > 1) {
+        for (std::size_t i = 0; i < qs.size(); ++i) {
+            std::ostringstream sc;
+            sc << "sim.eq.p" << i << ".";
+            auto lane = reg.scope(sc.str());
+            EventQueue *q = qs[i];
+            lane.addInt("events_fired", "events this partition fired",
+                        [q] { return q->fired(); });
+            lane.addInt("peak_depth",
+                        "this partition's pending high-water mark",
+                        [q] { return q->peakPending(); });
+        }
     }
 
     auto n = reg.scope("net.");

@@ -22,6 +22,7 @@
 
 #include <fstream>
 #include <memory>
+#include <vector>
 
 #include "mgmt/manager.hh"
 #include "net/network.hh"
@@ -43,8 +44,14 @@ class ObsHub : public EpochObserver
      * @param net the network under observation.
      * @param mgr the power manager, or null (FullPower / StaticTaper);
      *        without one there are no epoch records or mgmt stats.
+     * @param queues the run's event queues for sim.* health stats —
+     *        empty means the network's own queue (serial kernel). A
+     *        partitioned run passes all partition queues: the sim.eq.*
+     *        aggregates then sum/max across lanes and each lane gets a
+     *        sim.eq.pN.* scope.
      */
-    ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr);
+    ObsHub(const ObsOptions &opts, Network &net, PowerManager *mgr,
+           std::vector<EventQueue *> queues = {});
     ~ObsHub() override;
 
     ObsHub(const ObsHub &) = delete;
@@ -72,6 +79,7 @@ class ObsHub : public EpochObserver
     ObsOptions opts;
     Network &net;
     PowerManager *mgr;
+    std::vector<EventQueue *> eqs;
 
     StatsRegistry reg;
     std::unique_ptr<ChromeTraceWriter> trace;

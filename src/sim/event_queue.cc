@@ -13,13 +13,6 @@ namespace
 {
 
 /**
- * Events dispatched between polls of the cooperative stop flag. At the
- * kernel's ~10M events/s this is a cancellation latency well under a
- * millisecond while keeping the poll off the per-event hot path.
- */
-constexpr std::uint64_t kCancelCheckMask = 4095;
-
-/**
  * Build the hang diagnostics and throw. Captures the event-queue
  * health counters at the cancellation point plus, when the host-side
  * profiler is live, the three hottest phases by inclusive time — the
@@ -71,6 +64,50 @@ EventQueue::~EventQueue()
     }
 }
 
+void
+EventQueue::dispatchFront()
+{
+    Event *ev = heap.front().ev;
+    memnet_assert(ev->_when >= _now, "time went backwards");
+
+    // Depth histogram: sample pending() as the dispatch finds it.
+    const std::size_t bucket = std::min<std::size_t>(
+        std::bit_width(heap.size()), kDepthBuckets - 1);
+    ++_depthHist[bucket];
+
+    // Close every dispatch-rate window the queue jumped over. A
+    // sparse tail (one event eons ahead) would fill unbounded zero
+    // windows, so past a generous cap the window grid realigns to
+    // the event instead of recording the gap.
+    if (ev->_when - _windowStart >= _dispatchWindowPs) {
+        std::uint64_t gap =
+            static_cast<std::uint64_t>(ev->_when - _windowStart) /
+            static_cast<std::uint64_t>(_dispatchWindowPs);
+        if (gap > 1u << 16) {
+            _windowStart = ev->_when - ev->_when % _dispatchWindowPs;
+            _windowFired = 0;
+        } else {
+            while (gap--) {
+                _dispatchWindows.push_back(_windowFired);
+                _windowFired = 0;
+                _windowStart += _dispatchWindowPs;
+            }
+        }
+    }
+    ++_windowFired;
+
+    // Capture the parent component before fire(), which may reschedule
+    // the event and restamp its key.
+    const Tick sched = ev->_schedTick;
+    removeAt(0);
+    _now = ev->_when;
+    ev->_scheduled = false;
+    ++_fired;
+    _curParentSched = sched;
+    ev->fire();
+    _curParentSched = kTickInvalid;
+}
+
 std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
@@ -82,50 +119,46 @@ EventQueue::runUntil(Tick limit)
     const std::atomic<bool> *cancel = cancelFlag();
     std::uint64_t n = 0;
     while (!heap.empty()) {
-        if (cancel && (n & kCancelCheckMask) == 0 &&
+        if (cancel && (n & kCancelPollMask) == 0 &&
             cancel->load(std::memory_order_relaxed))
             throwCancelled(*this);
-        Event *ev = heap.front().ev;
-        if (ev->_when > limit)
+        if (heap.front().ev->_when > limit)
             break;
-        memnet_assert(ev->_when >= _now, "time went backwards");
-
-        // Depth histogram: sample pending() as the dispatch finds it.
-        const std::size_t bucket = std::min<std::size_t>(
-            std::bit_width(heap.size()), kDepthBuckets - 1);
-        ++_depthHist[bucket];
-
-        // Close every dispatch-rate window the queue jumped over. A
-        // sparse tail (one event eons ahead) would fill unbounded zero
-        // windows, so past a generous cap the window grid realigns to
-        // the event instead of recording the gap.
-        if (ev->_when - _windowStart >= _dispatchWindowPs) {
-            std::uint64_t gap =
-                static_cast<std::uint64_t>(ev->_when - _windowStart) /
-                static_cast<std::uint64_t>(_dispatchWindowPs);
-            if (gap > 1u << 16) {
-                _windowStart = ev->_when - ev->_when % _dispatchWindowPs;
-                _windowFired = 0;
-            } else {
-                while (gap--) {
-                    _dispatchWindows.push_back(_windowFired);
-                    _windowFired = 0;
-                    _windowStart += _dispatchWindowPs;
-                }
-            }
-        }
-        ++_windowFired;
-
-        removeAt(0);
-        _now = ev->_when;
-        ev->_scheduled = false;
-        ++_fired;
+        dispatchFront();
         ++n;
-        ev->fire();
     }
     if (_now < limit && limit != kTickMax)
         _now = limit;
     return n;
+}
+
+std::uint64_t
+EventQueue::runUntilBefore(Tick limit)
+{
+    // No prof scope here: the partitioned window loop calls this once
+    // per window (hundreds of thousands of times per run) and attributes
+    // the whole loop from the worker instead. The stop-flag poll at
+    // n == 0 guarantees at least one poll per window, so partitioned
+    // runs observe a watchdog cancellation within one window.
+    const std::atomic<bool> *cancel = cancelFlag();
+    std::uint64_t n = 0;
+    while (!heap.empty()) {
+        if (cancel && (n & kCancelPollMask) == 0 &&
+            cancel->load(std::memory_order_relaxed))
+            throwCancelled(*this);
+        if (heap.front().ev->_when >= limit)
+            break;
+        dispatchFront();
+        ++n;
+    }
+    return n;
+}
+
+void
+EventQueue::fireFront()
+{
+    memnet_assert(!heap.empty(), "fireFront on an empty queue");
+    dispatchFront();
 }
 
 } // namespace memnet

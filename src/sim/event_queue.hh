@@ -7,7 +7,10 @@
  * one-shot work can be scheduled with a callable via schedule().
  *
  * Events at the same tick fire in scheduling order (FIFO), which keeps
- * runs deterministic for a fixed seed.
+ * runs deterministic for a fixed seed. The FIFO order is realized with a
+ * compound key (see EventKey) rather than a single global sequence
+ * number so the partitioned kernel (sim/partition.hh) can reproduce the
+ * serial firing order across several queues.
  *
  * The queue is an intrusive indexed d-ary heap (d = 4): each scheduled
  * Event carries its own heap slot, so deschedule() and reschedule() are
@@ -36,6 +39,56 @@ namespace memnet
 {
 
 class EventQueue;
+
+/**
+ * Total firing order of an event, portable across queues.
+ *
+ * Serially, same-tick FIFO order could be kept with one global sequence
+ * number; a partitioned run has no global counter, so the order is
+ * decomposed into pieces each partition can compute locally:
+ *
+ *  - when:   the firing tick;
+ *  - sched:  the queue's now() at the schedule()/reschedule() call;
+ *  - parent: the sched of the event that was firing when this one was
+ *            scheduled (kTickInvalid when scheduled outside the
+ *            dispatch loop, i.e. during construction);
+ *  - ctr:    a per-queue monotone counter breaking remaining ties.
+ *
+ * On a single queue, lexicographic (when, sched, parent, ctr) order is
+ * exactly the legacy (when, seq) FIFO order: sched is monotone
+ * non-decreasing in seq (time never goes backwards), events firing at
+ * one tick fire in seq order so their scheds — the parents of what they
+ * schedule — are also non-decreasing in seq, and ctr is seq itself.
+ * Cross-partition messages carry the (sched, parent) their serial
+ * counterpart would have had, which is what lets the deterministic
+ * partitioned mode replay the serial interleaving (sim/partition.hh);
+ * their ctr sorts after all local events (kRemoteCtrBit) — full
+ * (when, sched, parent) collisions across a partition boundary are the
+ * one place the parallel order may deviate from the serial one, which
+ * the differential tests bound.
+ */
+struct EventKey
+{
+    Tick when = 0;
+    Tick sched = 0;
+    Tick parent = kTickInvalid;
+    std::uint64_t ctr = 0;
+
+    /** Set on message ctrs so remote ties sort after local events. */
+    static constexpr std::uint64_t kRemoteCtrBit = 1ULL << 63;
+
+    bool
+    operator<(const EventKey &o) const
+    {
+        if (when != o.when)
+            return when < o.when;
+        if (sched != o.sched)
+            return sched < o.sched;
+        if (parent != o.parent)
+            return parent < o.parent;
+        return ctr < o.ctr;
+    }
+};
 
 /**
  * Base class for schedulable events. An Event may be scheduled on at most
@@ -74,6 +127,11 @@ class Event
 
     bool _scheduled = false;
     Tick _when = kTickInvalid;
+    /** Tick the schedule()/reschedule() call was made at. */
+    Tick _schedTick = 0;
+    /** _schedTick of the event firing when this one was scheduled. */
+    Tick _parentTick = kTickInvalid;
+    /** Per-queue tie-break counter (the legacy sequence number). */
     std::uint64_t _seq = 0;
     /** Slot in the owning queue's heap while scheduled. */
     std::size_t _slot = 0;
@@ -140,7 +198,35 @@ class EventQueue
                       "event scheduled in the past: ", when, " < ", _now);
         ev->_scheduled = true;
         ev->_when = when;
+        ev->_schedTick = _now;
+        ev->_parentTick = _curParentSched;
         ev->_seq = nextSeq++;
+        ev->_queue = this;
+        ev->_slot = heap.size();
+        heap.push_back({ev, ev->_oneShot});
+        siftUp(ev->_slot);
+        ++_scheduledTotal;
+        if (heap.size() > _peakDepth)
+            _peakDepth = heap.size();
+    }
+
+    /**
+     * Schedule with an explicit firing key instead of the natural local
+     * one. Used by the partitioned kernel to apply cross-partition
+     * messages with the key their serial counterpart would have carried;
+     * never needed on the serial path.
+     */
+    void
+    scheduleWithKey(Event *ev, const EventKey &key)
+    {
+        memnet_assert(!ev->_scheduled, "event double-scheduled");
+        memnet_assert(key.when >= _now, "message applied in the past: ",
+                      key.when, " < ", _now);
+        ev->_scheduled = true;
+        ev->_when = key.when;
+        ev->_schedTick = key.sched;
+        ev->_parentTick = key.parent;
+        ev->_seq = key.ctr;
         ev->_queue = this;
         ev->_slot = heap.size();
         heap.push_back({ev, ev->_oneShot});
@@ -190,6 +276,8 @@ class EventQueue
                       "event scheduled in the past: ", when, " < ", _now);
         const Tick old = ev->_when;
         ev->_when = when;
+        ev->_schedTick = _now;
+        ev->_parentTick = _curParentSched;
         ev->_seq = nextSeq++;
         ++_scheduledTotal;
         // The sequence number grew, so an equal-tick rekey still moves
@@ -207,8 +295,66 @@ class EventQueue
      */
     std::uint64_t runUntil(Tick limit);
 
+    /**
+     * Run events strictly before @p limit (the partitioned kernel's
+     * window dispatch: events exactly at a window horizon belong to the
+     * next window or to a merged tick-step). Unlike runUntil, now() is
+     * left at the last fired event — messages due at or after @p limit
+     * may still be applied before time formally advances.
+     */
+    std::uint64_t runUntilBefore(Tick limit);
+
     /** Run everything. */
     std::uint64_t run() { return runUntil(kTickMax); }
+
+    /**
+     * Fire exactly the front event (merged tick-step dispatch). The
+     * caller has already checked the front's key; the same per-dispatch
+     * bookkeeping as runUntil applies.
+     */
+    void fireFront();
+
+    /**
+     * The front event's firing key, or a key with when == kTickMax for
+     * an empty queue (so min-scans can treat empty as "never").
+     */
+    EventKey
+    frontKey() const
+    {
+        if (heap.empty())
+            return EventKey{kTickMax, 0, kTickInvalid, 0};
+        const Event *ev = heap.front().ev;
+        return EventKey{ev->_when, ev->_schedTick, ev->_parentTick,
+                        ev->_seq};
+    }
+
+    /** Earliest pending tick (kTickMax when empty). */
+    Tick
+    nextTick() const
+    {
+        return heap.empty() ? kTickMax : heap.front().ev->_when;
+    }
+
+    /**
+     * Advance now() to @p t without dispatching (must not skip pending
+     * events). The partitioned coordinator uses this at sync points so
+     * phase-boundary accounting (resetStats, collectEnergy) sees the
+     * same now() the serial runUntil(limit) would have left.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        memnet_assert(t >= _now, "advanceTo went backwards");
+        memnet_assert(t <= nextTick(), "advanceTo skipped events");
+        _now = t;
+    }
+
+    /**
+     * The _schedTick of the event currently firing (kTickInvalid outside
+     * the dispatch loop). Cross-partition messages capture this as the
+     * parent component of their key.
+     */
+    Tick currentParentSched() const { return _curParentSched; }
 
     /** Number of scheduled events. */
     std::uint64_t pending() const { return heap.size(); }
@@ -279,12 +425,21 @@ class EventQueue
         bool oneShot;
     };
 
-    /** Strict heap order: earlier tick first, FIFO within a tick. */
+    /**
+     * Strict heap order: earlier tick first, FIFO within a tick (the
+     * compound key reproduces the legacy sequence-number order exactly;
+     * see EventKey).
+     */
     static bool
     before(const Event *a, const Event *b)
     {
-        return a->_when != b->_when ? a->_when < b->_when
-                                    : a->_seq < b->_seq;
+        if (a->_when != b->_when)
+            return a->_when < b->_when;
+        if (a->_schedTick != b->_schedTick)
+            return a->_schedTick < b->_schedTick;
+        if (a->_parentTick != b->_parentTick)
+            return a->_parentTick < b->_parentTick;
+        return a->_seq < b->_seq;
     }
 
     void
@@ -346,8 +501,13 @@ class EventQueue
             siftDown(slot);
     }
 
+    /** Pop the front, advance time, and fire it (shared bookkeeping). */
+    void dispatchFront();
+
     std::vector<Entry> heap;
     Tick _now = 0;
+    /** _schedTick of the event being fired (kTickInvalid outside). */
+    Tick _curParentSched = kTickInvalid;
     std::uint64_t nextSeq = 0;
     std::uint64_t _fired = 0;
     std::uint64_t _scheduledTotal = 0;

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Partitioned parallel event kernel (sim/partition.hh).
+ *
+ *  - sim-layer stress: a randomized ring of partitions exchanging
+ *    messages through the runner matches a serial reference event
+ *    queue tick-for-tick, with and without a sync-point grid;
+ *  - the deterministic Barrier mode is bit-identical to the serial
+ *    kernel across topologies x policies, under fault plans, with
+ *    auditing on, and with the latency observatory on or off;
+ *  - multi-channel partitioned runs match serial multi-channel runs;
+ *  - Lax mode is run-to-run deterministic;
+ *  - a cooperative cancel flag (the --config-timeout watchdog) stops
+ *    every partition worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "audit/differential.hh"
+#include "memnet/multichannel.hh"
+#include "memnet/simulator.hh"
+#include "sim/cancel.hh"
+#include "sim/partition.hh"
+
+namespace memnet
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Sim-layer stress: a ring of P nodes. Node r fires on ticks congruent
+// to r (mod P) with a pseudo-random cadence and sends each firing's
+// sequence number to node (r+1) % P with a fixed latency that is a
+// multiple of P — so no two nodes ever act at the same tick and the
+// serial reference order is unambiguous.
+// ---------------------------------------------------------------------
+
+using ToyLog = std::vector<std::tuple<Tick, int, std::uint64_t>>;
+
+constexpr int kRing = 3;
+constexpr Tick kRingLatency = 102; // multiple of kRing
+constexpr Tick kToyEnd = 200000;
+
+/** Deterministic cadence: xorshift per node. */
+struct ToyRng
+{
+    std::uint64_t s;
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+class ToyReceiver
+{
+  public:
+    ToyReceiver(EventQueue &eq, int rank, ToyLog &log)
+        : eq(eq), rank(rank), log(log)
+    {
+    }
+
+    void
+    push(std::uint64_t value, const EventKey &key)
+    {
+        RecvEvent *ev;
+        if (free_.empty()) {
+            storage_.push_back(std::make_unique<RecvEvent>(this));
+            ev = storage_.back().get();
+        } else {
+            ev = free_.back();
+            free_.pop_back();
+        }
+        ev->value = value;
+        eq.scheduleWithKey(ev, key);
+    }
+
+  private:
+    struct RecvEvent : Event
+    {
+        explicit RecvEvent(ToyReceiver *o) : owner(o) {}
+        void
+        fire() override
+        {
+            owner->free_.push_back(this);
+            owner->log.emplace_back(owner->eq.now(), owner->rank,
+                                    value);
+        }
+        ToyReceiver *owner;
+        std::uint64_t value = 0;
+    };
+
+    EventQueue &eq;
+    const int rank;
+    ToyLog &log;
+    std::vector<std::unique_ptr<RecvEvent>> storage_;
+    std::vector<RecvEvent *> free_;
+};
+
+/** Self-rescheduling sender; Send is how a message leaves the node. */
+class ToySender : public Event
+{
+  public:
+    using Send = std::function<void(std::uint64_t, const EventKey &)>;
+
+    ToySender(EventQueue &eq, int rank, Send send)
+        : eq(eq), rng{0x9e3779b9u * static_cast<unsigned>(rank + 1)},
+          send(std::move(send))
+    {
+        eq.schedule(this, static_cast<Tick>(rank));
+    }
+
+    void
+    fire() override
+    {
+        EventKey key;
+        key.when = eq.now() + kRingLatency;
+        key.sched = eq.now();
+        key.parent = eq.currentParentSched();
+        send(seq++, key);
+        // Cadence in [kRing, 40*kRing], always a multiple of kRing so
+        // the node keeps its tick residue.
+        const Tick step =
+            static_cast<Tick>(1 + rng.next() % 40) * kRing;
+        if (eq.now() + step <= kToyEnd)
+            eq.schedule(this, eq.now() + step);
+    }
+
+  private:
+    EventQueue &eq;
+    ToyRng rng;
+    Send send;
+    std::uint64_t seq = 0;
+};
+
+/** Serial reference: the whole ring on one queue. */
+ToyLog
+runToySerial()
+{
+    ToyLog log;
+    EventQueue eq;
+    std::vector<std::unique_ptr<ToyReceiver>> recv;
+    for (int r = 0; r < kRing; ++r)
+        recv.push_back(std::make_unique<ToyReceiver>(eq, r, log));
+    std::vector<std::unique_ptr<ToySender>> send;
+    for (int r = 0; r < kRing; ++r) {
+        ToyReceiver *dst = recv[(r + 1) % kRing].get();
+        send.push_back(std::make_unique<ToySender>(
+            eq, r, [dst](std::uint64_t v, const EventKey &k) {
+                dst->push(v, k);
+            }));
+    }
+    eq.runUntil(kToyEnd);
+    return log;
+}
+
+/** Partitioned: one queue per node, coupled through the runner. */
+ToyLog
+runToyPartitioned(PartitionSync sync, Tick grid, Tick laxWindow)
+{
+    // Per-rank logs merged by (tick, rank) afterwards: ranks never act
+    // at the same tick, so the merge order is total and identical to
+    // the serial log's.
+    std::vector<ToyLog> logs(kRing);
+    std::vector<std::unique_ptr<EventQueue>> eqs;
+    std::vector<EventQueue *> queues;
+    for (int r = 0; r < kRing; ++r) {
+        eqs.push_back(std::make_unique<EventQueue>());
+        queues.push_back(eqs.back().get());
+    }
+    std::vector<std::unique_ptr<ToyReceiver>> recv;
+    for (int r = 0; r < kRing; ++r)
+        recv.push_back(
+            std::make_unique<ToyReceiver>(*eqs[r], r, logs[r]));
+
+    std::vector<Tick> look(kRing * kRing, kTickMax);
+    for (int r = 0; r < kRing; ++r) {
+        look[r * kRing + r] = 0;
+        look[r * kRing + (r + 1) % kRing] = kRingLatency;
+    }
+    PartitionRunner runner(
+        queues, std::move(look),
+        [&recv](int dst, BoundaryMessage &m) {
+            recv[dst]->push(
+                reinterpret_cast<std::uintptr_t>(m.payload), m.key);
+        },
+        sync, laxWindow);
+
+    std::vector<std::unique_ptr<ToySender>> send;
+    for (int r = 0; r < kRing; ++r) {
+        MailboxMatrix &mail = runner.mail();
+        const int dst = (r + 1) % kRing;
+        send.push_back(std::make_unique<ToySender>(
+            *eqs[r], r,
+            [&mail, r, dst](std::uint64_t v, const EventKey &k) {
+                BoundaryMessage m;
+                m.key = k;
+                m.payload = reinterpret_cast<void *>(
+                    static_cast<std::uintptr_t>(v));
+                mail.send(r, dst, m);
+            }));
+    }
+    runner.runUntil(kToyEnd, grid);
+
+    ToyLog merged;
+    std::vector<std::size_t> cursor(kRing, 0);
+    for (;;) {
+        int best = -1;
+        for (int r = 0; r < kRing; ++r) {
+            if (cursor[r] >= logs[r].size())
+                continue;
+            if (best < 0 || std::get<0>(logs[r][cursor[r]]) <
+                                std::get<0>(logs[best][cursor[best]]))
+                best = r;
+        }
+        if (best < 0)
+            break;
+        merged.push_back(logs[best][cursor[best]++]);
+    }
+    return merged;
+}
+
+TEST(PartitionStress, RingMatchesSerialReference)
+{
+    const ToyLog serial = runToySerial();
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial,
+              runToyPartitioned(PartitionSync::Barrier, 0, us(1)));
+}
+
+TEST(PartitionStress, SyncPointGridDoesNotChangeResults)
+{
+    // Sync points (merged tick-steps) are a synchronization artifact;
+    // an arbitrary grid must not change what fires when.
+    const ToyLog serial = runToySerial();
+    EXPECT_EQ(serial,
+              runToyPartitioned(PartitionSync::Barrier, 7770, us(1)));
+}
+
+TEST(PartitionStress, LaxModeIsRunToRunDeterministic)
+{
+    const ToyLog a =
+        runToyPartitioned(PartitionSync::Lax, 0, Tick{5000});
+    const ToyLog b =
+        runToyPartitioned(PartitionSync::Lax, 0, Tick{5000});
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Partition, MailboxStampsDeterministicRemoteCounters)
+{
+    MailboxMatrix mail(2);
+    BoundaryMessage m;
+    m.key = EventKey{100, 50, 10, 0};
+    mail.send(1, 0, m);
+    mail.send(1, 0, m);
+    std::vector<BoundaryMessage> out;
+    mail.drain(0, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].key.ctr,
+              EventKey::kRemoteCtrBit | (1ULL << 48) | 0);
+    EXPECT_EQ(out[1].key.ctr,
+              EventKey::kRemoteCtrBit | (1ULL << 48) | 1);
+    // Remote ties sort after any local event's counter.
+    const EventKey local{100, 50, 10, 123456};
+    EXPECT_TRUE(local < out[0].key);
+    out.clear();
+    mail.drain(0, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Partition, SyncModeNamesRoundTrip)
+{
+    EXPECT_STREQ(partitionSyncName(PartitionSync::Barrier), "barrier");
+    EXPECT_STREQ(partitionSyncName(PartitionSync::Lax), "lax");
+    PartitionSync s = PartitionSync::Lax;
+    EXPECT_TRUE(parsePartitionSync("barrier", &s));
+    EXPECT_EQ(s, PartitionSync::Barrier);
+    EXPECT_TRUE(parsePartitionSync("lax", &s));
+    EXPECT_EQ(s, PartitionSync::Lax);
+    EXPECT_FALSE(parsePartitionSync("bogus", &s));
+}
+
+// ---------------------------------------------------------------------
+// Full-simulator differential: partitioned Barrier == serial.
+// ---------------------------------------------------------------------
+
+SystemConfig
+shortConfig(TopologyKind topo, Policy p)
+{
+    SystemConfig cfg;
+    cfg.workload = "mixE";
+    cfg.topology = topo;
+    cfg.policy = p;
+    cfg.mechanism = p == Policy::FullPower ? BwMechanism::None
+                                           : BwMechanism::Vwl;
+    cfg.roo = p != Policy::FullPower;
+    cfg.warmup = us(50);
+    cfg.measure = us(150);
+    cfg.epochLen = us(30);
+    if (p == Policy::StaticTaper)
+        cfg.interleavePages = true;
+    return cfg;
+}
+
+constexpr TopologyKind kTopologies[] = {
+    TopologyKind::DaisyChain, TopologyKind::TernaryTree,
+    TopologyKind::Star, TopologyKind::DdrxLike};
+constexpr Policy kPolicies[] = {Policy::FullPower, Policy::Unaware,
+                                Policy::Aware, Policy::StaticTaper};
+
+TEST(PartitionDifferential, BarrierModeEqualsSerialEverywhere)
+{
+    // The tentpole claim: the deterministic partitioned kernel
+    // reproduces the serial kernel bit-for-bit on every
+    // simulation-determined output, for every topology x policy pair.
+    for (TopologyKind t : kTopologies) {
+        for (Policy p : kPolicies) {
+            const SystemConfig serial = shortConfig(t, p);
+            SystemConfig part = serial;
+            part.partitions = 2;
+
+            const RunResult rs = runSimulation(serial);
+            const RunResult rp = runSimulation(part);
+            const auto diffs = audit::diffRunResults(rs, rp);
+            EXPECT_TRUE(diffs.empty())
+                << topologyName(t) << "/" << policyName(p) << "\n"
+                << audit::describeDiffs(diffs);
+            EXPECT_EQ(rp.profile.partitions, 2);
+            ASSERT_EQ(rp.profile.partitionLanes.size(), 2u);
+            EXPECT_GT(rp.profile.partitionLanes[0].windows, 0u);
+            EXPECT_GT(rp.profile.partitionLanes[1].eventsFired, 0u);
+            EXPECT_EQ(rs.profile.partitions, 1);
+            EXPECT_TRUE(rs.profile.partitionLanes.empty());
+        }
+    }
+}
+
+TEST(PartitionDifferential, ExcessPartitionsClampToChannels)
+{
+    // A single-channel run has one channel to offload: partitions=4
+    // must behave exactly like partitions=2 (and match serial).
+    const SystemConfig serial =
+        shortConfig(TopologyKind::TernaryTree, Policy::Aware);
+    SystemConfig part = serial;
+    part.partitions = 4;
+    const RunResult rp = runSimulation(part);
+    EXPECT_EQ(rp.profile.partitions, 2);
+    const auto diffs =
+        audit::diffRunResults(runSimulation(serial), rp);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(PartitionDifferential, BarrierModeEqualsSerialUnderFaults)
+{
+    SystemConfig serial = shortConfig(TopologyKind::Star,
+                                      Policy::Aware);
+    FaultSpec retrain;
+    retrain.kind = FaultKind::LinkRetrain;
+    retrain.at = us(80);
+    retrain.link = 0;
+    retrain.durationPs = us(20);
+    serial.faults.events.push_back(retrain);
+    FaultSpec burst;
+    burst.kind = FaultKind::ErrorBurst;
+    burst.at = us(120);
+    burst.link = 1;
+    burst.flitErrorRate = 1e-4;
+    burst.durationPs = us(40);
+    serial.faults.events.push_back(burst);
+
+    SystemConfig part = serial;
+    part.partitions = 2;
+    const RunResult rs = runSimulation(serial);
+    const RunResult rp = runSimulation(part);
+    EXPECT_TRUE(rs.reliability.any());
+    const auto diffs = audit::diffRunResults(rs, rp);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(PartitionDifferential, BarrierModeEqualsSerialWithAuditOn)
+{
+    SystemConfig serial = shortConfig(TopologyKind::DaisyChain,
+                                      Policy::Unaware);
+    serial.audit = true;
+    SystemConfig part = serial;
+    part.partitions = 2;
+    const RunResult rs = runSimulation(serial);
+    const RunResult rp = runSimulation(part);
+    EXPECT_GT(rp.profile.auditChecksRun, 0u);
+    const auto diffs = audit::diffRunResults(rs, rp);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+}
+
+TEST(PartitionDifferential, LatencyObservatoryMatchesSerial)
+{
+    // The observatory must survive the boundary split: the shadow
+    // replay on the channel side and the ingress completion on the
+    // processor side reproduce the serial decomposition exactly.
+    const SystemConfig serial =
+        shortConfig(TopologyKind::Star, Policy::Aware);
+    SystemConfig part = serial;
+    part.partitions = 2;
+    const RunResult rs = runSimulation(serial);
+    const RunResult rp = runSimulation(part);
+    ASSERT_TRUE(rs.latency.enabled);
+    ASSERT_TRUE(rp.latency.enabled);
+    EXPECT_EQ(rs.latency.endToEnd.samples, rp.latency.endToEnd.samples);
+    EXPECT_EQ(rs.latency.endToEnd.p50Ps, rp.latency.endToEnd.p50Ps);
+    EXPECT_EQ(rs.latency.endToEnd.p99Ps, rp.latency.endToEnd.p99Ps);
+    EXPECT_EQ(rs.latency.serialization.p50Ps,
+              rp.latency.serialization.p50Ps);
+    EXPECT_EQ(rs.latency.dram.p99Ps, rp.latency.dram.p99Ps);
+}
+
+TEST(PartitionDifferential, MultiChannelEqualsSerialMultiChannel)
+{
+    for (Policy p : {Policy::FullPower, Policy::Aware}) {
+        MultiChannelConfig serial;
+        serial.base = shortConfig(TopologyKind::TernaryTree, p);
+        serial.channels = 3;
+        serial.spread = ChannelSpread::InterleaveLines;
+        MultiChannelConfig part = serial;
+        part.base.partitions = 4; // one partition per channel
+
+        const MultiChannelResult ms = runMultiChannel(serial);
+        const MultiChannelResult mp = runMultiChannel(part);
+        EXPECT_EQ(ms.totalPowerW, mp.totalPowerW) << policyName(p);
+        EXPECT_EQ(ms.readsPerSec, mp.readsPerSec) << policyName(p);
+        EXPECT_EQ(ms.idleIoFrac, mp.idleIoFrac) << policyName(p);
+        ASSERT_EQ(ms.channelUtil.size(), mp.channelUtil.size());
+        for (std::size_t c = 0; c < ms.channelUtil.size(); ++c)
+            EXPECT_EQ(ms.channelUtil[c], mp.channelUtil[c])
+                << policyName(p) << " channel " << c;
+        ASSERT_TRUE(ms.latency.enabled && mp.latency.enabled);
+        EXPECT_EQ(ms.latency.endToEnd.samples,
+                  mp.latency.endToEnd.samples);
+        EXPECT_EQ(ms.latency.endToEnd.p99Ps,
+                  mp.latency.endToEnd.p99Ps);
+    }
+}
+
+TEST(PartitionDifferential, ChannelsSharingAPartitionMatchSerial)
+{
+    // More channels than partitions: channels share worker queues
+    // round-robin and must still match the serial run exactly.
+    MultiChannelConfig serial;
+    serial.base = shortConfig(TopologyKind::Star, Policy::Unaware);
+    serial.channels = 4;
+    MultiChannelConfig part = serial;
+    part.base.partitions = 3; // 4 channels on 2 channel partitions
+
+    const MultiChannelResult ms = runMultiChannel(serial);
+    const MultiChannelResult mp = runMultiChannel(part);
+    EXPECT_EQ(ms.totalPowerW, mp.totalPowerW);
+    EXPECT_EQ(ms.readsPerSec, mp.readsPerSec);
+    for (std::size_t c = 0; c < ms.channelUtil.size(); ++c)
+        EXPECT_EQ(ms.channelUtil[c], mp.channelUtil[c]);
+}
+
+TEST(PartitionLax, DeterministicAcrossRunsAndCloseToSerial)
+{
+    SystemConfig part = shortConfig(TopologyKind::Star, Policy::Aware);
+    part.partitions = 2;
+    part.partitionSync = PartitionSync::Lax;
+    // Cross-partition deliveries land at window boundaries, so the
+    // window sets the latency-error floor: keep it on the scale of a
+    // read round trip and throughput stays close; a sweep-sized window
+    // (microseconds) would stretch every round trip to ~2 windows.
+    part.laxWindowPs = 20000; // 20 ns
+
+    const RunResult a = runSimulation(part);
+    const RunResult b = runSimulation(part);
+    EXPECT_TRUE(a.profile.laxSync);
+    EXPECT_GT(a.completedReads, 0u);
+    const auto diffs = audit::diffRunResults(a, b);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+
+    // Lax trades bit-identity for fewer barriers; with a round-trip-
+    // scale window the throughput stays within tens of percent of the
+    // serial run (the error is bounded by window / round trip).
+    const RunResult serial =
+        runSimulation(shortConfig(TopologyKind::Star, Policy::Aware));
+    EXPECT_NEAR(a.readsPerSec, serial.readsPerSec,
+                0.30 * serial.readsPerSec);
+}
+
+TEST(PartitionCancel, WatchdogFlagStopsAllWorkers)
+{
+    // The --config-timeout watchdog sets one cooperative flag; the
+    // runner installs it in every partition worker, so a partitioned
+    // run must abort promptly and rethrow CancelledError on the
+    // calling thread.
+    SystemConfig part = shortConfig(TopologyKind::Star, Policy::Aware);
+    part.partitions = 2;
+    std::atomic<bool> stop{true};
+    ScopedCancelFlag scoped(&stop);
+    EXPECT_THROW(runSimulation(part), CancelledError);
+}
+
+} // namespace
+} // namespace memnet
