@@ -25,6 +25,9 @@
  *   --no-lat-obs           disable the latency observatory (per-access
  *                          decomposition + percentile sketches); purely
  *                          observational either way       [on]
+ *   --no-energy-obs        disable the energy observatory (per-joule
+ *                          attribution + congestion sketches); purely
+ *                          observational either way       [on]
  *   --report <list>        summary,power,modules,links   [summary]
  *   --partitions <n>       shard the run across n event-queue
  *                          partitions (1 = serial kernel; see
@@ -295,6 +298,8 @@ main(int argc, char **argv)
             cfg.audit = true;
         } else if (a == "--no-lat-obs") {
             cfg.latencyObs = false;
+        } else if (a == "--no-energy-obs") {
+            cfg.energyObs = false;
         } else if (a == "--partitions") {
             cfg.partitions = std::atoi(need(i).c_str());
             if (cfg.partitions < 1)

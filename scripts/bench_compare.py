@@ -105,6 +105,23 @@ def extract_memnet(doc):
                 key = f"lat_{pct}_max"
                 counters[key] = max(counters.get(key, 0),
                                     e2e.get(pct, 0))
+        # schema_version 4: energy-observatory aggregates. Attribution
+        # joules are exact simulation-determined doubles (the same
+        # binary reproduces them bit for bit), so they go in the tight
+        # two-sided exact class like events_fired_total.
+        en = r.get("energy")
+        if en and en.get("enabled"):
+            attr = en.get("attribution_j", {})
+            for cause in ("tx", "retrain", "idle_floor", "sleep",
+                          "wake", "serdes_leak", "router", "dram_leak",
+                          "dram_dyn", "total"):
+                key = f"energy_{cause}_j"
+                counters[key] = counters.get(key, 0.0) + \
+                    attr.get(cause, 0.0)
+            occ = en.get("queue_occupancy", {})
+            counters["energy_queue_occ_max"] = max(
+                counters.get("energy_queue_occ_max", 0),
+                occ.get("max", 0))
     if wall > 0:
         counters["events_per_s"] = counters["events_fired_total"] / wall
     return {doc.get("bench", "?"): {"kind": "memnet", "counters": counters}}

@@ -118,6 +118,12 @@ def report_bench_json(doc, out, top):
             sys.stderr.write("latency_report: run %r has no latency "
                              "object\n" % run.get("key", "?"))
             return 1
+        if not lat.get("enabled", True):
+            sys.stderr.write(
+                "latency_report: run %r was made with the latency "
+                "observatory disabled (--no-lat-obs); re-run without "
+                "it to collect sketches\n" % run.get("key", "?"))
+            return 1
         runs.append((run.get("key", "?"), lat))
 
     if not runs:

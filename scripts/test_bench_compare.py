@@ -19,9 +19,9 @@ import bench_compare as bc
 
 
 def memnet_doc(events_fired=1000, wall=0.5, completed=40, violations=0,
-               p99_ps=120000):
+               p99_ps=120000, tx_j=0.5):
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "bench": "bench_fig5",
         "runs": [
             {
@@ -37,6 +37,22 @@ def memnet_doc(events_fired=1000, wall=0.5, completed=40, violations=0,
                             "p99_ps": p99_ps,
                             "p999_ps": p99_ps + 5000,
                         },
+                    },
+                    "energy": {
+                        "enabled": True,
+                        "attribution_j": {
+                            "tx": tx_j,
+                            "retrain": 0.01,
+                            "idle_floor": 1.25,
+                            "sleep": 0.05,
+                            "wake": 0.02,
+                            "serdes_leak": 0.3,
+                            "router": 0.1,
+                            "dram_leak": 0.6,
+                            "dram_dyn": 0.4,
+                            "total": tx_j + 2.73,
+                        },
+                        "queue_occupancy": {"samples": 14, "max": 9},
                     },
                     "profile": {
                         "events_fired": events_fired,
@@ -116,6 +132,24 @@ class ExtractTest(unittest.TestCase):
         self.assertEqual(counters["lat_samples_total"], 40)
         self.assertEqual(counters["lat_p99_ps_max"], 150000)
         self.assertEqual(counters["lat_p999_ps_max"], 155000)
+
+    def test_memnet_energy_aggregation(self):
+        entries = bc.extract_memnet(memnet_doc(tx_j=0.75))
+        counters = entries["bench_fig5"]["counters"]
+        self.assertAlmostEqual(counters["energy_tx_j"], 0.75)
+        self.assertAlmostEqual(counters["energy_idle_floor_j"], 1.25)
+        self.assertAlmostEqual(counters["energy_total_j"], 3.48)
+        self.assertEqual(counters["energy_queue_occ_max"], 9)
+        # Exact class: no rate/percentile suffix.
+        self.assertFalse(bc.is_rate("energy_tx_j"))
+        self.assertFalse(bc.is_percentile("energy_tx_j"))
+
+    def test_memnet_without_energy_object_still_extracts(self):
+        doc = memnet_doc()
+        del doc["runs"][0]["result"]["energy"]
+        counters = bc.extract_memnet(doc)["bench_fig5"]["counters"]
+        self.assertNotIn("energy_tx_j", counters)
+        self.assertEqual(counters["events_fired_total"], 1000)
 
     def test_memnet_without_latency_object_still_extracts(self):
         doc = memnet_doc()

@@ -91,7 +91,7 @@ Auditor::checkEnergyConservation(Tick now)
         ++checks_;
         l->finishAccounting(now);
         const LinkStats &ls = l->stats();
-        const double got = ls.idleIoJ + ls.activeIoJ;
+        const double got = ls.idleIoJ() + ls.activeIoJ();
         const double expected = l->fullPowerWatts() * ls.powerFracSeconds;
         if (!closeEnough(got, expected, opts_.absTolJ)) {
             fail("energy-conservation",
@@ -100,6 +100,53 @@ Auditor::checkEnergyConservation(Tick now)
                      " J but full-power x residency predicts ", expected,
                      " J (drift ", got - expected, " J)"));
         }
+    }
+}
+
+void
+Auditor::checkEnergyAttribution(Tick now)
+{
+    // Per link: the fine cause buckets must sum to the physics
+    // prediction (full power x accumulated power-fraction residency).
+    // Same invariant as energy-conservation, but summed over the
+    // attribution buckets directly, so it pins the fine split and not
+    // just the derived idle/active ledger.
+    for (Link *l : net_.allLinks()) {
+        ++checks_;
+        l->finishAccounting(now);
+        const LinkStats &ls = l->stats();
+        double causes = ls.txJ + ls.retrainJ;
+        for (double j : ls.idleFloorJ)
+            causes += j;
+        causes += ls.sleepJ + ls.wakeJ;
+        const double expected = l->fullPowerWatts() * ls.powerFracSeconds;
+        if (!closeEnough(causes, expected, opts_.absTolJ)) {
+            fail("energy-attribution",
+                 detail::formatMessage(
+                     "link ", l->id(), ": cause buckets sum to ", causes,
+                     " J but full-power x residency predicts ", expected,
+                     " J (drift ", causes - expected, " J)"));
+        }
+    }
+
+    // System level: the attribution ledger's coarse anchors and module
+    // terms must equal the aggregate EnergyBreakdown bit-identically —
+    // both sides run the same arithmetic over the same iteration order,
+    // so any divergence is a real bug and the comparison is exact.
+    ++checks_;
+    const EnergyAttribution a = net_.energyAttribution(now);
+    const EnergyBreakdown e = net_.collectEnergy(now);
+    if (a.idleIoJ != e.idleIoJ || a.activeIoJ != e.activeIoJ ||
+        a.serdesLeakJ != e.logicLeakJ || a.routerJ != e.logicDynJ ||
+        a.dramLeakJ != e.dramLeakJ || a.dramDynJ != e.dramDynJ) {
+        fail("energy-attribution",
+             detail::formatMessage(
+                 "attribution ledger diverges from the energy "
+                 "breakdown: io ",
+                 a.idleIoJ + a.activeIoJ, " vs ", e.idleIoJ + e.activeIoJ,
+                 " J, modules ", a.moduleJ(), " vs ",
+                 e.logicLeakJ + e.logicDynJ + e.dramLeakJ + e.dramDynJ,
+                 " J (must match bit-identically)"));
     }
 }
 
@@ -272,6 +319,7 @@ void
 Auditor::onEpoch(PowerManager &pm, Tick now)
 {
     checkEnergyConservation(now);
+    checkEnergyAttribution(now);
     checkLinkStates(now);
     checkPacketCensus();
     checkManagerInvariants(pm);
@@ -298,6 +346,7 @@ void
 Auditor::finalCheck(Tick now)
 {
     checkEnergyConservation(now);
+    checkEnergyAttribution(now);
     checkLinkStates(now);
     checkPacketCensus();
     if (mgr_ && mgr_->epochs() > 0)

@@ -6,10 +6,15 @@
  * simulator still agree with the physics and with each other (see
  * docs/INVARIANTS.md for the full list with paper citations):
  *
- *  - energy conservation: per link, idleIoJ + activeIoJ must equal the
- *    link's full power times its accumulated power-fraction seconds
+ *  - energy conservation: per link, idleIoJ() + activeIoJ() must equal
+ *    the link's full power times its accumulated power-fraction seconds
  *    (mode residency weighted by mode power), within a float-summation
  *    tolerance;
+ *  - energy attribution: per link, the fine cause buckets (tx, retrain,
+ *    per-mode floor, sleep, wake) must sum to the same physics
+ *    prediction, and the system-level attribution ledger must equal the
+ *    aggregate EnergyBreakdown with exact double equality (both are
+ *    produced by the same arithmetic over the same iteration order);
  *  - residency conservation: per link, the modeSeconds buckets must sum
  *    to the elapsed measured time;
  *  - packet conservation: packets issued == packets retired + packets
@@ -117,6 +122,7 @@ class Auditor : public EpochObserver, public NetworkAuditHook
     // -- Individual checks (public so tests can drive them directly) ------
 
     void checkEnergyConservation(Tick now);
+    void checkEnergyAttribution(Tick now);
     void checkLinkStates(Tick now);
     void checkPacketCensus();
     void checkManagerInvariants(PowerManager &pm);

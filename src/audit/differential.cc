@@ -129,10 +129,11 @@ diffRunResults(const RunResult &a, const RunResult &b,
     d.field("reliability.faultEvents", a.reliability.faultEvents,
             b.reliability.faultEvents);
 
-    // RunResult::latency is deliberately NOT compared: the latency
-    // observatory may legitimately be enabled on one side only (its
-    // differential guarantee is that *everything above* stays
-    // bit-identical — test_differential LatencyObservatoryOnEqualsOff),
+    // RunResult::latency and RunResult::energy are deliberately NOT
+    // compared: an observatory may legitimately be enabled on one side
+    // only (the differential guarantee is that *everything above*
+    // stays bit-identical — test_differential
+    // LatencyObservatoryOnEqualsOff / EnergyObservatoryOnEqualsOff),
     // the same exclusion rule as wallSeconds/profPhases.
 
     for (int u = 0; u < kUtilBuckets; ++u) {

@@ -14,6 +14,7 @@
 
 #include "linkpm/modes.hh"
 #include "net/topology.hh"
+#include "obs/energy_observatory.hh"
 #include "obs/options.hh"
 #include "obs/prof.hh"
 #include "obs/quantile_sketch.hh"
@@ -162,6 +163,17 @@ struct SystemConfig
      * audit, this is never part of Runner's memoization key.
      */
     bool latencyObs = true;
+
+    /**
+     * Record the energy observatory (per-joule attribution ledger,
+     * congestion sketches, RunResult::energy, net.energy.* stats). On
+     * by default: the attribution counters are always stamped — they
+     * ARE the simulator's energy ledger — and the switch only gates the
+     * occupancy sketches and summaries, so simulated results are
+     * bit-identical on vs. off (test_differential) and, like
+     * latencyObs, this is never part of Runner's memoization key.
+     */
+    bool energyObs = true;
 
     /** Bytes of address space served by one module. */
     std::uint64_t
@@ -339,6 +351,13 @@ struct RunResult
      * ({enabled=false, all zero} when cfg.latencyObs is off).
      */
     LatencyBreakdown latency;
+
+    /**
+     * Energy observatory: the exact per-cause attribution ledger plus
+     * congestion-sketch percentiles ({enabled=false, all zero} when
+     * cfg.energyObs is off).
+     */
+    EnergySummary energy;
 
     /** link-seconds[util bucket][lane mode] (Figure 13). */
     std::array<std::array<double, kLaneModes>, kUtilBuckets> linkHours{};

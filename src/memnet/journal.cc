@@ -211,6 +211,32 @@ writeResult(JsonWriter &w, const RunResult &r)
     latComponent("serialization", r.latency.serialization);
     latComponent("dram", r.latency.dram);
     w.endObject();
+    // Energy observatory: the attribution ledger as hex-floats so a
+    // resumed result is bit-identical to the live one, plus the
+    // congestion-sketch summaries (integer; latComponent's generic
+    // sum/quantile fields, units are ppm / packets here).
+    w.key("energy");
+    w.beginObject();
+    w.field("enabled", r.energy.enabled);
+    const EnergyAttribution &ea = r.energy.attribution;
+    hexField(w, "tx_j", ea.txJ);
+    hexField(w, "retrain_j", ea.retrainJ);
+    w.key("idle_mode_j");
+    w.beginArray();
+    for (double jv : ea.idleModeJ)
+        w.value(hexDouble(jv));
+    w.endArray();
+    hexField(w, "sleep_j", ea.sleepJ);
+    hexField(w, "wake_j", ea.wakeJ);
+    hexField(w, "serdes_leak_j", ea.serdesLeakJ);
+    hexField(w, "router_j", ea.routerJ);
+    hexField(w, "dram_leak_j", ea.dramLeakJ);
+    hexField(w, "dram_dyn_j", ea.dramDynJ);
+    hexField(w, "idle_io_j", ea.idleIoJ);
+    hexField(w, "active_io_j", ea.activeIoJ);
+    latComponent("utilization_ppm", r.energy.utilization);
+    latComponent("occupancy", r.energy.occupancy);
+    w.endObject();
     // Row-major [util bucket][lane mode] flattening of the 5x4 matrix.
     w.key("link_hours");
     w.beginArray();
@@ -566,6 +592,60 @@ readResult(Reader &rd, const Value &v, RunResult *r)
               latComponent("retrain_stall", &r->latency.retrainStall) &&
               latComponent("serialization", &r->latency.serialization) &&
               latComponent("dram", &r->latency.dram)))
+            return false;
+    }
+
+    // Optional like "latency": older journals lack the energy object
+    // and deserialize with the energy summary disabled.
+    if (const Value *en = v.find("energy")) {
+        const std::string ep = p + ".energy";
+        if (!en->isObject())
+            return rd.fail(ep, "not an object");
+        EnergyAttribution &ea = r->energy.attribution;
+        if (!(rd.getBool(*en, ep, "enabled", &r->energy.enabled) &&
+              rd.getHex(*en, ep, "tx_j", &ea.txJ) &&
+              rd.getHex(*en, ep, "retrain_j", &ea.retrainJ) &&
+              rd.getHex(*en, ep, "sleep_j", &ea.sleepJ) &&
+              rd.getHex(*en, ep, "wake_j", &ea.wakeJ) &&
+              rd.getHex(*en, ep, "serdes_leak_j", &ea.serdesLeakJ) &&
+              rd.getHex(*en, ep, "router_j", &ea.routerJ) &&
+              rd.getHex(*en, ep, "dram_leak_j", &ea.dramLeakJ) &&
+              rd.getHex(*en, ep, "dram_dyn_j", &ea.dramDynJ) &&
+              rd.getHex(*en, ep, "idle_io_j", &ea.idleIoJ) &&
+              rd.getHex(*en, ep, "active_io_j", &ea.activeIoJ)))
+            return false;
+        const Value *modes = rd.member(*en, ep, "idle_mode_j");
+        if (!modes)
+            return false;
+        if (!modes->isArray() ||
+            modes->array.size() != ea.idleModeJ.size())
+            return rd.fail(ep + ".idle_mode_j",
+                           "not an 8-element array");
+        for (std::size_t i = 0; i < ea.idleModeJ.size(); ++i) {
+            const Value &cell = modes->array[i];
+            if (!cell.isString() ||
+                !parseHexDouble(cell.string, &ea.idleModeJ[i]))
+                return rd.fail(ep + ".idle_mode_j",
+                               "bad hex-float cell");
+        }
+        const auto energySketch = [&](const char *name,
+                                      LatencyPercentiles *out) {
+            const Value *c = rd.member(*en, ep, name);
+            if (!c)
+                return false;
+            const std::string cp = ep + "." + name;
+            if (!c->isObject())
+                return rd.fail(cp, "not an object");
+            return rd.getU64(*c, cp, "samples", &out->samples) &&
+                   rd.getU64(*c, cp, "sum_ps", &out->sumPs) &&
+                   rd.getU64(*c, cp, "p50_ps", &out->p50Ps) &&
+                   rd.getU64(*c, cp, "p90_ps", &out->p90Ps) &&
+                   rd.getU64(*c, cp, "p99_ps", &out->p99Ps) &&
+                   rd.getU64(*c, cp, "p999_ps", &out->p999Ps) &&
+                   rd.getU64(*c, cp, "max_ps", &out->maxPs);
+        };
+        if (!(energySketch("utilization_ppm", &r->energy.utilization) &&
+              energySketch("occupancy", &r->energy.occupancy)))
             return false;
     }
 

@@ -165,6 +165,7 @@ runMultiChannel(const MultiChannelConfig &mcfg)
             queueOf(c), topo, dram, cfg.mechanism, roo, pm, amap,
             errors));
         nets.back()->setLatencyObservatory(cfg.latencyObs);
+        nets.back()->setEnergyObservatory(cfg.energyObs);
         net_ptrs.push_back(nets.back().get());
     }
 
@@ -357,6 +358,20 @@ runMultiChannel(const MultiChannelConfig &mcfg)
             if (b.queuePeak > r.latency.queuePeak)
                 r.latency.queuePeak = b.queuePeak;
         }
+    }
+
+    if (cfg.energyObs) {
+        // Exact cross-channel merge: the attribution ledger adds
+        // field-wise in channel order, the congestion sketches merge
+        // bucket-wise — both lossless, so the multi-channel summary is
+        // bit-identical to a whole-system ledger.
+        EnergyAttribution a;
+        obs::EnergySketches sk;
+        for (auto &n : nets) {
+            a += n->energyAttribution(end);
+            sk.merge(n->collectEnergySketches(end));
+        }
+        r.energy = summarizeEnergy(a, sk);
     }
     return r;
 }

@@ -97,6 +97,13 @@ struct MultiChannelResult
      * cfg.base.latencyObs is off).
      */
     LatencyBreakdown latency;
+    /**
+     * Energy observatory over all channels: the attribution ledger adds
+     * field-wise in channel order and the congestion sketches merge
+     * exactly, so this equals a whole-system ledger bit-identically
+     * ({enabled=false} when cfg.base.energyObs is off).
+     */
+    EnergySummary energy;
 };
 
 /** Build, run and measure a multi-channel system. */

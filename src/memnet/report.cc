@@ -50,6 +50,23 @@ printRunSummary(const RunResult &r)
                         share(lat.dram.sumPs));
         }
     }
+    if (r.energy.enabled && r.energy.attribution.totalJ() > 0) {
+        const EnergyAttribution &ea = r.energy.attribution;
+        const double total = ea.totalJ();
+        auto share = [total](double j) { return 100.0 * j / total; };
+        std::printf("  energy: %.4f J — tx %.1f%%  idle floor %.1f%%  "
+                    "sleep %.1f%%  wake %.1f%%  retrain %.1f%%\n",
+                    total, share(ea.txJ), share(ea.idleFloorJ()),
+                    share(ea.sleepJ), share(ea.wakeJ),
+                    share(ea.retrainJ));
+        std::printf("    module causes: serdes leak %.1f%%  router "
+                    "%.1f%%  dram leak %.1f%%  dram dyn %.1f%%   "
+                    "occupancy p99: %llu pkts\n",
+                    share(ea.serdesLeakJ), share(ea.routerJ),
+                    share(ea.dramLeakJ), share(ea.dramDynJ),
+                    static_cast<unsigned long long>(
+                        r.energy.occupancy.p99Ps));
+    }
     if (r.violations)
         std::printf("  AMS violations: %llu\n",
                     static_cast<unsigned long long>(r.violations));
@@ -74,6 +91,13 @@ printRunSummary(const RunResult &r)
                     static_cast<unsigned long long>(p.eventsScheduled),
                     p.wallSeconds, p.eventsPerSec() / 1e6,
                     p.simRate() * 1e6);
+        // Memory-pressure high-water marks, visible without
+        // --stats-json: the pool's peak live-packet count and the
+        // event queue's peak pending depth.
+        std::printf("  peaks: packet pool %llu packets, event queue "
+                    "%llu pending\n",
+                    static_cast<unsigned long long>(p.packetHeapAllocs),
+                    static_cast<unsigned long long>(p.peakQueueDepth));
         if (p.packetsIssued) {
             std::printf("  packets: %llu issued, %llu pooled "
                         "(%llu heap allocations avoided)\n",
@@ -348,6 +372,50 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     component("retrain_stall", r.latency.retrainStall);
     component("serialization", r.latency.serialization);
     component("dram", r.latency.dram);
+    w.endObject();
+
+    // schema_version 4: energy observatory. The attribution joules are
+    // exact simulation-determined doubles (bench_compare treats them as
+    // exact counters); enabled=false with all-zero fields when the
+    // observatory is off.
+    w.key("energy");
+    w.beginObject();
+    w.field("enabled", r.energy.enabled);
+    const EnergyAttribution &ea = r.energy.attribution;
+    w.key("attribution_j");
+    w.beginObject();
+    w.field("tx", ea.txJ);
+    w.field("retrain", ea.retrainJ);
+    w.field("idle_floor", ea.idleFloorJ());
+    w.key("idle_mode");
+    w.beginArray();
+    for (double j : ea.idleModeJ)
+        w.value(j);
+    w.endArray();
+    w.field("sleep", ea.sleepJ);
+    w.field("wake", ea.wakeJ);
+    w.field("serdes_leak", ea.serdesLeakJ);
+    w.field("router", ea.routerJ);
+    w.field("dram_leak", ea.dramLeakJ);
+    w.field("dram_dyn", ea.dramDynJ);
+    w.field("idle_io", ea.idleIoJ);
+    w.field("active_io", ea.activeIoJ);
+    w.field("total", ea.totalJ());
+    w.endObject();
+    auto sketch = [&w](const char *name, const LatencyPercentiles &p) {
+        w.key(name);
+        w.beginObject();
+        w.field("samples", p.samples);
+        w.field("sum", p.sumPs);
+        w.field("p50", p.p50Ps);
+        w.field("p90", p.p90Ps);
+        w.field("p99", p.p99Ps);
+        w.field("p999", p.p999Ps);
+        w.field("max", p.maxPs);
+        w.endObject();
+    };
+    sketch("link_utilization_ppm", r.energy.utilization);
+    sketch("queue_occupancy", r.energy.occupancy);
     w.endObject();
 
     // wall_s and prof_phases vary between identical runs; tools

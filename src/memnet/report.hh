@@ -59,8 +59,9 @@ summarizeSeedProfiles(const std::vector<const RunResult *> &runs);
 void printSeedProfileSummary(const SeedProfileSummary &s);
 
 /** Schema version of the bench --json format (see ci/bench_schema.json).
- *  v3 adds the per-run "latency" object (latency observatory). */
-constexpr int kBenchJsonSchemaVersion = 3;
+ *  v3 adds the per-run "latency" object (latency observatory).
+ *  v4 adds the per-run "energy" object (energy observatory). */
+constexpr int kBenchJsonSchemaVersion = 4;
 
 /** Emit one RunResult as a JSON object (config echo + measurements). */
 void writeRunResultJson(obs::JsonWriter &w, const RunResult &r);

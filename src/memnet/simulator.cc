@@ -240,6 +240,11 @@ class SimulatorImpl
         // the hub so net.lat.* stats register when active.
         net.setLatencyObservatory(cfg.latencyObs);
 
+        // Energy observatory: same contract — the attribution counters
+        // are the energy ledger itself, always stamped; the switch only
+        // materializes congestion sketches and gates the summaries.
+        net.setEnergyObservatory(cfg.energyObs);
+
         // Observability: all hooks are passive callbacks from existing
         // events, so an instrumented run is bit-identical to a bare one;
         // with nothing requested no hub is constructed at all.
@@ -435,6 +440,7 @@ class SimulatorImpl
             r.reliability.faultEvents = injector->stats().total();
 
         r.latency = net.latencySummary();
+        r.energy = net.energySummary(eq.now());
 
         const double link_full_w = net.powerModel().linkFullPowerW();
         for (int m = 0; m < net.numModules(); ++m) {
@@ -449,7 +455,7 @@ class SimulatorImpl
             d.responseLinkUtil = net.responseLink(m).utilization(secs);
             auto power_frac = [&](const Link &l) {
                 const LinkStats &ls = l.stats();
-                return secs > 0 ? (ls.idleIoJ + ls.activeIoJ) /
+                return secs > 0 ? (ls.idleIoJ() + ls.activeIoJ()) /
                                       (link_full_w * secs)
                                 : 1.0;
             };

@@ -56,13 +56,17 @@ Link::accrue(Tick now)
     const double w = fullPowerW * pf;
     stats_.powerFracSeconds += pf * dt;
     if (busy) {
-        stats_.activeIoJ += w * dt;
+        stats_.txJ += w * dt;
     } else if (retraining_) {
         // Training sequences exercise the lanes at on-state power.
-        stats_.activeIoJ += w * dt;
+        stats_.retrainJ += w * dt;
         stats_.retrainSeconds += dt;
+    } else if (pstate.rooState() == RooState::Off) {
+        stats_.sleepJ += w * dt;
+    } else if (pstate.rooState() == RooState::Waking) {
+        stats_.wakeJ += w * dt;
     } else {
-        stats_.idleIoJ += w * dt;
+        stats_.idleFloorJ[pstate.modeIndex()] += w * dt;
     }
     if (pstate.degraded())
         stats_.degradedSeconds += dt;
@@ -102,6 +106,8 @@ void
 Link::noteQueueDepth(Tick now)
 {
     const std::uint64_t depth = queued();
+    if (occSketch_)
+        occSketch_->record(depth);
     if (depth > stats_.queuePeak) {
         stats_.queuePeak = depth;
         if (trace_)

@@ -22,6 +22,7 @@
 #include "linkpm/link_power_state.hh"
 #include "linkpm/modes.hh"
 #include "net/packet.hh"
+#include "obs/quantile_sketch.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -105,8 +106,38 @@ class LinkObserver
 /** Per-link accumulated statistics (reset at measurement start). */
 struct LinkStats
 {
-    double idleIoJ = 0.0;
-    double activeIoJ = 0.0;
+    // -- Energy attribution (energy observatory, src/obs) ----------------
+    //
+    // Every joule the link draws lands in exactly one cause bucket:
+    // accrue() integrates the piecewise-constant power over an interval
+    // and files it by the link state that held for that interval. The
+    // coarse idle/active split the rest of the system reports is
+    // *derived* from the buckets (accessors below), so the attribution
+    // always sums to the reported ledger bit-identically.
+    /** Serialization: lanes driving payload flits at on-state power. */
+    double txJ = 0.0;
+    /** Retrain windows: lanes driving training sequences at on power. */
+    double retrainJ = 0.0;
+    /** Static floor per bandwidth-mode index (on and idle, no wake). */
+    std::array<double, 8> idleFloorJ{};
+    /** ROO off state (residual sleep power). */
+    double sleepJ = 0.0;
+    /** Wake transitions (Off -> On sequences). */
+    double wakeJ = 0.0;
+
+    /** Active I/O energy: traffic plus retrain lane activity. */
+    double activeIoJ() const { return txJ + retrainJ; }
+
+    /** Idle I/O energy: mode floors, sleep residual, wake transitions. */
+    double
+    idleIoJ() const
+    {
+        double floor = 0.0;
+        for (double j : idleFloorJ)
+            floor += j;
+        return (floor + sleepJ) + wakeJ;
+    }
+
     std::uint64_t flits = 0;
     std::uint64_t packets = 0;
     std::uint64_t readPackets = 0;
@@ -126,7 +157,7 @@ struct LinkStats
     /**
      * Time integral of the instantaneous power fraction (mode residency
      * weighted by mode power). Multiplied by the link's full power this
-     * must equal idleIoJ + activeIoJ — the energy-conservation
+     * must equal idleIoJ() + activeIoJ() — the energy-conservation
      * invariant the runtime auditor (src/audit) enforces.
      */
     double powerFracSeconds = 0.0;
@@ -252,7 +283,7 @@ class Link
      * solely so the audit mutation tests can prove the
      * energy-conservation check fires; never called by simulation code.
      */
-    void auditPerturbEnergy(double joules) { stats_.activeIoJ += joules; }
+    void auditPerturbEnergy(double joules) { stats_.txJ += joules; }
 
     /** Reset measurement statistics (start of measurement window). */
     void resetStats();
@@ -294,6 +325,16 @@ class Link
      * disables tracing; every hook is gated on a single pointer check.
      */
     void setTraceSink(PowerTraceSink *t) { trace_ = t; }
+
+    /**
+     * Attach a Network-owned occupancy sketch (energy observatory):
+     * every waiting-queue push records the post-push depth. Null (the
+     * default) disables recording; the sketch is purely passive, so
+     * simulated results are identical with and without one. A link's
+     * events all run on its home partition, so partitioned recording
+     * is race-free.
+     */
+    void setOccupancySketch(obs::QuantileSketch *s) { occSketch_ = s; }
 
     // -- Latency observatory (monotonic stall accumulators) ----------------
 
@@ -349,6 +390,8 @@ class Link
     const LinkType type_;
     const int module_;
     PowerTraceSink *trace_ = nullptr;
+    /** Occupancy sketch (energy observatory); null when disabled. */
+    obs::QuantileSketch *occSketch_ = nullptr;
     /** Serialization span start, valid only while trace_ is attached. */
     Tick txStart_ = 0;
     /** Sleep span start, valid only while trace_ is attached. */

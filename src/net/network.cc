@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+#include <cmath>
+
 #include "obs/prof.hh"
 #include "sim/log.hh"
 
@@ -167,6 +169,8 @@ Network::resetStats()
 {
     measureStart = eq.now();
     lat_.reset();
+    for (auto &s : occ_)
+        s.reset();
     hops.reset();
     for (auto &l : reqLinks)
         l->resetStats();
@@ -183,19 +187,93 @@ Network::collectEnergy(Tick now)
     const double secs = toSeconds(now - measureStart);
     for (auto *l : allLinks()) {
         l->finishAccounting(now);
-        e.idleIoJ += l->stats().idleIoJ;
-        e.activeIoJ += l->stats().activeIoJ;
+        e.idleIoJ += l->stats().idleIoJ();
+        e.activeIoJ += l->stats().activeIoJ();
     }
     for (auto &m : modules_) {
-        const HmcPowerParams &p = pm_.params(m->radix());
-        e.logicLeakJ += p.idleLogicW * secs;
-        e.dramLeakJ += p.idleDramW * secs;
-        e.logicDynJ +=
-            static_cast<double>(m->flitsRouted()) * p.flitHopJ;
-        e.dramDynJ +=
-            static_cast<double>(m->dramAccesses()) * p.dramAccessJ;
+        const ModuleEnergyTerms t =
+            moduleEnergyTerms(pm_.params(m->radix()), secs,
+                              m->flitsRouted(), m->dramAccesses());
+        e.logicLeakJ += t.logicLeakJ;
+        e.dramLeakJ += t.dramLeakJ;
+        e.logicDynJ += t.logicDynJ;
+        e.dramDynJ += t.dramDynJ;
     }
     return e;
+}
+
+void
+Network::setEnergyObservatory(bool on)
+{
+    energyObs_ = on;
+    if (on) {
+        // Sized exactly once: links keep raw pointers into the vector,
+        // so it must never reallocate afterwards.
+        occ_.assign(2 * static_cast<std::size_t>(numModules()),
+                    obs::QuantileSketch{});
+        const int n = numModules();
+        for (int i = 0; i < n; ++i) {
+            reqLinks[i]->setOccupancySketch(&occ_[i]);
+            respLinks[i]->setOccupancySketch(
+                &occ_[static_cast<std::size_t>(n) + i]);
+        }
+    } else {
+        for (auto *l : allLinks())
+            l->setOccupancySketch(nullptr);
+        occ_.clear();
+    }
+}
+
+EnergyAttribution
+Network::energyAttribution(Tick now)
+{
+    EnergyAttribution a;
+    const double secs = toSeconds(now - measureStart);
+    // Same iteration order and arithmetic as collectEnergy, so the
+    // coarse anchors (and module terms) match it bit-identically.
+    for (auto *l : allLinks()) {
+        l->finishAccounting(now);
+        a.addLink(l->stats());
+    }
+    for (auto &m : modules_) {
+        a.addModule(moduleEnergyTerms(pm_.params(m->radix()), secs,
+                                      m->flitsRouted(),
+                                      m->dramAccesses()));
+    }
+    return a;
+}
+
+obs::EnergySketches
+Network::collectEnergySketches(Tick now)
+{
+    obs::EnergySketches out;
+    const double secs = toSeconds(now - measureStart);
+    for (auto *l : allLinks()) {
+        const double u = l->utilization(secs);
+        out.utilization.record(static_cast<std::uint64_t>(
+            std::llround((u > 0.0 ? u : 0.0) * 1e6)));
+    }
+    for (const auto &s : occ_)
+        out.occupancy.merge(s);
+    return out;
+}
+
+ModuleEnergyTerms
+Network::moduleEnergy(int m, Tick now) const
+{
+    const Module &mod = *modules_[m];
+    return moduleEnergyTerms(pm_.params(mod.radix()),
+                             toSeconds(now - measureStart),
+                             mod.flitsRouted(), mod.dramAccesses());
+}
+
+EnergySummary
+Network::energySummary(Tick now)
+{
+    if (!energyObs_)
+        return EnergySummary{};
+    return summarizeEnergy(energyAttribution(now),
+                           collectEnergySketches(now));
 }
 
 void

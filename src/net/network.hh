@@ -15,6 +15,7 @@
 #include "net/module.hh"
 #include "net/power_trace.hh"
 #include "net/topology.hh"
+#include "obs/energy_observatory.hh"
 #include "obs/quantile_sketch.hh"
 #include "power/hmc_power_model.hh"
 #include "power/power_breakdown.hh"
@@ -218,6 +219,44 @@ class Network : public TrafficTarget, public FaultTarget
      */
     LatencyBreakdown latencySummary() const;
 
+    // -- Energy observatory ------------------------------------------------
+
+    /**
+     * Enable/disable energy recording. The attribution counters are
+     * always stamped (they ARE the energy ledger); the switch only
+     * materializes the per-link occupancy sketches and gates the
+     * summaries, so simulated results are bit-identical on vs. off
+     * (test_differential).
+     */
+    void setEnergyObservatory(bool on);
+    bool energyEnabled() const { return energyObs_; }
+
+    /**
+     * The exact attribution ledger over [reset, now]: link cause
+     * buckets, module cause terms, and the coarse idle/active anchors.
+     * Accumulated by the same arithmetic as collectEnergy, so the
+     * anchors match the EnergyBreakdown bit-identically (the runtime
+     * auditor enforces this). Always available, observatory on or off.
+     */
+    EnergyAttribution energyAttribution(Tick now);
+
+    /**
+     * Congestion sketches: one utilization sample per link (ppm of
+     * full bandwidth over the window) plus the merged waiting-queue
+     * occupancy distribution. Empty when the observatory is off.
+     */
+    obs::EnergySketches collectEnergySketches(Tick now);
+
+    /** RunResult-ready summary ({enabled=false} when disabled). */
+    EnergySummary energySummary(Tick now);
+
+    /**
+     * One module's energy cause terms over [reset, now] — the same
+     * expression collectEnergy folds per module, exposed for the
+     * per-module stat scopes. Does not flush link accounting.
+     */
+    ModuleEnergyTerms moduleEnergy(int m, Tick now) const;
+
     EventQueue &eventQueue() { return eq; }
 
   private:
@@ -258,8 +297,15 @@ class Network : public TrafficTarget, public FaultTarget
     void recordLatency(const Packet &pkt, Tick now);
 
     bool latObs_ = false;
+    bool energyObs_ = false;
     bool writeHandoff_ = false;
     obs::LatencySketches lat_;
+    /**
+     * Per-link occupancy sketches (request links first, ids match),
+     * materialized by setEnergyObservatory(true). Sized once — links
+     * hold raw pointers into the vector.
+     */
+    std::vector<obs::QuantileSketch> occ_;
 
     Average hops;
     Tick measureStart = 0;

@@ -21,6 +21,7 @@ ChromeTraceWriter::ChromeTraceWriter(std::size_t max_events)
     tidNames[kMgmtTid] = {kSimPid, "mgmt"};
     tidNames[kFaultTid] = {kSimPid, "faults"};
     tidNames[kPacketTid] = {kSimPid, "packets"};
+    tidNames[kEnergyTid] = {kSimPid, "energy"};
 }
 
 double

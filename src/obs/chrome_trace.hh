@@ -10,7 +10,9 @@
  * ('i') events. Packet lifetimes land on a shared "packets" track.
  * Stall attribution (latency observatory) is exported as counter ('C')
  * tracks: cumulative wake/retrain stall seconds and the waiting-queue
- * high-water per link.
+ * high-water per link. The energy observatory adds a sim-wide
+ * "energy_w" counter track: per-cause average watts of each epoch,
+ * rendered by Perfetto as a stacked area graph of where power went.
  *
  * Tracks are grouped by process: each link's track lives in the pid of
  * its owning module, and mgmt/faults/packets share a "sim" process —
@@ -52,6 +54,7 @@ class ChromeTraceWriter : public PowerTraceSink
     static constexpr int kMgmtTid = 900;
     static constexpr int kFaultTid = 901;
     static constexpr int kPacketTid = 902;
+    static constexpr int kEnergyTid = 903;
 
     /** Process id of the shared simulator-wide tracks. */
     static constexpr int kSimPid = 1;
@@ -84,6 +87,17 @@ class ChromeTraceWriter : public PowerTraceSink
 
     void epochMarker(Tick now, std::uint64_t epoch);
     void violation(int link_id, Tick now);
+
+    /**
+     * One sample on the simulator-wide "energy_w" counter track: @p args
+     * is a pre-rendered {"cause":watts,...} object with the epoch's
+     * average power per attribution cause (see energy_observatory.cc).
+     */
+    void
+    energyCounters(Tick now, std::string args)
+    {
+        counter(kSimPid, kEnergyTid, "energy_w", now, std::move(args));
+    }
 
     // -- Output ------------------------------------------------------------
 

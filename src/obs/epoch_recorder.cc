@@ -19,6 +19,7 @@ EpochRecorder::snapshot(Tick now)
 {
     lastTick = now;
     lastEnergy = net.collectEnergy(now);
+    lastAttr = net.energyAttribution(now);
     lastLink.clear();
     for (Link *l : net.allLinks())
         lastLink.push_back(l->stats());
@@ -60,6 +61,25 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
     w.field("total", (e.totalJ() - lastEnergy.totalJ()) * inv);
     w.endObject();
 
+    // Energy observatory (v3): average power per attribution cause,
+    // from exact ledger deltas — splits power_w's idle_io/active_io by
+    // why the joules were spent.
+    const EnergyAttribution a = net.energyAttribution(now);
+    w.key("energy_w");
+    w.beginObject();
+    w.field("tx", (a.txJ - lastAttr.txJ) * inv);
+    w.field("retrain", (a.retrainJ - lastAttr.retrainJ) * inv);
+    w.field("idle_floor",
+            (a.idleFloorJ() - lastAttr.idleFloorJ()) * inv);
+    w.field("sleep", (a.sleepJ - lastAttr.sleepJ) * inv);
+    w.field("wake", (a.wakeJ - lastAttr.wakeJ) * inv);
+    w.field("serdes_leak",
+            (a.serdesLeakJ - lastAttr.serdesLeakJ) * inv);
+    w.field("router", (a.routerJ - lastAttr.routerJ) * inv);
+    w.field("dram_leak", (a.dramLeakJ - lastAttr.dramLeakJ) * inv);
+    w.field("dram_dyn", (a.dramDynJ - lastAttr.dramDynJ) * inv);
+    w.endObject();
+
     w.key("mgmt");
     w.beginObject();
     w.field("violations",
@@ -85,6 +105,23 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
         d_replays += cur.replays - prev.replays;
         d_retrains += cur.retrains - prev.retrains;
 
+        // Zero-activity elision (v3): a link that moved no flits and
+        // had no fault, stall, or queue-peak movement this epoch is
+        // omitted — on large mostly-idle fabrics this shrinks records
+        // by orders of magnitude. Its static-floor energy is still in
+        // the system power_w/energy_w blocks; consumers look entries
+        // up by the "id" field, never by array position.
+        const bool active =
+            cur.flits != prev.flits || cur.packets != prev.packets ||
+            cur.retries != prev.retries ||
+            cur.replays != prev.replays ||
+            cur.retrains != prev.retrains ||
+            cur.wakeStallSeconds != prev.wakeStallSeconds ||
+            cur.retrainStallSeconds != prev.retrainStallSeconds ||
+            cur.queuePeak != prev.queuePeak;
+        if (!active)
+            continue;
+
         w.beginObject();
         w.field("id", static_cast<std::int64_t>(id));
         w.field("reads", s.lastEpochReads);
@@ -106,6 +143,19 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
         // Cumulative high-water, not an epoch diff (a high-water mark
         // has no meaningful delta).
         w.field("queue_peak", cur.queuePeak);
+        // Energy observatory (v3): this epoch's joules by cause,
+        // exact deltas of the link's attribution buckets.
+        w.key("energy_j");
+        w.beginObject();
+        w.field("tx", cur.txJ - prev.txJ);
+        w.field("retrain", cur.retrainJ - prev.retrainJ);
+        double d_floor = 0.0;
+        for (std::size_t k = 0; k < cur.idleFloorJ.size(); ++k)
+            d_floor += cur.idleFloorJ[k] - prev.idleFloorJ[k];
+        w.field("idle_floor", d_floor);
+        w.field("sleep", cur.sleepJ - prev.sleepJ);
+        w.field("wake", cur.wakeJ - prev.wakeJ);
+        w.endObject();
         w.key("mode_s");
         w.beginArray();
         for (std::size_t k = 0; k < cur.modeSeconds.size(); ++k)
@@ -158,6 +208,7 @@ EpochRecorder::onEpoch(PowerManager &pm, Tick now)
     ++nRecords;
     lastTick = now;
     lastEnergy = e;
+    lastAttr = a;
     for (std::size_t i = 0; i < links.size(); ++i)
         lastLink[i] = links[i]->stats();
     lastLat = net.latencySketches();

@@ -13,15 +13,20 @@
  * schedules events, so attaching it cannot change simulation results.
  *
  * Record schema (one line each, schema_version bumps on change):
- *   {"v":2,"epoch":N,"t_ps":T,
+ *   {"v":3,"epoch":N,"t_ps":T,
  *    "power_w":{"idle_io":..,"active_io":..,"logic_leak":..,
  *               "dram_leak":..,"logic_dyn":..,"dram_dyn":..,"total":..},
+ *    "energy_w":{"tx":..,"retrain":..,"idle_floor":..,"sleep":..,
+ *                "wake":..,"serdes_leak":..,"router":..,
+ *                "dram_leak":..,"dram_dyn":..},
  *    "mgmt":{"violations":dN,"violations_total":N,"isp_rounds":r,
  *            "grant_pool_ps":g},
  *    "links":[{"id":i,"reads":n,"actual_ps":a,"full_ps":f,"ams_ps":b,
  *              "flo_ps":o,"grants":k,"forced_fp":bool,"bw_mode":m,
  *              "roo_mode":r,"off_s":s,"retrain_s":s,
  *              "wake_stall_s":s,"retrain_stall_s":s,"queue_peak":n,
+ *              "energy_j":{"tx":..,"retrain":..,"idle_floor":..,
+ *                          "sleep":..,"wake":..},
  *              "mode_s":[...]},...],
  *    "faults":{"retries":dr,"replays":dp,"retrains":dt},
  *    "lat":{"samples":dn,
@@ -36,6 +41,15 @@
  * describe only the reads completed in that epoch; the per-epoch max
  * is not derivable from a counter diff, hence no max_ps here. All
  * zero when the run disables the observatory.
+ *
+ * v3 (energy observatory): the system "energy_w" object (per-cause
+ * average power from exact attribution-ledger deltas), the per-link
+ * "energy_j" cause deltas, and zero-activity link elision — a link
+ * with no traffic, fault, stall, or queue-peak movement in the epoch
+ * is omitted from "links" entirely. Its static-floor energy is still
+ * in the system blocks; loaders must look links up by "id" instead of
+ * array position (which the id field has supported since v1, so v1/v2
+ * readers that already do so parse v3 records unchanged).
  */
 
 #ifndef MEMNET_OBS_EPOCH_RECORDER_HH
@@ -60,7 +74,7 @@ class EpochRecorder
 {
   public:
     /** Current record schema version (the "v" field). */
-    static constexpr int kSchemaVersion = 2;
+    static constexpr int kSchemaVersion = 3;
 
     EpochRecorder(std::ostream &os, Network &net);
 
@@ -84,6 +98,8 @@ class EpochRecorder
     Tick lastTick = 0;
     std::uint64_t lastViolations = 0;
     EnergyBreakdown lastEnergy;
+    /** Attribution-ledger snapshot (exact per-cause delta basis). */
+    EnergyAttribution lastAttr;
     std::vector<LinkStats> lastLink;
     /** Sketch snapshot at the previous boundary (exact delta basis). */
     LatencySketches lastLat;

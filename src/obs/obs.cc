@@ -57,6 +57,10 @@ ObsHub::onMeasureStart(Tick now)
 {
     if (rec)
         rec->onMeasureStart(now);
+    // Re-baseline the energy-counter deltas: the network's ledgers
+    // were just reset, so the previous attribution no longer applies.
+    lastEnergy = EnergyAttribution{};
+    lastEnergyTick = now;
 }
 
 void
@@ -64,8 +68,19 @@ ObsHub::onEpoch(PowerManager &pm, Tick now)
 {
     if (rec)
         rec->onEpoch(pm, now);
-    if (trace)
+    if (trace) {
         trace->epochMarker(now, pm.epochs());
+        if (net.energyEnabled()) {
+            const EnergyAttribution a = net.energyAttribution(now);
+            const double secs = toSeconds(now - lastEnergyTick);
+            trace->energyCounters(
+                now, renderEnergyCounterArgs(a, lastEnergy,
+                                             secs > 0.0 ? 1.0 / secs
+                                                        : 0.0));
+            lastEnergy = a;
+            lastEnergyTick = now;
+        }
+    }
 }
 
 void
@@ -229,14 +244,32 @@ ObsHub::registerStats()
         }
     }
 
+    // Energy observatory: system-level cause rollups plus the
+    // congestion-sketch percentiles (net.energy.*).
+    if (net.energyEnabled())
+        registerEnergyStats(reg, net);
+
     for (Link *l : net.allLinks()) {
         std::ostringstream pre;
         pre << "link" << l->id() << '.';
         auto s = reg.scope(pre.str());
         s.add("idle_energy_j", "idle I/O energy since reset (J)",
-              [l] { return l->stats().idleIoJ; });
+              [l] { return l->stats().idleIoJ(); });
         s.add("active_energy_j", "active I/O energy since reset (J)",
-              [l] { return l->stats().activeIoJ; });
+              [l] { return l->stats().activeIoJ(); });
+        // Energy observatory: the fine cause buckets behind the two
+        // coarse ledgers above (idle floor is their difference from
+        // sleep + wake; see net/link.hh).
+        if (net.energyEnabled()) {
+            s.add("tx_energy_j", "serialization energy (J)",
+                  [l] { return l->stats().txJ; });
+            s.add("retrain_energy_j", "retrain-window energy (J)",
+                  [l] { return l->stats().retrainJ; });
+            s.add("sleep_energy_j", "ROO off-state energy (J)",
+                  [l] { return l->stats().sleepJ; });
+            s.add("wake_energy_j", "wake-transition energy (J)",
+                  [l] { return l->stats().wakeJ; });
+        }
         s.addInt("flits", "flits serialized",
                  [l] { return l->stats().flits; });
         s.addInt("packets", "packets delivered",
@@ -275,6 +308,27 @@ ObsHub::registerStats()
                  [mod] { return mod->dramAccesses(); });
         s.addInt("flits_routed", "flits routed through the module",
                  [mod] { return mod->flitsRouted(); });
+        // Energy observatory: the module's cause terms at dump time.
+        if (net.energyEnabled()) {
+            Network *np = &net;
+            auto term =
+                [np, m](double ModuleEnergyTerms::*f) {
+                    return np->moduleEnergy(m, np->eventQueue().now())
+                        .*f;
+                };
+            s.add("serdes_leak_j", "SerDes+logic leakage (J)", [term] {
+                return term(&ModuleEnergyTerms::logicLeakJ);
+            });
+            s.add("router_j", "router dynamic energy (J)", [term] {
+                return term(&ModuleEnergyTerms::logicDynJ);
+            });
+            s.add("dram_leak_j", "DRAM leakage (J)", [term] {
+                return term(&ModuleEnergyTerms::dramLeakJ);
+            });
+            s.add("dram_dyn_j", "DRAM dynamic energy (J)", [term] {
+                return term(&ModuleEnergyTerms::dramDynJ);
+            });
+        }
     }
 
     if (mgr) {

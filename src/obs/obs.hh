@@ -85,6 +85,14 @@ class ObsHub : public EpochObserver
     std::unique_ptr<ChromeTraceWriter> trace;
     std::ofstream epochFile;
     std::unique_ptr<EpochRecorder> rec;
+
+    /**
+     * Energy-counter baselines for the trace's "energy_w" track: the
+     * attribution and timestamp at the previous epoch, so each sample
+     * renders the epoch's average watts per cause (delta / window).
+     */
+    EnergyAttribution lastEnergy;
+    Tick lastEnergyTick = 0;
 };
 
 } // namespace obs

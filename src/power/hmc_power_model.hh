@@ -67,6 +67,33 @@ struct HmcPowerParams
 };
 
 /**
+ * Energy drawn by one module over a measurement window, split by cause.
+ * Computed in one place so the aggregate ledger (Network::collectEnergy)
+ * and the energy observatory's attribution (Network::energyAttribution)
+ * are bit-identical by construction — the runtime auditor compares the
+ * two with exact double equality.
+ */
+struct ModuleEnergyTerms
+{
+    double logicLeakJ = 0.0; ///< SerDes + logic-die leakage (always on)
+    double dramLeakJ = 0.0;  ///< DRAM die leakage (always on)
+    double logicDynJ = 0.0;  ///< router/logic dynamic energy per flit hop
+    double dramDynJ = 0.0;   ///< DRAM array dynamic energy per access
+};
+
+inline ModuleEnergyTerms
+moduleEnergyTerms(const HmcPowerParams &p, double seconds,
+                  std::uint64_t flits_routed, std::uint64_t dram_accesses)
+{
+    ModuleEnergyTerms t;
+    t.logicLeakJ = p.idleLogicW * seconds;
+    t.dramLeakJ = p.idleDramW * seconds;
+    t.logicDynJ = static_cast<double>(flits_routed) * p.flitHopJ;
+    t.dramDynJ = static_cast<double>(dram_accesses) * p.dramAccessJ;
+    return t;
+}
+
+/**
  * The full power model; immutable after construction. All "fraction"
  * constants live here so tests can check internal consistency.
  */

@@ -122,6 +122,34 @@ TEST_F(AuditMutation, PerturbedLinkEnergyIsFatalWhenFailFast)
                  "energy-conservation");
 }
 
+TEST_F(AuditMutation, PerturbedAttributionBucketTripsAttributionCheck)
+{
+    eq.runUntil(us(10)); // accrue some idle time on every link
+    audit::Auditor a(*net, recording());
+    a.onMeasureStart(0);
+
+    a.checkEnergyAttribution(eq.now());
+    ASSERT_TRUE(a.failures().empty());
+
+    // auditPerturbEnergy bumps the txJ cause bucket without touching
+    // residency, so the per-link cause sum drifts away from what
+    // full-power x residency predicts.
+    net->requestLink(3).auditPerturbEnergy(1e-3);
+    a.checkEnergyAttribution(eq.now());
+    ASSERT_FALSE(a.failures().empty());
+    EXPECT_EQ(a.failures().front().check, "energy-attribution");
+}
+
+TEST_F(AuditMutation, PerturbedAttributionBucketIsFatalWhenFailFast)
+{
+    eq.runUntil(us(10));
+    audit::Auditor a(*net); // default options: failFast
+    a.onMeasureStart(0);
+    net->requestLink(1).auditPerturbEnergy(1e-3);
+    EXPECT_DEATH(a.checkEnergyAttribution(eq.now()),
+                 "energy-attribution");
+}
+
 TEST_F(AuditMutation, OutOfRangeInjectTripsAddressMapCheck)
 {
     audit::Auditor a(*net, recording());

@@ -129,6 +129,36 @@ TEST(Differential, LatencyObservatoryOnEqualsOff)
     EXPECT_EQ(ron.latency.endToEnd.samples, ron.completedReads);
 }
 
+TEST(Differential, EnergyObservatoryOnEqualsOff)
+{
+    // The energy observatory's core contract: the attribution counters
+    // are always stamped (they are the simulator's energy ledger), so
+    // enabling the occupancy sketches and summaries must never perturb
+    // the simulation. Only RunResult::energy (excluded from
+    // diffRunResults, like latency and wallSeconds) may differ.
+    SystemConfig off = shortConfig(TopologyKind::Star, Policy::Aware);
+    off.energyObs = false;
+    SystemConfig on = off;
+    on.energyObs = true;
+
+    const RunResult roff = runSimulation(off);
+    const RunResult ron = runSimulation(on);
+    const auto diffs = audit::diffRunResults(roff, ron);
+    EXPECT_TRUE(diffs.empty()) << audit::describeDiffs(diffs);
+
+    // And the toggle actually took effect on the excluded field.
+    EXPECT_FALSE(roff.energy.enabled);
+    ASSERT_TRUE(ron.energy.enabled);
+    // The attribution ledger's total times the measure window length
+    // reproduces the reported network power bit-identically: both are
+    // derived from the same EnergyBreakdown arithmetic.
+    EXPECT_GT(ron.energy.attribution.totalJ(), 0.0);
+    EXPECT_GT(ron.energy.occupancy.samples, 0u);
+    // Utilization records one sample per link.
+    EXPECT_EQ(ron.energy.utilization.samples,
+              static_cast<std::uint64_t>(2 * ron.numModules));
+}
+
 TEST(Differential, AuditOnEqualsOff)
 {
     SystemConfig bare = shortConfig(TopologyKind::Star, Policy::Aware);

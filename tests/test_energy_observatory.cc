@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the energy observatory's attribution ledger
+ * (src/obs/energy_observatory.hh): cause-bucket folding, the derived
+ * identities, exact merge, the bit-identity of the rollup against
+ * Network::collectEnergy, the net.energy.* stat scopes, and the
+ * Chrome-trace counter renderer. The run-level guarantees (obs-on ==
+ * obs-off, partitioned == serial, mutation-tested auditor check) live
+ * in test_differential.cc / test_partition.cc / test_audit.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "dram/dram_params.hh"
+#include "memnet/simulator.hh"
+#include "net/network.hh"
+#include "obs/energy_observatory.hh"
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
+#include "sim/event_queue.hh"
+
+namespace memnet
+{
+namespace
+{
+
+LinkStats
+syntheticStats(double scale)
+{
+    LinkStats ls;
+    ls.txJ = 0.5 * scale;
+    ls.retrainJ = 0.125 * scale;
+    ls.idleFloorJ[0] = 1.0 * scale;
+    ls.idleFloorJ[3] = 0.25 * scale;
+    ls.sleepJ = 0.0625 * scale;
+    ls.wakeJ = 0.03125 * scale;
+    return ls;
+}
+
+TEST(EnergyAttributionLedger, AddLinkFoldsEveryCauseBucket)
+{
+    const LinkStats ls = syntheticStats(1.0);
+    EnergyAttribution a;
+    a.addLink(ls);
+
+    EXPECT_DOUBLE_EQ(a.txJ, ls.txJ);
+    EXPECT_DOUBLE_EQ(a.retrainJ, ls.retrainJ);
+    EXPECT_DOUBLE_EQ(a.idleModeJ[0], ls.idleFloorJ[0]);
+    EXPECT_DOUBLE_EQ(a.idleModeJ[3], ls.idleFloorJ[3]);
+    EXPECT_DOUBLE_EQ(a.sleepJ, ls.sleepJ);
+    EXPECT_DOUBLE_EQ(a.wakeJ, ls.wakeJ);
+
+    // Anchors come from the link's own derived accessors, so for a
+    // single link they are exactly the cause sums (the values above
+    // are dyadic rationals: no rounding anywhere).
+    EXPECT_EQ(a.activeIoJ, ls.txJ + ls.retrainJ);
+    EXPECT_EQ(a.idleIoJ, ls.idleIoJ());
+    EXPECT_EQ(a.idleFloorJ(), 1.25);
+    EXPECT_EQ(a.linkIoJ(), a.idleIoJ + a.activeIoJ);
+    EXPECT_EQ(a.moduleJ(), 0.0);
+    EXPECT_EQ(a.totalJ(), a.linkIoJ());
+}
+
+TEST(EnergyAttributionLedger, AddModuleFoldsTerms)
+{
+    ModuleEnergyTerms t;
+    t.logicLeakJ = 0.5;
+    t.logicDynJ = 0.25;
+    t.dramLeakJ = 0.125;
+    t.dramDynJ = 0.0625;
+    EnergyAttribution a;
+    a.addModule(t);
+
+    EXPECT_DOUBLE_EQ(a.serdesLeakJ, t.logicLeakJ);
+    EXPECT_DOUBLE_EQ(a.routerJ, t.logicDynJ);
+    EXPECT_DOUBLE_EQ(a.dramLeakJ, t.dramLeakJ);
+    EXPECT_DOUBLE_EQ(a.dramDynJ, t.dramDynJ);
+    EXPECT_EQ(a.moduleJ(), 0.9375);
+    EXPECT_EQ(a.totalJ(), 0.9375);
+}
+
+TEST(EnergyAttributionLedger, MergeIsFieldWiseExact)
+{
+    EnergyAttribution a, b;
+    a.addLink(syntheticStats(1.0));
+    b.addLink(syntheticStats(2.0));
+
+    EnergyAttribution sum = a;
+    sum += b;
+    // Dyadic values again: field-wise addition must be exact, and the
+    // merged ledger must equal folding both links into one.
+    EnergyAttribution both;
+    both.addLink(syntheticStats(1.0));
+    both.addLink(syntheticStats(2.0));
+    EXPECT_EQ(sum.txJ, both.txJ);
+    EXPECT_EQ(sum.retrainJ, both.retrainJ);
+    EXPECT_EQ(sum.idleFloorJ(), both.idleFloorJ());
+    EXPECT_EQ(sum.sleepJ, both.sleepJ);
+    EXPECT_EQ(sum.wakeJ, both.wakeJ);
+    EXPECT_EQ(sum.idleIoJ, both.idleIoJ);
+    EXPECT_EQ(sum.activeIoJ, both.activeIoJ);
+    EXPECT_EQ(sum.totalJ(), both.totalJ());
+}
+
+class EnergyObservatoryNet : public ::testing::Test
+{
+  protected:
+    EnergyObservatoryNet()
+        : topo(Topology::build(TopologyKind::TernaryTree, 7))
+    {
+        amap.chunkBytes = 1ULL << 30;
+        amap.modules = 7;
+        net = std::make_unique<Network>(eq, topo, dram,
+                                        BwMechanism::Vwl, roo, pm,
+                                        amap);
+    }
+
+    EventQueue eq;
+    Topology topo;
+    DramParams dram;
+    HmcPowerModel pm;
+    RooConfig roo;
+    AddressMap amap;
+    std::unique_ptr<Network> net;
+};
+
+TEST_F(EnergyObservatoryNet, AnchorsMatchCollectEnergyBitIdentically)
+{
+    eq.runUntil(us(10)); // accrue idle floor on every link
+    const EnergyAttribution a = net->energyAttribution(eq.now());
+    const EnergyBreakdown e = net->collectEnergy(eq.now());
+
+    // The exactness contract the auditor enforces every epoch: same
+    // expressions, same iteration order, so == on doubles.
+    EXPECT_EQ(a.idleIoJ, e.idleIoJ);
+    EXPECT_EQ(a.activeIoJ, e.activeIoJ);
+    EXPECT_EQ(a.serdesLeakJ, e.logicLeakJ);
+    EXPECT_EQ(a.routerJ, e.logicDynJ);
+    EXPECT_EQ(a.dramLeakJ, e.dramLeakJ);
+    EXPECT_EQ(a.dramDynJ, e.dramDynJ);
+    EXPECT_GT(a.totalJ(), 0.0);
+
+    // The cause-level and anchor-level views agree to float-summation
+    // tolerance (their addition orders differ across links).
+    EXPECT_NEAR(a.linkIoJ(), a.idleIoJ + a.activeIoJ,
+                1e-12 * a.linkIoJ());
+}
+
+TEST_F(EnergyObservatoryNet, SketchesCoverEveryLinkWhenEnabled)
+{
+    net->setEnergyObservatory(true);
+    eq.runUntil(us(10));
+    const EnergySummary s = net->energySummary(eq.now());
+    EXPECT_TRUE(s.enabled);
+    // One utilization sample per link; an idle net has all-zero ppm
+    // and no enqueues.
+    EXPECT_EQ(s.utilization.samples, 2u * 7u);
+    EXPECT_EQ(s.utilization.maxPs, 0u);
+    EXPECT_EQ(s.occupancy.samples, 0u);
+}
+
+TEST_F(EnergyObservatoryNet, StatScopesMaterializeTheLedger)
+{
+    net->setEnergyObservatory(true);
+    eq.runUntil(us(10));
+    obs::StatsRegistry reg;
+    obs::registerEnergyStats(reg, *net);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    obs::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(os.str(), &doc, &err)) << err;
+
+    const auto num = [&doc](const char *name) {
+        const obs::json::Value *v = doc.find(name);
+        EXPECT_TRUE(v != nullptr) << name;
+        return v ? v->number : -1.0;
+    };
+    const EnergyAttribution a = net->energyAttribution(eq.now());
+    EXPECT_EQ(num("net.energy.total_j"), a.totalJ());
+    EXPECT_EQ(num("net.energy.idle_floor_j"), a.idleFloorJ());
+    EXPECT_EQ(num("net.energy.tx_j"), 0.0);
+    EXPECT_EQ(num("net.energy.idle_mode0_j"), a.idleModeJ[0]);
+    EXPECT_EQ(num("net.energy.util_ppm.samples"), 14.0);
+    EXPECT_EQ(num("net.energy.occupancy.samples"), 0.0);
+}
+
+TEST(EnergyCounterArgs, RendersPerCauseWatts)
+{
+    EnergyAttribution prev, cur;
+    cur.txJ = 1.5;
+    cur.idleModeJ[0] = 3.0;
+    cur.sleepJ = 0.5;
+    // 2-second window.
+    const std::string args =
+        obs::renderEnergyCounterArgs(cur, prev, 0.5);
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(args, &v, &err))
+        << err << " in " << args;
+    const auto watts = [&v](const char *key) {
+        const obs::json::Value *m = v.find(key);
+        EXPECT_TRUE(m != nullptr) << key;
+        return m ? m->number : -1.0;
+    };
+    EXPECT_DOUBLE_EQ(watts("tx"), 0.75);
+    EXPECT_DOUBLE_EQ(watts("idle_floor"), 1.5);
+    EXPECT_DOUBLE_EQ(watts("sleep"), 0.25);
+    EXPECT_DOUBLE_EQ(watts("wake"), 0.0);
+    for (const char *key : {"tx", "idle_floor", "sleep", "wake",
+                            "retrain", "serdes_leak", "router",
+                            "dram_leak", "dram_dyn"})
+        EXPECT_TRUE(v.find(key) != nullptr) << key;
+
+    // Zero-length window renders zeros rather than infinities.
+    const std::string flat =
+        obs::renderEnergyCounterArgs(cur, prev, 0.0);
+    obs::json::Value z;
+    ASSERT_TRUE(obs::json::parse(flat, &z, &err)) << err;
+    EXPECT_DOUBLE_EQ(z.find("tx") ? z.find("tx")->number : -1.0, 0.0);
+}
+
+} // namespace
+} // namespace memnet

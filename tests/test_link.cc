@@ -238,8 +238,12 @@ TEST_F(LinkTest, EnergySplitsIdleAndActive)
     link->finishAccounting(us(1));
     const LinkStats &s = link->stats();
     // Active: 3.2 ns of serialization at 2 W.
-    EXPECT_NEAR(s.activeIoJ, 2.0 * 3.2e-9, 1e-15);
-    EXPECT_NEAR(s.idleIoJ, 2.0 * (1e-6 - 3.2e-9), 1e-12);
+    EXPECT_NEAR(s.activeIoJ(), 2.0 * 3.2e-9, 1e-15);
+    EXPECT_NEAR(s.idleIoJ(), 2.0 * (1e-6 - 3.2e-9), 1e-12);
+    // Cause attribution: all active energy is serialization, all idle
+    // energy is mode-0 floor (no ROO, no retrain).
+    EXPECT_DOUBLE_EQ(s.txJ, s.activeIoJ());
+    EXPECT_DOUBLE_EQ(s.idleFloorJ[0], s.idleIoJ());
     drainAndFree();
 }
 
@@ -253,8 +257,11 @@ TEST_F(LinkTest, OffStateEnergyIsOnePercent)
     // 32 ns on + ~968 ns off at 1%.
     const double expected =
         2.0 * 32e-9 + 0.02 * (1e-6 - 32e-9);
-    EXPECT_NEAR(s.idleIoJ + s.activeIoJ, expected, 1e-12);
+    EXPECT_NEAR(s.idleIoJ() + s.activeIoJ(), expected, 1e-12);
     EXPECT_NEAR(s.offSeconds, 1e-6 - 32e-9, 1e-12);
+    // The off-state residual is attributed to the sleep bucket.
+    EXPECT_NEAR(s.sleepJ, 0.02 * (1e-6 - 32e-9), 1e-12);
+    EXPECT_DOUBLE_EQ(s.txJ, 0.0);
 }
 
 TEST_F(LinkTest, ModeResidencyTracked)
@@ -289,7 +296,7 @@ TEST_F(LinkTest, ResetStatsClearsCounters)
     eq.run();
     link->resetStats();
     EXPECT_EQ(link->stats().packets, 0u);
-    EXPECT_DOUBLE_EQ(link->stats().activeIoJ, 0.0);
+    EXPECT_DOUBLE_EQ(link->stats().activeIoJ(), 0.0);
     drainAndFree();
 }
 

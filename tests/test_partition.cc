@@ -423,6 +423,42 @@ TEST(PartitionDifferential, LatencyObservatoryMatchesSerial)
     EXPECT_EQ(rs.latency.dram.p99Ps, rp.latency.dram.p99Ps);
 }
 
+TEST(PartitionDifferential, EnergyObservatoryMatchesSerial)
+{
+    // Energy attribution must survive the partition split exactly:
+    // every link's events run on its home partition, so the cause
+    // buckets accrue in the same per-link order as the serial kernel
+    // and the ledger (and occupancy sketches) are bit-identical.
+    const SystemConfig serial =
+        shortConfig(TopologyKind::Star, Policy::Aware);
+    SystemConfig part = serial;
+    part.partitions = 2;
+    const RunResult rs = runSimulation(serial);
+    const RunResult rp = runSimulation(part);
+    ASSERT_TRUE(rs.energy.enabled);
+    ASSERT_TRUE(rp.energy.enabled);
+    const EnergyAttribution &as = rs.energy.attribution;
+    const EnergyAttribution &ap = rp.energy.attribution;
+    EXPECT_EQ(as.txJ, ap.txJ);
+    EXPECT_EQ(as.retrainJ, ap.retrainJ);
+    EXPECT_EQ(as.idleFloorJ(), ap.idleFloorJ());
+    EXPECT_EQ(as.sleepJ, ap.sleepJ);
+    EXPECT_EQ(as.wakeJ, ap.wakeJ);
+    EXPECT_EQ(as.serdesLeakJ, ap.serdesLeakJ);
+    EXPECT_EQ(as.routerJ, ap.routerJ);
+    EXPECT_EQ(as.dramLeakJ, ap.dramLeakJ);
+    EXPECT_EQ(as.dramDynJ, ap.dramDynJ);
+    EXPECT_EQ(as.idleIoJ, ap.idleIoJ);
+    EXPECT_EQ(as.activeIoJ, ap.activeIoJ);
+    EXPECT_EQ(rs.energy.occupancy.samples, rp.energy.occupancy.samples);
+    EXPECT_EQ(rs.energy.occupancy.sumPs, rp.energy.occupancy.sumPs);
+    EXPECT_EQ(rs.energy.occupancy.p99Ps, rp.energy.occupancy.p99Ps);
+    EXPECT_EQ(rs.energy.utilization.samples,
+              rp.energy.utilization.samples);
+    EXPECT_EQ(rs.energy.utilization.p50Ps,
+              rp.energy.utilization.p50Ps);
+}
+
 TEST(PartitionDifferential, MultiChannelEqualsSerialMultiChannel)
 {
     for (Policy p : {Policy::FullPower, Policy::Aware}) {
@@ -447,6 +483,12 @@ TEST(PartitionDifferential, MultiChannelEqualsSerialMultiChannel)
                   mp.latency.endToEnd.samples);
         EXPECT_EQ(ms.latency.endToEnd.p99Ps,
                   mp.latency.endToEnd.p99Ps);
+        ASSERT_TRUE(ms.energy.enabled && mp.energy.enabled);
+        EXPECT_EQ(ms.energy.attribution.totalJ(),
+                  mp.energy.attribution.totalJ());
+        EXPECT_EQ(ms.energy.attribution.txJ, mp.energy.attribution.txJ);
+        EXPECT_EQ(ms.energy.occupancy.samples,
+                  mp.energy.occupancy.samples);
     }
 }
 
